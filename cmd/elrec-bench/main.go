@@ -1,0 +1,81 @@
+// Command elrec-bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	elrec-bench -exp fig11                 # one experiment
+//	elrec-bench -exp fig17,fig18           # several
+//	elrec-bench -exp all -scale quick      # full sweep, small
+//	elrec-bench -exp fig14 -dataset-scale 0.02 -batch 4096 -rank 32
+//
+// Every experiment prints the same rows/series the paper reports plus notes
+// recording the parameters and the paper's reference numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exps         = flag.String("exp", "all", "comma-separated experiment ids, or 'all' (known: "+strings.Join(bench.List(), ", ")+")")
+		scaleName    = flag.String("scale", "default", "base scale: quick or default")
+		datasetScale = flag.Float64("dataset-scale", 0, "override: dataset cardinality multiplier")
+		batch        = flag.Int("batch", 0, "override: batch size")
+		steps        = flag.Int("steps", 0, "override: measured steps per configuration")
+		dim          = flag.Int("dim", 0, "override: embedding dimension")
+		rank         = flag.Int("rank", 0, "override: TT rank")
+		trainSteps   = flag.Int("train-steps", 0, "override: steps for accuracy/convergence experiments")
+	)
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scaleName {
+	case "quick":
+		sc = bench.Quick()
+	case "default":
+		sc = bench.Default()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or default)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *datasetScale > 0 {
+		sc.DatasetScale = *datasetScale
+	}
+	if *batch > 0 {
+		sc.Batch = *batch
+	}
+	if *steps > 0 {
+		sc.Steps = *steps
+	}
+	if *dim > 0 {
+		sc.EmbDim = *dim
+	}
+	if *rank > 0 {
+		sc.Rank = *rank
+	}
+	if *trainSteps > 0 {
+		sc.TrainSteps = *trainSteps
+	}
+
+	ids := bench.List()
+	if *exps != "all" {
+		ids = strings.Split(*exps, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := bench.Run(id, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res.Fprint(os.Stdout)
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,63 @@
+// Command elrec-data inspects the synthetic datasets: Table II statistics
+// and the Figure 4 access-pattern characteristics the Eff-TT optimizations
+// exploit.
+//
+// Usage:
+//
+//	elrec-data                          # Table II + Figure 4(a) + 4(b)
+//	elrec-data -exp fig4a -scale quick
+//	elrec-data -exp table2 -dataset-scale 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exps         = flag.String("exp", "table2,fig4a,fig4b", "comma-separated: table2, fig4a, fig4b")
+		scaleName    = flag.String("scale", "default", "base scale: quick or default")
+		datasetScale = flag.Float64("dataset-scale", 0, "override: dataset cardinality multiplier")
+		batch        = flag.Int("batch", 0, "override: batch size for the statistics")
+	)
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scaleName {
+	case "quick":
+		sc = bench.Quick()
+	case "default":
+		sc = bench.Default()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or default)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *datasetScale > 0 {
+		sc.DatasetScale = *datasetScale
+	}
+	if *batch > 0 {
+		sc.Batch = *batch
+	}
+
+	for _, id := range strings.Split(*exps, ",") {
+		id = strings.TrimSpace(id)
+		switch id {
+		case "table2", "fig4a", "fig4b":
+		default:
+			fmt.Fprintf(os.Stderr, "elrec-data handles table2, fig4a and fig4b; %q is not a dataset experiment (see elrec-bench)\n", id)
+			os.Exit(2)
+		}
+		res, err := bench.Run(id, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res.Fprint(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,192 @@
+// Package elrec is the public API of this repository: a Go reproduction of
+// "EL-Rec: Efficient Large-Scale Recommendation Model Training via
+// Tensor-Train Embedding Table" (SC 2022).
+//
+// The package exposes three layers:
+//
+//   - The Eff-TT embedding bag (NewEffTTEmbeddingBag): a tensor-train
+//     compressed, sum-pooling embedding table that is a drop-in replacement
+//     for an uncompressed EmbeddingBag (NewEmbeddingBag), with the paper's
+//     forward intermediate-result reuse and backward in-advance gradient
+//     aggregation + fused update.
+//
+//   - Locality-based index reordering (BuildReordering): an offline
+//     bijection over row ids built from access frequencies (global
+//     information) and intra-batch co-occurrence (local information) via
+//     modularity-based community detection.
+//
+//   - The EL-Rec training system (BuildSystem): a full DLRM with
+//     HBM-capacity-aware table placement, an embedding parameter server
+//     with pre-fetch/gradient queues, and the RAW-safe embedding cache.
+//
+// The deeper machinery lives in internal/ packages (tensor kernels, the
+// DLRM model, the pipeline, baselines, the experiment harness); this facade
+// re-exports the surface a downstream user needs.
+package elrec
+
+import (
+	"io"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/criteoio"
+	"repro/internal/data"
+	"repro/internal/dlrm"
+	"repro/internal/embedding"
+	"repro/internal/reorder"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/tt"
+)
+
+// EmbeddingBag is the embedding-table abstraction shared by compressed and
+// uncompressed tables: sum-pooling lookup over indices/offsets bags (the
+// torch.nn.EmbeddingBag batch encoding) and a combined backward+SGD update.
+type EmbeddingBag = dlrm.Table
+
+// Options selects the Eff-TT optimizations; EffOptions enables the full
+// set and NaiveOptions reproduces the TT-Rec baseline behaviour.
+type Options = tt.Options
+
+// EffOptions returns the full Eff-TT optimization set.
+func EffOptions() Options { return tt.EffOptions() }
+
+// NaiveOptions returns the TT-Rec baseline configuration (no reuse, no
+// aggregation, unfused updates).
+func NaiveOptions() Options { return tt.NaiveOptions() }
+
+// NewEffTTEmbeddingBag builds a TT-compressed embedding bag for a rows×dim
+// table at the given TT rank, initialized so materialized rows match the
+// DLRM reference initialization scale. It is the drop-in replacement for
+// NewEmbeddingBag: identical Lookup/Update semantics at a fraction of the
+// memory.
+func NewEffTTEmbeddingBag(rows, dim, rank int, seed uint64) (*tt.Table, error) {
+	shape, err := tt.NewShape(rows, dim, rank)
+	if err != nil {
+		return nil, err
+	}
+	return tt.NewTable(shape, tensor.NewRNG(seed), math.Sqrt(1/float64(rows))), nil
+}
+
+// NewEmbeddingBag builds an uncompressed rows×dim embedding bag.
+func NewEmbeddingBag(rows, dim int, seed uint64) *embedding.Bag {
+	return embedding.NewBag(rows, dim, tensor.NewRNG(seed))
+}
+
+// NewGeneralTTEmbeddingBag builds a TT-compressed embedding bag with an
+// arbitrary number of cores d ≥ 2 (the specialized Eff-TT table fixes
+// d = 3; deeper factorizations compress harder at the cost of a longer
+// multiplication chain). The returned table has the same Lookup/Update
+// interface.
+func NewGeneralTTEmbeddingBag(rows, dim, d, rank int, seed uint64) (*tt.GeneralTable, error) {
+	shape, err := tt.NewGeneralShape(rows, dim, d, rank)
+	if err != nil {
+		return nil, err
+	}
+	return tt.NewGeneralTable(shape, tensor.NewRNG(seed), math.Sqrt(1/float64(rows))), nil
+}
+
+// DecomposeTable TT-decomposes an existing dense table (rows×dim, row-major)
+// into an Eff-TT bag with the given rank via truncated TT-SVD — the
+// "initialize from a pretrained table" path.
+func DecomposeTable(rows, dim, rank int, weights []float32) (*tt.Table, error) {
+	shape, err := tt.NewShape(rows, dim, rank)
+	if err != nil {
+		return nil, err
+	}
+	return tt.DecomposeDense(tensor.FromSlice(rows, dim, weights), shape)
+}
+
+// DatasetSpec describes a synthetic CTR dataset; Avazu, Kaggle and Terabyte
+// return presets mirroring the paper's three benchmarks at a cardinality
+// scale (1.0 = the real datasets' sizes).
+type DatasetSpec = data.Spec
+
+// Avazu returns the Avazu-like preset.
+func Avazu(scale float64) DatasetSpec { return data.AvazuSpec(scale) }
+
+// Kaggle returns the Criteo-Kaggle-like preset.
+func Kaggle(scale float64) DatasetSpec { return data.KaggleSpec(scale) }
+
+// Terabyte returns the Criteo-Terabyte-like preset.
+func Terabyte(scale float64) DatasetSpec { return data.TerabyteSpec(scale) }
+
+// NewDataset instantiates a deterministic dataset from a spec.
+func NewDataset(spec DatasetSpec) (*data.Dataset, error) { return data.New(spec) }
+
+// ReorderConfig tunes index-reordering bijection generation.
+type ReorderConfig = reorder.Config
+
+// Bijection is a permutation of one table's row ids.
+type Bijection = reorder.Bijection
+
+// BuildReordering builds the locality-based index bijection of one table
+// from its access counts and a sample of batched indices (Algorithm 2 +
+// Louvain community detection).
+func BuildReordering(counts []int64, batches [][]int, cfg ReorderConfig) (*Bijection, error) {
+	return reorder.Build(counts, batches, cfg)
+}
+
+// DefaultReorderConfig mirrors the paper's setup (5% hot rows).
+func DefaultReorderConfig() ReorderConfig { return reorder.DefaultConfig() }
+
+// ModelConfig describes the dense part of a DLRM (tower sizes, learning
+// rate, embedding dimension).
+type ModelConfig = dlrm.Config
+
+// NewDLRM assembles a DLRM over the given embedding tables.
+func NewDLRM(cfg ModelConfig, tables []EmbeddingBag) (*dlrm.Model, error) {
+	return dlrm.NewModel(cfg, tables)
+}
+
+// SystemConfig configures a full EL-Rec training system.
+type SystemConfig = core.Config
+
+// System is a built EL-Rec instance: compressed tables placed in simulated
+// device memory, overflow tables behind the parameter-server pipeline, and
+// index reordering applied to every batch.
+type System = core.System
+
+// DefaultSystemConfig returns a ready-to-train configuration for a dataset.
+func DefaultSystemConfig(spec DatasetSpec) SystemConfig { return core.DefaultConfig(spec) }
+
+// BuildSystem constructs an EL-Rec system: profiling, reordering, table
+// construction with HBM-aware placement, and the pipeline when host memory
+// is needed.
+func BuildSystem(cfg SystemConfig) (*System, error) { return core.Build(cfg) }
+
+// CriteoSchema describes the on-disk Criteo TSV layout (13 integer + 26
+// categorical features) with a hash range per table.
+type CriteoSchema = criteoio.Schema
+
+// NewCriteoReader streams training batches from real Criteo-format TSV data
+// (label \t integer features \t hex categorical features): categorical
+// values hash into each table's range, integers get the log(1+x) transform.
+func NewCriteoReader(r io.Reader, schema CriteoSchema) (*criteoio.Reader, error) {
+	return criteoio.NewReader(r, schema)
+}
+
+// Ranker scores candidate items against a user context and returns the
+// top-k, the ranking-stage inference pattern.
+type Ranker = serve.Ranker
+
+// RankContext is one user/request context for the Ranker.
+type RankContext = serve.Context
+
+// Scored pairs a candidate item with its predicted CTR.
+type Scored = serve.Scored
+
+// NewRanker wraps a trained model for candidate ranking; itemFeature is the
+// categorical feature carrying the candidate item id.
+func NewRanker(m *dlrm.Model, itemFeature, batchSize int) (*Ranker, error) {
+	return serve.NewRanker(m, itemFeature, batchSize)
+}
+
+// SaveModel / LoadModel checkpoint a trained model to and from a file,
+// including TT cores and Adagrad state.
+func SaveModel(path string, m *dlrm.Model) error { return checkpoint.SaveFile(path, m) }
+
+// LoadModel restores a checkpoint saved with SaveModel into a model with
+// the same architecture.
+func LoadModel(path string, m *dlrm.Model) error { return checkpoint.LoadFile(path, m) }

@@ -1,0 +1,152 @@
+package elrec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEffTTEmbeddingBagDropIn(t *testing.T) {
+	dense := NewEmbeddingBag(1000, 16, 1)
+	eff, err := NewEffTTEmbeddingBag(1000, 16, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.FootprintBytes() >= dense.FootprintBytes() {
+		t.Fatalf("TT footprint %d not below dense %d", eff.FootprintBytes(), dense.FootprintBytes())
+	}
+	indices, offsets := []int{3, 500, 999, 3}, []int{0, 2}
+	for _, table := range []EmbeddingBag{dense, eff} {
+		out := table.Lookup(indices, offsets)
+		if out.Rows != 2 || out.Cols != 16 {
+			t.Fatalf("lookup shape %dx%d", out.Rows, out.Cols)
+		}
+		grad := out.Clone()
+		table.Update(indices, offsets, grad, 0.01)
+	}
+}
+
+func TestNewEffTTEmbeddingBagBadDim(t *testing.T) {
+	// A prime dimension factorizes as 1×1×p, which is always legal, so use
+	// an invalid rank instead to exercise the error path.
+	if _, err := NewEffTTEmbeddingBag(100, 16, 0, 1); err == nil {
+		t.Fatal("zero rank accepted")
+	}
+}
+
+func TestDecomposeTableRoundTrip(t *testing.T) {
+	const rows, dim, rank = 60, 8, 6
+	src, err := NewEffTTEmbeddingBag(rows, dim, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := src.Materialize()
+	got, err := DecomposeTable(rows, dim, rank, dense.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Materialize().MaxAbsDiff(dense); d > 1e-3 {
+		t.Fatalf("TT-SVD round trip error %v", d)
+	}
+}
+
+func TestDatasetPresets(t *testing.T) {
+	for _, spec := range []DatasetSpec{Avazu(0.01), Kaggle(0.01), Terabyte(0.01)} {
+		d, err := NewDataset(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		b := d.Batch(0, 16)
+		if b.Size() != 16 || len(b.Sparse) != spec.NumTables() {
+			t.Fatalf("%s: bad batch shape", spec.Name)
+		}
+	}
+}
+
+func TestBuildReorderingFacade(t *testing.T) {
+	counts := make([]int64, 100)
+	for i := range counts {
+		counts[i] = int64(100 - i)
+	}
+	bij, err := BuildReordering(counts, [][]int{{1, 2, 3}, {4, 5, 6}}, DefaultReorderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bij.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSystemEndToEnd(t *testing.T) {
+	spec := Kaggle(0.0005)
+	cfg := DefaultSystemConfig(spec)
+	cfg.Model.EmbDim = 8
+	cfg.Rank = 4
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := sys.Train(0, 30, 64)
+	if len(curve.Losses) != 30 {
+		t.Fatalf("trained %d steps", len(curve.Losses))
+	}
+	acc, auc := sys.Evaluate(40, 3, 64)
+	if acc <= 0 || auc < 0 || auc > 1 {
+		t.Fatalf("evaluation out of range: acc=%v auc=%v", acc, auc)
+	}
+}
+
+func TestNewDLRMFacade(t *testing.T) {
+	tables := []EmbeddingBag{NewEmbeddingBag(50, 8, 1), NewEmbeddingBag(70, 8, 2)}
+	cfg := ModelConfig{NumDense: 3, EmbDim: 8, BottomSizes: []int{8}, TopSizes: []int{8}, LR: 0.5, Seed: 1}
+	m, err := NewDLRM(cfg, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MLPBytes() <= 0 {
+		t.Fatal("model has no dense parameters")
+	}
+}
+
+func TestGeneralTTFacade(t *testing.T) {
+	g, err := NewGeneralTTEmbeddingBag(500, 16, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Lookup([]int{1, 499}, []int{0, 1})
+	if out.Rows != 2 || out.Cols != 16 {
+		t.Fatalf("general lookup shape %dx%d", out.Rows, out.Cols)
+	}
+	g.Update([]int{1, 499}, []int{0, 1}, out, 0.01)
+}
+
+func TestSaveLoadModelFacade(t *testing.T) {
+	tables := []EmbeddingBag{NewEmbeddingBag(40, 8, 1)}
+	cfg := ModelConfig{NumDense: 2, EmbDim: 8, BottomSizes: []int{8}, TopSizes: []int{8}, LR: 0.5, Seed: 1}
+	m, err := NewDLRM(cfg, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.ckpt"
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := NewDLRM(cfg, []EmbeddingBag{NewEmbeddingBag(40, 8, 9)})
+	if err := LoadModel(path, m2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriteoReaderFacade(t *testing.T) {
+	schema := CriteoSchema{NumDense: 1, TableRows: []int{16, 16}}
+	r, err := NewCriteoReader(strings.NewReader("1\t5\tab\tcd\n0\t\tab\t\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ReadBatch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 2 || len(b.Sparse) != 2 {
+		t.Fatalf("batch %d samples, %d tables", b.Size(), len(b.Sparse))
+	}
+}

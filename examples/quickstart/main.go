@@ -1,0 +1,56 @@
+// Quickstart: the Eff-TT embedding bag as a drop-in replacement for an
+// uncompressed EmbeddingBag. Builds both over the same 1M-row table shape,
+// compares footprints, and runs the same lookups and updates through each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	elrec "repro"
+)
+
+func main() {
+	const (
+		rows = 1_000_000
+		dim  = 32
+		rank = 16
+	)
+
+	// The uncompressed reference table and its TT-compressed drop-in.
+	dense := elrec.NewEmbeddingBag(rows, dim, 1)
+	eff, err := elrec.NewEffTTEmbeddingBag(rows, dim, rank, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dense table:  %8.2f MB\n", float64(dense.FootprintBytes())/1e6)
+	fmt.Printf("Eff-TT table: %8.2f MB (%.0fx compression, rank %d)\n",
+		float64(eff.FootprintBytes())/1e6,
+		float64(dense.FootprintBytes())/float64(eff.FootprintBytes()), rank)
+
+	// One batch of three samples; sample 0 has two indices (a multi-hot
+	// bag), samples 1 and 2 one each — the torch.nn.EmbeddingBag encoding.
+	indices := []int{12, 999_999, 42, 42}
+	offsets := []int{0, 2, 3}
+
+	// Both tables implement the same interface: sum-pooling Lookup and a
+	// combined backward+SGD Update.
+	for name, table := range map[string]elrec.EmbeddingBag{"dense": dense, "eff-tt": eff} {
+		out := table.Lookup(indices, offsets)
+		fmt.Printf("%-7s lookup -> %dx%d embeddings, sample0[0..4] = %.3v\n",
+			name, out.Rows, out.Cols, out.Row(0)[:4])
+
+		// Gradient of some loss w.r.t. the pooled output; Update applies
+		// the sparse SGD step directly.
+		grad := out.Clone()
+		for i := range grad.Data {
+			grad.Data[i] = 1 // pretend dLoss/dOut is all ones
+		}
+		table.Update(indices, offsets, grad, 0.01)
+	}
+
+	// The same batch again: rows moved against the gradient (each pooled
+	// output entry drops by lr x occurrences).
+	out := eff.Lookup(indices, offsets)
+	fmt.Printf("after update, eff-tt sample0[0..4] = %.3v\n", out.Row(0)[:4])
+}

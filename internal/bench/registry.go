@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+)
+
+// Runner regenerates one table or figure at the given scale.
+type Runner func(Scale) *Result
+
+// registry maps experiment ids to their runners.
+var registry = map[string]Runner{
+	"table2":       Table2,
+	"table3":       Table3,
+	"table4":       Table4,
+	"fig4a":        Fig4a,
+	"fig4b":        Fig4b,
+	"fig11":        func(sc Scale) *Result { return Fig11(sc, hw.TeslaV100()) },
+	"fig11-t4":     func(sc Scale) *Result { return Fig11(sc, hw.TeslaT4()) },
+	"fig12":        Fig12,
+	"fig13":        Fig13,
+	"fig14":        Fig14,
+	"fig15":        Fig15,
+	"fig16":        Fig16,
+	"fig17":        Fig17,
+	"fig18":        Fig18,
+	"ext-ttdepth":  ExtTTDepth,
+	"ext-optim":    ExtOptim,
+	"ext-hotratio": ExtHotRatio,
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, sc Scale) (*Result, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, List())
+	}
+	return fn(sc), nil
+}
+
+// List returns all experiment ids in sorted order.
+func List() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,353 @@
+// Package checkpoint serializes and restores trained DLRM state — MLP
+// parameters, uncompressed embedding tables and TT-compressed tables
+// (including Adagrad accumulators) — in a small versioned binary format.
+// A downstream user trains with EL-Rec, checkpoints, and serves or resumes
+// later; the paper's artifact has the same facility through PyTorch.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dlrm"
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+	"repro/internal/tt"
+)
+
+// Format constants.
+const (
+	magic   = uint32(0xE17EC001)
+	version = uint32(1)
+
+	kindBag       = uint8(0)
+	kindTT        = uint8(1)
+	kindGeneralTT = uint8(2)
+)
+
+// SaveModel writes the model's dense parameters and every embedding table
+// to w. Tables must be *embedding.Bag, *tt.Table or *tt.GeneralTable (the
+// trainable kinds); baseline executors and pipeline adapters are not
+// checkpointable.
+func SaveModel(w io.Writer, m *dlrm.Model) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw); err != nil {
+		return err
+	}
+	params := m.MLPParams()
+	if err := writeInt(bw, len(params)); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeMatrix(bw, p.Value); err != nil {
+			return fmt.Errorf("checkpoint: param %s: %w", p.Name, err)
+		}
+	}
+	if err := writeInt(bw, len(m.Tables)); err != nil {
+		return err
+	}
+	for i, table := range m.Tables {
+		switch tbl := table.(type) {
+		case *embedding.Bag:
+			if err := bw.WriteByte(kindBag); err != nil {
+				return err
+			}
+			if err := writeMatrix(bw, tbl.Weights); err != nil {
+				return fmt.Errorf("checkpoint: table %d: %w", i, err)
+			}
+		case *tt.Table:
+			if err := bw.WriteByte(kindTT); err != nil {
+				return err
+			}
+			if err := writeTT(bw, tbl); err != nil {
+				return fmt.Errorf("checkpoint: table %d: %w", i, err)
+			}
+		case *tt.GeneralTable:
+			if err := bw.WriteByte(kindGeneralTT); err != nil {
+				return err
+			}
+			if err := writeGeneralTT(bw, tbl); err != nil {
+				return fmt.Errorf("checkpoint: table %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("checkpoint: table %d has unsupported type %T", i, table)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadModel restores state saved by SaveModel into a model with the same
+// architecture (same parameter shapes, table kinds and table shapes).
+func LoadModel(r io.Reader, m *dlrm.Model) error {
+	br := bufio.NewReader(r)
+	if err := readHeader(br); err != nil {
+		return err
+	}
+	nParams, err := readInt(br)
+	if err != nil {
+		return err
+	}
+	params := m.MLPParams()
+	if nParams != len(params) {
+		return fmt.Errorf("checkpoint: %d dense parameters in file, model has %d", nParams, len(params))
+	}
+	for _, p := range params {
+		if err := readMatrixInto(br, p.Value); err != nil {
+			return fmt.Errorf("checkpoint: param %s: %w", p.Name, err)
+		}
+	}
+	nTables, err := readInt(br)
+	if err != nil {
+		return err
+	}
+	if nTables != len(m.Tables) {
+		return fmt.Errorf("checkpoint: %d tables in file, model has %d", nTables, len(m.Tables))
+	}
+	for i, table := range m.Tables {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		switch tbl := table.(type) {
+		case *embedding.Bag:
+			if kind != kindBag {
+				return fmt.Errorf("checkpoint: table %d kind %d, model expects dense bag", i, kind)
+			}
+			if err := readMatrixInto(br, tbl.Weights); err != nil {
+				return fmt.Errorf("checkpoint: table %d: %w", i, err)
+			}
+		case *tt.Table:
+			if kind != kindTT {
+				return fmt.Errorf("checkpoint: table %d kind %d, model expects TT table", i, kind)
+			}
+			if err := readTTInto(br, tbl); err != nil {
+				return fmt.Errorf("checkpoint: table %d: %w", i, err)
+			}
+		case *tt.GeneralTable:
+			if kind != kindGeneralTT {
+				return fmt.Errorf("checkpoint: table %d kind %d, model expects general TT table", i, kind)
+			}
+			if err := readGeneralTTInto(br, tbl); err != nil {
+				return fmt.Errorf("checkpoint: table %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("checkpoint: table %d has unsupported type %T", i, table)
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the model to path (atomically via a temp file).
+func SaveFile(path string, m *dlrm.Model) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveModel(f, m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a model from path.
+func LoadFile(path string, m *dlrm.Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadModel(f, m)
+}
+
+// --- TT section ------------------------------------------------------------
+
+func writeTT(w io.Writer, tbl *tt.Table) error {
+	s := tbl.Shape
+	header := []int{s.Rows, s.Dim, s.RowFactors[0], s.RowFactors[1], s.RowFactors[2],
+		s.ColFactors[0], s.ColFactors[1], s.ColFactors[2], s.R1, s.R2}
+	for _, v := range header {
+		if err := writeInt(w, v); err != nil {
+			return err
+		}
+	}
+	for k := 0; k < tt.Dims; k++ {
+		if err := writeMatrix(w, tbl.Cores[k]); err != nil {
+			return err
+		}
+	}
+	hasAdagrad := uint8(0)
+	if tbl.AdagradEnabled() {
+		hasAdagrad = 1
+	}
+	if err := binary.Write(w, binary.LittleEndian, hasAdagrad); err != nil {
+		return err
+	}
+	if hasAdagrad == 1 {
+		for k := 0; k < tt.Dims; k++ {
+			if err := writeMatrix(w, tbl.AdagradAccum(k)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readTTInto(r io.Reader, tbl *tt.Table) error {
+	s := tbl.Shape
+	want := []int{s.Rows, s.Dim, s.RowFactors[0], s.RowFactors[1], s.RowFactors[2],
+		s.ColFactors[0], s.ColFactors[1], s.ColFactors[2], s.R1, s.R2}
+	for i, w := range want {
+		got, err := readInt(r)
+		if err != nil {
+			return err
+		}
+		if got != w {
+			return fmt.Errorf("checkpoint: TT shape field %d is %d, model has %d", i, got, w)
+		}
+	}
+	for k := 0; k < tt.Dims; k++ {
+		if err := readMatrixInto(r, tbl.Cores[k]); err != nil {
+			return err
+		}
+	}
+	var hasAdagrad uint8
+	if err := binary.Read(r, binary.LittleEndian, &hasAdagrad); err != nil {
+		return err
+	}
+	if hasAdagrad == 1 {
+		tbl.EnableAdagrad()
+		for k := 0; k < tt.Dims; k++ {
+			if err := readMatrixInto(r, tbl.AdagradAccum(k)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeGeneralTT serializes an arbitrary-order TT table: d, the shape
+// vectors, then the cores.
+func writeGeneralTT(w io.Writer, tbl *tt.GeneralTable) error {
+	s := tbl.Shape
+	if err := writeInt(w, s.D()); err != nil {
+		return err
+	}
+	header := []int{s.Rows, s.Dim}
+	header = append(header, s.RowFactors...)
+	header = append(header, s.ColFactors...)
+	header = append(header, s.Ranks...)
+	for _, v := range header {
+		if err := writeInt(w, v); err != nil {
+			return err
+		}
+	}
+	for _, core := range tbl.Cores {
+		if err := writeMatrix(w, core); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readGeneralTTInto(r io.Reader, tbl *tt.GeneralTable) error {
+	s := tbl.Shape
+	d, err := readInt(r)
+	if err != nil {
+		return err
+	}
+	if d != s.D() {
+		return fmt.Errorf("checkpoint: general TT has %d cores in file, model has %d", d, s.D())
+	}
+	want := []int{s.Rows, s.Dim}
+	want = append(want, s.RowFactors...)
+	want = append(want, s.ColFactors...)
+	want = append(want, s.Ranks...)
+	for i, w := range want {
+		got, err := readInt(r)
+		if err != nil {
+			return err
+		}
+		if got != w {
+			return fmt.Errorf("checkpoint: general TT shape field %d is %d, model has %d", i, got, w)
+		}
+	}
+	for _, core := range tbl.Cores {
+		if err := readMatrixInto(r, core); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- primitives -------------------------------------------------------------
+
+func writeHeader(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, magic); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, version)
+}
+
+func readHeader(r io.Reader) error {
+	var m, v uint32
+	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+		return fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("checkpoint: bad magic %#x (not a checkpoint file?)", m)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+		return err
+	}
+	if v != version {
+		return fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	return nil
+}
+
+func writeInt(w io.Writer, v int) error {
+	return binary.Write(w, binary.LittleEndian, int64(v))
+}
+
+func readInt(r io.Reader) (int, error) {
+	var v int64
+	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}
+
+func writeMatrix(w io.Writer, m *tensor.Matrix) error {
+	if err := writeInt(w, m.Rows); err != nil {
+		return err
+	}
+	if err := writeInt(w, m.Cols); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, m.Data)
+}
+
+func readMatrixInto(r io.Reader, m *tensor.Matrix) error {
+	rows, err := readInt(r)
+	if err != nil {
+		return err
+	}
+	cols, err := readInt(r)
+	if err != nil {
+		return err
+	}
+	if rows != m.Rows || cols != m.Cols {
+		return fmt.Errorf("checkpoint: matrix %dx%d in file, model has %dx%d", rows, cols, m.Rows, m.Cols)
+	}
+	return binary.Read(r, binary.LittleEndian, m.Data)
+}

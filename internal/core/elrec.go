@@ -1,0 +1,286 @@
+// Package core composes the paper's three contributions into the EL-Rec
+// training system: Eff-TT compressed embedding tables (internal/tt),
+// locality-based index reordering (internal/reorder) and the TT-based
+// pipeline over a parameter server for whatever does not fit in device
+// memory (internal/ps). Build performs the same placement decisions the
+// paper describes — compress large tables into Eff-TT form, keep them in
+// HBM, spill any remaining dense parameters to host memory — and returns a
+// System ready to train.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/dlrm"
+	"repro/internal/embedding"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/ps"
+	"repro/internal/reorder"
+	"repro/internal/tensor"
+	"repro/internal/tt"
+)
+
+// Placement says where one embedding table ended up.
+type Placement string
+
+// Placement values.
+const (
+	PlaceTTDevice    Placement = "tt-device"    // TT-compressed, in HBM
+	PlaceDenseDevice Placement = "dense-device" // uncompressed, in HBM
+	PlaceHost        Placement = "host"         // uncompressed, host memory via PS
+)
+
+// Config configures a full EL-Rec system over one dataset.
+type Config struct {
+	Data  data.Spec
+	Model dlrm.Config
+
+	// Rank is the TT rank; TTThreshold is the minimum row count for a table
+	// to be TT-compressed (the paper compresses tables above 1M rows).
+	// TTThreshold < 0 disables compression entirely (the DLRM baseline).
+	Rank        int
+	TTThreshold int
+	Opts        tt.Options
+
+	// Reorder enables locality-based index reordering for the compressed
+	// tables, driven by ProfileBatches×ProfileBatchSize profiled batches.
+	Reorder          bool
+	ReorderCfg       reorder.Config
+	ProfileBatches   int
+	ProfileBatchSize int
+
+	// Adagrad switches the embedding tables from plain SGD to row-wise
+	// (dense tables) / core-wise (TT tables) Adagrad. Host-resident tables
+	// keep SGD (the parameter server applies raw gradient deltas).
+	Adagrad bool
+
+	// QueueDepth sets the pre-fetch/gradient queue capacity when host
+	// placement is needed (1 = sequential).
+	QueueDepth int
+
+	// Device provides the HBM budget for placement; HBMReserve is held back
+	// for activations and optimizer state.
+	Device     hw.Device
+	HBMReserve int64
+
+	Seed uint64
+}
+
+// DefaultConfig returns a ready-to-train configuration for a dataset spec.
+func DefaultConfig(spec data.Spec) Config {
+	model := dlrm.DefaultConfig(spec.NumDense, 16)
+	model.LR = 1.0
+	return Config{
+		Data:             spec,
+		Model:            model,
+		Rank:             8,
+		TTThreshold:      10_000,
+		Opts:             tt.EffOptions(),
+		Reorder:          true,
+		ReorderCfg:       reorder.DefaultConfig(),
+		ProfileBatches:   16,
+		ProfileBatchSize: 512,
+		QueueDepth:       4,
+		Device:           hw.TeslaV100(),
+		HBMReserve:       1 << 30,
+		Seed:             7,
+	}
+}
+
+// System is a built EL-Rec instance.
+type System struct {
+	Cfg        Config
+	Dataset    *data.Dataset
+	Bijections []*reorder.Bijection // per table; nil entry = identity
+	Placements []Placement
+	Pipeline   *ps.Pipeline // non-nil when any table lives on the host
+
+	model  *dlrm.Model
+	source ps.BatchSource
+
+	// DeviceBytes / HostBytes are the embedding parameter footprints after
+	// placement.
+	DeviceBytes int64
+	HostBytes   int64
+}
+
+// Build constructs the system: dataset, profiling, reordering bijections,
+// table construction with HBM-aware placement, and the pipeline when host
+// memory is needed.
+func Build(cfg Config) (*System, error) {
+	d, err := data.New(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWithDataset(cfg, d)
+}
+
+// BuildWithDataset is Build over an existing dataset (so several systems in
+// one experiment share the generator).
+func BuildWithDataset(cfg Config, d *data.Dataset) (*System, error) {
+	if cfg.Model.EmbDim <= 0 {
+		return nil, fmt.Errorf("core: invalid embedding dim %d", cfg.Model.EmbDim)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1
+	}
+	s := &System{Cfg: cfg, Dataset: d}
+	rows := cfg.Data.TableRows
+	s.Bijections = make([]*reorder.Bijection, len(rows))
+	s.Placements = make([]Placement, len(rows))
+
+	// Decide compression per table.
+	isTT := make([]bool, len(rows))
+	for i, r := range rows {
+		isTT[i] = cfg.TTThreshold >= 0 && r >= cfg.TTThreshold
+	}
+
+	// Profile + reorder the compressed tables.
+	if cfg.Reorder {
+		if cfg.ProfileBatches <= 0 || cfg.ProfileBatchSize <= 0 {
+			return nil, fmt.Errorf("core: reordering requires profile batches")
+		}
+		batches := make([]*data.Batch, cfg.ProfileBatches)
+		for it := range batches {
+			batches[it] = d.Batch(it, cfg.ProfileBatchSize)
+		}
+		for i := range rows {
+			if !isTT[i] {
+				continue
+			}
+			counts := make([]int64, rows[i])
+			cols := make([][]int, len(batches))
+			for bi, b := range batches {
+				cols[bi] = b.Sparse[i]
+				for _, idx := range b.Sparse[i] {
+					counts[idx]++
+				}
+			}
+			bij, err := reorder.Build(counts, cols, cfg.ReorderCfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: reorder table %d: %w", i, err)
+			}
+			s.Bijections[i] = bij
+		}
+	}
+
+	// Construct tables with HBM-aware placement: TT tables first (tiny, in
+	// HBM), then dense tables while they fit, the remainder on the host.
+	budget := cfg.Device.HBMBytes - cfg.HBMReserve
+	locs := make([]ps.TableLoc, len(rows))
+	for i, r := range rows {
+		if isTT[i] {
+			shape, err := tt.NewShape(r, cfg.Model.EmbDim, cfg.Rank)
+			if err != nil {
+				return nil, fmt.Errorf("core: table %d: %w", i, err)
+			}
+			tbl := tt.NewTable(shape, tensor.NewRNG(cfg.Seed+uint64(i)*7919), math.Sqrt(1/float64(r)))
+			tbl.Opts = cfg.Opts
+			if cfg.Adagrad {
+				tbl.EnableAdagrad()
+			}
+			locs[i] = ps.TableLoc{Device: tbl}
+			s.Placements[i] = PlaceTTDevice
+			budget -= tbl.FootprintBytes()
+			s.DeviceBytes += tbl.FootprintBytes()
+		}
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("core: TT tables alone exceed the HBM budget by %d bytes", -budget)
+	}
+	anyHost := false
+	for i, r := range rows {
+		if isTT[i] {
+			continue
+		}
+		bytes := int64(r) * int64(cfg.Model.EmbDim) * 4
+		if bytes <= budget {
+			var bag dlrm.Table = dlrm.MustDenseTable(r, cfg.Model.EmbDim, cfg.Seed+uint64(i)*7919)
+			if cfg.Adagrad {
+				bag = embedding.NewAdagradBag(bag.(*embedding.Bag))
+			}
+			locs[i] = ps.TableLoc{Device: bag}
+			s.Placements[i] = PlaceDenseDevice
+			budget -= bytes
+			s.DeviceBytes += bytes
+		} else {
+			locs[i] = ps.TableLoc{HostRows: r}
+			s.Placements[i] = PlaceHost
+			s.HostBytes += bytes
+			anyHost = true
+		}
+	}
+
+	pipe, err := ps.NewPipeline(ps.Config{Model: cfg.Model, QueueDepth: cfg.QueueDepth, Seed: cfg.Seed}, locs)
+	if err != nil {
+		return nil, err
+	}
+	if anyHost {
+		s.Pipeline = pipe
+	}
+	s.model = pipe.Model()
+	s.source = &remappedSource{d: d, bijections: s.Bijections}
+	return s, nil
+}
+
+// remappedSource applies the per-table index bijections to every batch.
+type remappedSource struct {
+	d          *data.Dataset
+	bijections []*reorder.Bijection
+}
+
+// Batch generates batch iter and remaps its sparse indices.
+func (r *remappedSource) Batch(iter, size int) *data.Batch {
+	b := r.d.Batch(iter, size)
+	for t, bij := range r.bijections {
+		if bij != nil {
+			b.Sparse[t] = bij.Apply(b.Sparse[t])
+		}
+	}
+	return b
+}
+
+// Model returns the underlying DLRM.
+func (s *System) Model() *dlrm.Model { return s.model }
+
+// Source returns the (remapped) batch source the system trains on.
+func (s *System) Source() ps.BatchSource { return s.source }
+
+// Train runs steps batches through the system (via the pipeline when host
+// tables exist) and returns the loss curve.
+func (s *System) Train(startIter, steps, batchSize int) *metrics.LossCurve {
+	if s.Pipeline != nil {
+		return s.Pipeline.Train(s.source, startIter, steps, batchSize)
+	}
+	curve := &metrics.LossCurve{}
+	for it := 0; it < steps; it++ {
+		loss := s.model.TimedTrainStep(s.source.Batch(startIter+it, batchSize))
+		curve.Add(startIter+it, float64(loss))
+	}
+	return curve
+}
+
+// Evaluate computes held-out accuracy and AUC over batches starting at
+// startIter.
+func (s *System) Evaluate(startIter, batches, batchSize int) (acc, auc float64) {
+	var probs, labels []float32
+	for it := 0; it < batches; it++ {
+		b := s.source.Batch(startIter+it, batchSize)
+		probs = append(probs, s.model.Predict(b)...)
+		labels = append(labels, b.Labels...)
+	}
+	return metrics.Accuracy(probs, labels, 0.5), metrics.AUC(probs, labels)
+}
+
+// CompressionRatio returns uncompressed embedding bytes over placed bytes.
+func (s *System) CompressionRatio() float64 {
+	raw := s.Cfg.Data.EmbeddingBytes(s.Cfg.Model.EmbDim)
+	placed := s.DeviceBytes + s.HostBytes
+	if placed == 0 {
+		return 0
+	}
+	return float64(raw) / float64(placed)
+}

@@ -1,0 +1,253 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dataset is a deterministic synthetic dataset: Batch(i, size) always
+// produces the same batch for the same spec, independent of generation
+// order, so every training system in a comparison sees identical data.
+type Dataset struct {
+	Spec Spec
+	// scatter[t] maps "ordered" positions (where hidden groups are
+	// contiguous) to actual row ids, one permutation per table.
+	scatter [][]int32
+	// groups[t] is the number of hidden groups of table t.
+	groups []int
+}
+
+// New builds a Dataset from a validated spec.
+func New(spec Spec) (*Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dataset{Spec: spec}
+	d.scatter = make([][]int32, spec.NumTables())
+	d.groups = make([]int, spec.NumTables())
+	for t, rows := range spec.TableRows {
+		g := rows / spec.GroupSize
+		if g < 1 {
+			g = 1
+		}
+		d.groups[t] = g
+		perm := make([]int32, rows)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		r := rand.New(rand.NewSource(int64(mix(spec.Seed, uint64(t), 0x5CA77E2)))) //nolint:gosec // deterministic synthetic data
+		r.Shuffle(rows, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		d.scatter[t] = perm
+	}
+	return d, nil
+}
+
+// Batch holds one training batch. With the default single-valued schema
+// (Criteo/Avazu) sample s's bag in table t is the one index Sparse[t][s];
+// with Spec.MultiHot = K each sample owns K consecutive indices and
+// Offsets[s] = s·K. Offsets is shared across tables.
+type Batch struct {
+	Dense   *tensor.Matrix // batch × NumDense
+	Sparse  [][]int        // per table: batch·K indices
+	Offsets []int          // bag starts: s·K
+	Labels  []float32
+}
+
+// Size returns the number of samples in the batch.
+func (b *Batch) Size() int { return len(b.Labels) }
+
+// Batch deterministically generates batch number iter with the given size.
+func (d *Dataset) Batch(iter, size int) *Batch {
+	if size <= 0 {
+		panic("data: non-positive batch size")
+	}
+	spec := d.Spec
+	bag := spec.BagSize()
+	b := &Batch{
+		Dense:   tensor.New(size, spec.NumDense),
+		Sparse:  make([][]int, spec.NumTables()),
+		Offsets: make([]int, size),
+		Labels:  make([]float32, size),
+	}
+	for s := range b.Offsets {
+		b.Offsets[s] = s * bag
+	}
+
+	r := rand.New(rand.NewSource(int64(mix(spec.Seed, uint64(iter), 0xBA7C4)))) //nolint:gosec // deterministic synthetic data
+
+	for t := range b.Sparse {
+		b.Sparse[t] = d.BatchIndices(iter, size, t)
+	}
+
+	// Dense features: standard normal.
+	for i := range b.Dense.Data {
+		b.Dense.Data[i] = float32(r.NormFloat64())
+	}
+
+	// Labels from the hidden model: a matrix-factorization-style pairwise
+	// term (which the DLRM dot interaction can express exactly), a small
+	// additive per-index effect, and a linear dense term. Multi-hot bags
+	// contribute the mean of their indices' hidden factors.
+	var hsum, hvec, hbag [latentDim]float64
+	for s := 0; s < size; s++ {
+		logit := hiddenBias
+		for k := range hsum {
+			hsum[k] = 0
+		}
+		var norms float64
+		for t := range b.Sparse {
+			for k := range hbag {
+				hbag[k] = 0
+			}
+			var eff float64
+			for q := 0; q < bag; q++ {
+				idx := b.Sparse[t][s*bag+q]
+				eff += indexEffect(spec.Seed, t, idx)
+				indexVector(spec.Seed, t, idx, &hvec)
+				for k, v := range hvec {
+					hbag[k] += v
+				}
+			}
+			logit += eff / float64(bag)
+			for k := range hbag {
+				v := hbag[k] / float64(bag)
+				hsum[k] += v
+				norms += v * v
+			}
+		}
+		// Σ_{t<t'} ⟨h_t, h_t'⟩ = (‖Σh‖² − Σ‖h‖²)/2.
+		var sumsq float64
+		for _, v := range hsum {
+			sumsq += v * v
+		}
+		logit += pairScale * (sumsq - norms) / 2
+		for f := 0; f < spec.NumDense; f++ {
+			logit += denseWeight(spec.Seed, f) * float64(b.Dense.At(s, f))
+		}
+		p := 1 / (1 + math.Exp(-logit))
+		if r.Float64() < p {
+			b.Labels[s] = 1
+		}
+	}
+	return b
+}
+
+// BatchIndices deterministically generates only table t's indices of batch
+// iter (size·BagSize of them) — each (iter, table) pair has its own RNG
+// stream, so per-table statistics (access counts, unique-index counts)
+// never pay for the other 25 tables. Batch composes these same streams, so
+// BatchIndices(i, n, t) equals Batch(i, n).Sparse[t].
+//
+// The batch concentrates on ActiveGroups hot groups with probability
+// Locality and falls back to the global Zipf distribution otherwise.
+func (d *Dataset) BatchIndices(iter, size, t int) []int {
+	spec := d.Spec
+	size *= spec.BagSize()
+	r := rand.New(rand.NewSource(int64(mix(spec.Seed, uint64(iter), 0x7AB1E0+uint64(t))))) //nolint:gosec // deterministic synthetic data
+	rows := spec.TableRows[t]
+	g := d.groups[t]
+	groupZipf := rand.NewZipf(r, spec.ZipfS, spec.ZipfV, uint64(g-1))
+
+	active := make([]int, spec.ActiveGroups)
+	for i := range active {
+		active[i] = int(groupZipf.Uint64())
+	}
+
+	out := make([]int, size)
+	for s := 0; s < size; s++ {
+		var grp int
+		if r.Float64() < spec.Locality {
+			grp = active[r.Intn(len(active))]
+		} else {
+			grp = int(groupZipf.Uint64())
+		}
+		lo := grp * spec.GroupSize
+		span := spec.GroupSize
+		if lo >= rows {
+			lo, span = 0, minInt(spec.GroupSize, rows)
+		} else if lo+span > rows {
+			span = rows - lo
+		}
+		// Intra-group skew: a fresh small Zipf is cheap (span ≤ GroupSize).
+		off := int(sampleZipfSmall(r, spec.ZipfS, span))
+		ordered := lo + off
+		out[s] = int(d.scatter[t][ordered])
+	}
+	return out
+}
+
+// sampleZipfSmall draws from P(k) ∝ (1+k)^−s over [0, n) using inverse
+// transform on the (short) cumulative table — avoids allocating a
+// rand.Zipf per group.
+func sampleZipfSmall(r *rand.Rand, s float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Continuous Pareto-like inversion: k = floor((u^(−1/(s−1)) − 1)),
+	// rejected when ≥ n. The loop terminates quickly: mass concentrates
+	// near 0.
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		k := int(math.Pow(u, -1/(s-1)) - 1)
+		if k >= 0 && k < n {
+			return k
+		}
+		// Fall back to uniform tail occasionally to guarantee progress.
+		if r.Float64() < 0.1 {
+			return r.Intn(n)
+		}
+	}
+}
+
+// hiddenBias centers label prevalence near a CTR-like rate.
+const hiddenBias = -1.0
+
+// latentDim is the dimensionality of hidden per-index vectors driving the
+// pairwise label signal.
+const latentDim = 4
+
+// pairScale weighs the pairwise interaction term in the logit. With 0-mean
+// unit-ish latent vectors it keeps the logit in a learnable range.
+const pairScale = 1.5
+
+// indexEffect is the hidden additive contribution of (table, index) to the
+// logit, a deterministic pseudo-random value in [-0.6, 0.6].
+func indexEffect(seed uint64, table, idx int) float64 {
+	h := mix(seed, uint64(table)<<32|uint64(uint32(idx)), 0xEFFEC7)
+	return (float64(h>>11)/(1<<53) - 0.5) * 1.2
+}
+
+// indexVector fills dst with the hidden latent vector of (table, index),
+// entries in [-1, 1].
+func indexVector(seed uint64, table, idx int, dst *[latentDim]float64) {
+	for k := range dst {
+		h := mix(seed, uint64(table)<<40|uint64(uint32(idx)), 0x1A7E47+uint64(k)*0x9E37)
+		dst[k] = float64(h>>11)/(1<<52) - 1
+	}
+}
+
+// denseWeight is the hidden weight of dense feature f in [-0.3, 0.3].
+func denseWeight(seed uint64, f int) float64 {
+	h := mix(seed, uint64(f), 0xDE45E)
+	return (float64(h>>11)/(1<<53) - 0.5) * 0.6
+}
+
+// mix is a splitmix64-style hash combiner.
+func mix(a, b, c uint64) uint64 {
+	z := a ^ (b * 0x9e3779b97f4a7c15) ^ (c * 0xbf58476d1ce4e5b9)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+// Package data generates the synthetic click-through-rate datasets the
+// experiments run on. The real Criteo Terabyte / Criteo Kaggle / Avazu data
+// cannot ship with the repository, so the generator reproduces the two
+// statistical properties the paper's optimizations exploit (§II-C):
+//
+//  1. power-law ("Zipf") access skew over embedding rows — a small fraction
+//     of rows receives most accesses (Figure 4a);
+//  2. heavy intra-batch index repetition — the unique-index count per batch
+//     is far below the batch size (Figure 4b);
+//
+// plus a third property the index reordering mines: co-occurrence community
+// structure. Each table's rows are partitioned into hidden groups scattered
+// across the id space; samples inside one batch concentrate on a few active
+// groups (user behaviour drifting over time, §IV-A). Labels come from a
+// hidden per-index effect model so CTR accuracy is learnable.
+package data
+
+import "fmt"
+
+// Spec describes one synthetic dataset.
+type Spec struct {
+	Name      string
+	NumDense  int   // dense (numerical) features per sample
+	TableRows []int // cardinality of each categorical feature
+	// ZipfS / ZipfV parameterize the group-level and intra-group Zipf
+	// distributions (P(k) ∝ (V+k)^−S).
+	ZipfS float64
+	ZipfV float64
+	// GroupSize is the hidden community size within each table.
+	GroupSize int
+	// ActiveGroups is how many groups a batch concentrates on; Locality is
+	// the probability a sample draws from the active set rather than the
+	// global distribution.
+	ActiveGroups int
+	Locality     float64
+	// MultiHot is the number of indices each sample draws per table
+	// (0 or 1 = single-valued, the Criteo/Avazu schema; >1 exercises
+	// multi-hot bags like production DLRM workloads).
+	MultiHot int
+	// Samples is the nominal dataset size (epoch accounting).
+	Samples int
+	Seed    uint64
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.NumDense < 0 || len(s.TableRows) == 0 {
+		return fmt.Errorf("data: spec %q needs tables and non-negative dense count", s.Name)
+	}
+	for i, r := range s.TableRows {
+		if r <= 0 {
+			return fmt.Errorf("data: spec %q table %d has %d rows", s.Name, i, r)
+		}
+	}
+	if s.ZipfS <= 1 {
+		return fmt.Errorf("data: spec %q ZipfS must be > 1, got %v", s.Name, s.ZipfS)
+	}
+	if s.ZipfV < 1 {
+		return fmt.Errorf("data: spec %q ZipfV must be >= 1, got %v", s.Name, s.ZipfV)
+	}
+	if s.GroupSize <= 0 || s.ActiveGroups <= 0 {
+		return fmt.Errorf("data: spec %q needs positive GroupSize/ActiveGroups", s.Name)
+	}
+	if s.Locality < 0 || s.Locality > 1 {
+		return fmt.Errorf("data: spec %q locality %v outside [0,1]", s.Name, s.Locality)
+	}
+	if s.MultiHot < 0 {
+		return fmt.Errorf("data: spec %q negative MultiHot %d", s.Name, s.MultiHot)
+	}
+	return nil
+}
+
+// BagSize returns the indices drawn per sample per table (≥1).
+func (s Spec) BagSize() int {
+	if s.MultiHot < 1 {
+		return 1
+	}
+	return s.MultiHot
+}
+
+// NumTables returns the categorical feature count.
+func (s Spec) NumTables() int { return len(s.TableRows) }
+
+// TotalRows returns the summed cardinality across tables.
+func (s Spec) TotalRows() int {
+	t := 0
+	for _, r := range s.TableRows {
+		t += r
+	}
+	return t
+}
+
+// EmbeddingBytes returns the uncompressed embedding footprint at the given
+// dimension (Table II's last column).
+func (s Spec) EmbeddingBytes(dim int) int64 {
+	return int64(s.TotalRows()) * int64(dim) * 4
+}
+
+// scaleRows shrinks base cardinalities by factor, with a floor.
+func scaleRows(base []int, factor float64) []int {
+	out := make([]int, len(base))
+	for i, b := range base {
+		r := int(float64(b) * factor)
+		if r < 4 {
+			r = 4
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// AvazuSpec returns an Avazu-like dataset: 1 dense and 20 categorical
+// features, two of them very large (the real dataset's device_ip/device_id
+// columns), at the given cardinality scale (1.0 ≈ the real dataset).
+func AvazuSpec(scale float64) Spec {
+	base := []int{
+		240, 7, 7, 4737, 7745, 26, 8552, 559, 36,
+		2_686_408, 6_729_486, 8251, 5, 4, 2626, 8, 9, 435, 4, 68,
+	}
+	return Spec{
+		Name:         "avazu",
+		NumDense:     1,
+		TableRows:    scaleRows(base, scale),
+		ZipfS:        1.2,
+		ZipfV:        2,
+		GroupSize:    64,
+		ActiveGroups: 8,
+		Locality:     0.8,
+		Samples:      40_428_967,
+		Seed:         0xA7A2,
+	}
+}
+
+// KaggleSpec returns a Criteo-Kaggle-like dataset: 13 dense and 26
+// categorical features.
+func KaggleSpec(scale float64) Spec {
+	base := []int{
+		1460, 583, 10_131_227, 2_202_608, 305, 24, 12517, 633, 3,
+		93145, 5683, 8_351_593, 3194, 27, 14992, 5_461_306, 10,
+		5652, 2173, 4, 7_046_547, 18, 15, 286_181, 105, 142_572,
+	}
+	return Spec{
+		Name:         "kaggle",
+		NumDense:     13,
+		TableRows:    scaleRows(base, scale),
+		ZipfS:        1.15,
+		ZipfV:        2,
+		GroupSize:    64,
+		ActiveGroups: 8,
+		Locality:     0.8,
+		Samples:      45_840_617,
+		Seed:         0xCA66,
+	}
+}
+
+// TerabyteSpec returns a Criteo-Terabyte-like dataset: same schema as
+// Kaggle with the cardinalities of the largest public DLRM dataset
+// (~115M total rows at scale 1, the paper's 59.2 GB at dim 128).
+func TerabyteSpec(scale float64) Spec {
+	base := []int{
+		39_884_406, 33_823, 17_139, 7339, 20_046, 4, 7105, 1382, 63,
+		25_641_295, 582_469, 245_828, 11, 2209, 10_667, 104, 4, 968,
+		15, 20_165_896, 12_675_940, 15_156_453, 302_516, 12_022, 97, 35,
+	}
+	return Spec{
+		Name:         "terabyte",
+		NumDense:     13,
+		TableRows:    scaleRows(base, scale),
+		ZipfS:        1.1,
+		ZipfV:        2,
+		GroupSize:    64,
+		ActiveGroups: 8,
+		Locality:     0.8,
+		Samples:      4_373_472_329,
+		Seed:         0x7E7A,
+	}
+}
+
+// SpecByName returns the preset with the given name at the given scale.
+func SpecByName(name string, scale float64) (Spec, error) {
+	switch name {
+	case "avazu":
+		return AvazuSpec(scale), nil
+	case "kaggle":
+		return KaggleSpec(scale), nil
+	case "terabyte":
+		return TerabyteSpec(scale), nil
+	}
+	return Spec{}, fmt.Errorf("data: unknown dataset %q (want avazu, kaggle or terabyte)", name)
+}

@@ -1,0 +1,130 @@
+package dlrm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+// lockedTable serializes access to an embedding table shared across
+// data-parallel workers. Real multi-GPU EL-Rec replicates the table and
+// all-reduces gradients; on a shared-memory host one instance behind a
+// mutex is the equivalent state (the experiment harness charges the
+// all-reduce communication separately). The lock also protects the TT
+// table's internal lookup cache, which is not safe for concurrent batches.
+type lockedTable struct {
+	mu    sync.Mutex
+	inner Table
+}
+
+var _ Table = (*lockedTable)(nil)
+
+func (l *lockedTable) Lookup(indices, offsets []int) *tensor.Matrix {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Lookup(indices, offsets)
+}
+
+func (l *lockedTable) Update(indices, offsets []int, dOut *tensor.Matrix, lr float32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.Update(indices, offsets, dOut, lr)
+}
+
+func (l *lockedTable) NumRows() int          { return l.inner.NumRows() }
+func (l *lockedTable) Dim() int              { return l.inner.Dim() }
+func (l *lockedTable) FootprintBytes() int64 { return l.inner.FootprintBytes() }
+
+// DataParallel trains N model replicas in the hybrid-parallel style of the
+// paper's multi-GPU setting (§V-A): MLP towers are replicated per worker and
+// synchronized by gradient all-reduce each step; embedding tables are shared
+// (the replicated-TT-table + gradient-all-reduce of EL-Rec collapses, on a
+// shared-memory host, to concurrent updates on one table instance — the
+// communication cost of the real all-reduce is charged separately by the
+// experiment harness through the hw model).
+type DataParallel struct {
+	Models []*Model
+}
+
+// NewDataParallel builds n replicas over the shared tables with identical
+// initial MLP weights.
+func NewDataParallel(n int, cfg Config, tables []Table) (*DataParallel, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dlrm: need at least one worker, got %d", n)
+	}
+	shared := make([]Table, len(tables))
+	for i, t := range tables {
+		shared[i] = &lockedTable{inner: t}
+	}
+	dp := &DataParallel{}
+	for w := 0; w < n; w++ {
+		m, err := NewModel(cfg, shared)
+		if err != nil {
+			return nil, err
+		}
+		if w > 0 {
+			m.CopyMLPFrom(dp.Models[0])
+		}
+		dp.Models = append(dp.Models, m)
+	}
+	return dp, nil
+}
+
+// Step trains one batch per worker concurrently: each worker runs
+// forward/backward on its shard (updating the shared embedding tables),
+// then MLP gradients are all-reduced (averaged), applied on worker 0 and
+// broadcast. Returns the mean loss across workers.
+func (dp *DataParallel) Step(batches []*data.Batch) float32 {
+	if len(batches) != len(dp.Models) {
+		panic(fmt.Sprintf("dlrm: %d batches for %d workers", len(batches), len(dp.Models)))
+	}
+	losses := make([]float32, len(batches))
+	var wg sync.WaitGroup
+	for w := range dp.Models {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			losses[w] = dp.Models[w].ForwardBackward(batches[w], true)
+		}(w)
+	}
+	wg.Wait()
+
+	dp.allReduceMLP()
+	dp.Models[0].ApplyStep()
+	dp.broadcastMLP()
+
+	var total float32
+	for _, l := range losses {
+		total += l
+	}
+	return total / float32(len(losses))
+}
+
+// allReduceMLP averages MLP gradients into worker 0 (and zeroes the rest).
+func (dp *DataParallel) allReduceMLP() {
+	n := float32(len(dp.Models))
+	root := dp.Models[0].MLPParams()
+	for w := 1; w < len(dp.Models); w++ {
+		for pi, p := range dp.Models[w].MLPParams() {
+			tensor.AddTo(root[pi].Grad.Data, p.Grad.Data)
+			p.Grad.Zero()
+		}
+	}
+	if n > 1 {
+		for _, p := range root {
+			tensor.Scale(1/n, p.Grad.Data)
+		}
+	}
+}
+
+// broadcastMLP copies worker 0's MLP parameters to every other worker.
+func (dp *DataParallel) broadcastMLP() {
+	for w := 1; w < len(dp.Models); w++ {
+		dp.Models[w].CopyMLPFrom(dp.Models[0])
+	}
+}
+
+// NumWorkers returns the replica count.
+func (dp *DataParallel) NumWorkers() int { return len(dp.Models) }

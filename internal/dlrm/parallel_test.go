@@ -1,0 +1,122 @@
+package dlrm
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+)
+
+func TestNewDataParallelValidation(t *testing.T) {
+	spec := testSpec()
+	tables := denseTables(t, spec)
+	if _, err := NewDataParallel(0, testConfig(), tables); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	dp, err := NewDataParallel(3, testConfig(), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.NumWorkers() != 3 {
+		t.Fatalf("NumWorkers = %d", dp.NumWorkers())
+	}
+}
+
+func TestDataParallelReplicasStartIdentical(t *testing.T) {
+	spec := testSpec()
+	d, _ := data.New(spec)
+	dp, err := NewDataParallel(2, testConfig(), denseTables(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.Batch(0, 16)
+	l0 := dp.Models[0].Forward(b)
+	l1 := dp.Models[1].Forward(b)
+	if l0.MaxAbsDiff(l1) != 0 {
+		t.Fatal("replicas disagree before training")
+	}
+}
+
+func TestDataParallelStepKeepsReplicasInSync(t *testing.T) {
+	spec := testSpec()
+	d, _ := data.New(spec)
+	dp, err := NewDataParallel(2, testConfig(), denseTables(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 5; it++ {
+		dp.Step([]*data.Batch{d.Batch(2*it, 32), d.Batch(2*it+1, 32)})
+	}
+	b := d.Batch(100, 16)
+	l0 := dp.Models[0].Forward(b)
+	l1 := dp.Models[1].Forward(b)
+	if l0.MaxAbsDiff(l1) != 0 {
+		t.Fatal("replicas diverged after synchronized steps")
+	}
+}
+
+func TestDataParallelBatchCountPanics(t *testing.T) {
+	spec := testSpec()
+	d, _ := data.New(spec)
+	dp, _ := NewDataParallel(2, testConfig(), denseTables(t, spec))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong batch count did not panic")
+		}
+	}()
+	dp.Step([]*data.Batch{d.Batch(0, 8)})
+}
+
+func TestDataParallelLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long training test skipped in -short")
+	}
+	spec := testSpec()
+	d, _ := data.New(spec)
+	dp, err := NewDataParallel(4, testConfig(), ttTables(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 700; it++ {
+		batches := make([]*data.Batch, 4)
+		for w := range batches {
+			batches[w] = d.Batch(it*4+w, 64)
+		}
+		dp.Step(batches)
+	}
+	var probs, labels []float32
+	for it := 2800; it < 2820; it++ {
+		b := d.Batch(it, 64)
+		probs = append(probs, dp.Models[0].Predict(b)...)
+		labels = append(labels, b.Labels...)
+	}
+	if auc := metrics.AUC(probs, labels); auc < 0.6 {
+		t.Fatalf("data-parallel training failed to learn: AUC %.3f", auc)
+	}
+}
+
+// TestDataParallelSingleWorkerMatchesSerial: a 1-worker DataParallel step is
+// exactly TrainStep.
+func TestDataParallelSingleWorkerMatchesSerial(t *testing.T) {
+	spec := testSpec()
+	d, _ := data.New(spec)
+
+	serialTables := denseTables(t, spec)
+	serial, _ := NewModel(testConfig(), serialTables)
+
+	dpTables := denseTables(t, spec)
+	dp, _ := NewDataParallel(1, testConfig(), dpTables)
+
+	for it := 0; it < 5; it++ {
+		b := d.Batch(it, 32)
+		lossA := serial.TrainStep(b)
+		lossB := dp.Step([]*data.Batch{b})
+		if lossA != lossB {
+			t.Fatalf("step %d: serial loss %v != dp loss %v", it, lossA, lossB)
+		}
+	}
+	b := d.Batch(50, 16)
+	if serial.Forward(b).MaxAbsDiff(dp.Models[0].Forward(b)) > 1e-6 {
+		t.Fatal("single-worker DataParallel diverged from serial training")
+	}
+}

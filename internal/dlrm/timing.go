@@ -1,0 +1,70 @@
+package dlrm
+
+import (
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Timing splits one model's accumulated wall time into the embedding-side
+// work (table lookups and updates) and the dense-side work (MLPs,
+// interaction, loss). The experiment harness charges the two components to
+// different compute locations under the hw model — for the PS-style DLRM
+// baseline the embedding side runs on the host while the dense side runs on
+// the device.
+type Timing struct {
+	Embed time.Duration
+	Dense time.Duration
+}
+
+// Total returns the summed wall time.
+func (t Timing) Total() time.Duration { return t.Embed + t.Dense }
+
+// Timing returns the accumulated split since the last ResetTiming.
+func (m *Model) Timing() Timing { return m.timing }
+
+// ResetTiming clears the accumulated split.
+func (m *Model) ResetTiming() { m.timing = Timing{} }
+
+// TimedTrainStep is TrainStep with the embed/dense wall-time split recorded
+// into the model's Timing accumulator.
+func (m *Model) TimedTrainStep(b *data.Batch) float32 {
+	if err := m.checkBatch(b); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	z0 := m.Bottom.Forward(b.Dense)
+	denseMark := time.Since(start)
+
+	embStart := time.Now()
+	embs := make([]*tensor.Matrix, len(m.Tables))
+	for t, tbl := range m.Tables {
+		embs[t] = tbl.Lookup(b.Sparse[t], b.Offsets)
+	}
+	embedFwd := time.Since(embStart)
+
+	denseStart := time.Now()
+	x := m.Interaction.Forward(z0, embs)
+	logits := m.Top.Forward(x)
+	loss, dLogits := nn.BCEWithLogits(logits, b.Labels)
+	dx := m.Top.Backward(dLogits)
+	dDense, dEmbs := m.Interaction.Backward(dx)
+	m.Bottom.Backward(dDense)
+	denseBody := time.Since(denseStart)
+
+	embStart = time.Now()
+	for t, tbl := range m.Tables {
+		tbl.Update(b.Sparse[t], b.Offsets, dEmbs[t], m.Cfg.LR)
+	}
+	embedBwd := time.Since(embStart)
+
+	denseStart = time.Now()
+	m.ApplyStep()
+	denseTail := time.Since(denseStart)
+
+	m.timing.Embed += embedFwd + embedBwd
+	m.timing.Dense += denseMark + denseBody + denseTail
+	return loss
+}

@@ -1,0 +1,72 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAdagradBagKnownUpdate(t *testing.T) {
+	bag := NewBag(5, 2, tensor.NewRNG(1))
+	before := bag.Weights.Clone()
+	a := NewAdagradBag(bag)
+
+	indices, offsets := []int{3}, []int{0}
+	dOut := tensor.FromSlice(1, 2, []float32{2, 0})
+	a.Update(indices, offsets, dOut, 0.5)
+
+	// Row 3 col 0: accum=4, update 0.5*2/sqrt(4+eps) ≈ 0.5.
+	want := before.At(3, 0) - 0.5
+	if math.Abs(float64(bag.Weights.At(3, 0)-want)) > 1e-5 {
+		t.Fatalf("row3[0] = %v want %v", bag.Weights.At(3, 0), want)
+	}
+	if bag.Weights.At(3, 1) != before.At(3, 1) {
+		t.Fatal("zero-grad column moved")
+	}
+	// Untouched rows unchanged.
+	for r := 0; r < 5; r++ {
+		if r == 3 {
+			continue
+		}
+		for j := 0; j < 2; j++ {
+			if bag.Weights.At(r, j) != before.At(r, j) {
+				t.Fatalf("untouched row %d moved", r)
+			}
+		}
+	}
+	if acc := a.AccumRow(3); acc[0] != 4 {
+		t.Fatalf("accumulator %v", acc)
+	}
+}
+
+func TestAdagradBagAdaptiveShrink(t *testing.T) {
+	bag := NewBag(4, 1, tensor.NewRNG(2))
+	a := NewAdagradBag(bag)
+	indices, offsets := []int{0}, []int{0}
+	dOut := tensor.FromSlice(1, 1, []float32{1})
+
+	w0 := bag.Weights.At(0, 0)
+	a.Update(indices, offsets, dOut, 1)
+	step1 := w0 - bag.Weights.At(0, 0)
+	w1 := bag.Weights.At(0, 0)
+	a.Update(indices, offsets, dOut, 1)
+	step2 := w1 - bag.Weights.At(0, 0)
+	if step2 >= step1 {
+		t.Fatalf("Adagrad steps must shrink: %v then %v", step1, step2)
+	}
+}
+
+func TestAdagradBagFootprintIncludesState(t *testing.T) {
+	bag := NewBag(10, 4, tensor.NewRNG(3))
+	a := NewAdagradBag(bag)
+	if a.FootprintBytes() != int64(2*bag.NumRows()*4*4) {
+		t.Fatalf("footprint %d", a.FootprintBytes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AccumRow out of range accepted")
+		}
+	}()
+	a.AccumRow(10)
+}

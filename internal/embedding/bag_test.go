@@ -1,0 +1,287 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func newTestBag(rows, dim int, seed uint64) *Bag {
+	return NewBag(rows, dim, tensor.NewRNG(seed))
+}
+
+func TestNewBagInitializationScale(t *testing.T) {
+	b := newTestBag(100, 8, 1)
+	bound := float32(0.1) // sqrt(1/100)
+	for _, v := range b.Weights.Data {
+		if v < -bound || v > bound {
+			t.Fatalf("init value %v outside ±%v", v, bound)
+		}
+	}
+	if b.NumRows() != 100 || b.Dim() != 8 {
+		t.Fatalf("shape accessors: %d, %d", b.NumRows(), b.Dim())
+	}
+	if b.FootprintBytes() != 100*8*4 {
+		t.Fatalf("FootprintBytes = %d", b.FootprintBytes())
+	}
+}
+
+func TestNewBagInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBag(0, 8) did not panic")
+		}
+	}()
+	NewBag(0, 8, tensor.NewRNG(1))
+}
+
+func TestLookupSingleIndexBags(t *testing.T) {
+	b := newTestBag(10, 4, 2)
+	indices := []int{3, 7, 0}
+	offsets := []int{0, 1, 2} // three samples, one index each
+	out := b.Lookup(indices, offsets)
+	for s, idx := range indices {
+		for j := 0; j < 4; j++ {
+			if out.At(s, j) != b.Weights.At(idx, j) {
+				t.Fatalf("sample %d column %d mismatch", s, j)
+			}
+		}
+	}
+}
+
+func TestLookupSumPooling(t *testing.T) {
+	b := newTestBag(10, 3, 3)
+	indices := []int{1, 2, 5}
+	offsets := []int{0} // one sample with three indices
+	out := b.Lookup(indices, offsets)
+	for j := 0; j < 3; j++ {
+		want := b.Weights.At(1, j) + b.Weights.At(2, j) + b.Weights.At(5, j)
+		if math.Abs(float64(out.At(0, j)-want)) > 1e-6 {
+			t.Fatalf("pooled[%d] = %v want %v", j, out.At(0, j), want)
+		}
+	}
+}
+
+func TestLookupEmptyBagIsZero(t *testing.T) {
+	b := newTestBag(10, 3, 4)
+	// Sample 0 has no indices, sample 1 has one.
+	out := b.Lookup([]int{4}, []int{0, 0})
+	for j := 0; j < 3; j++ {
+		if out.At(0, j) != 0 {
+			t.Fatal("empty bag must produce zero embedding")
+		}
+		if out.At(1, j) != b.Weights.At(4, j) {
+			t.Fatal("second bag wrong")
+		}
+	}
+}
+
+func TestLookupValidation(t *testing.T) {
+	b := newTestBag(10, 3, 5)
+	cases := []struct {
+		name             string
+		indices, offsets []int
+	}{
+		{"empty offsets", []int{1}, nil},
+		{"nonzero first offset", []int{1}, []int{1}},
+		{"decreasing offsets", []int{1, 2}, []int{0, 2, 1}},
+		{"offset beyond indices", []int{1}, []int{0, 5}},
+		{"negative index", []int{-1}, []int{0}},
+		{"index out of range", []int{10}, []int{0}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", c.name)
+				}
+			}()
+			b.Lookup(c.indices, c.offsets)
+		}()
+	}
+}
+
+func TestBackwardAggregatesDuplicates(t *testing.T) {
+	b := newTestBag(10, 2, 6)
+	// Row 3 appears in both samples; row 5 once.
+	indices := []int{3, 5, 3}
+	offsets := []int{0, 2}
+	dOut := tensor.FromSlice(2, 2, []float32{1, 2, 10, 20})
+	g := b.Backward(indices, offsets, dOut)
+	if len(g.Rows) != 2 {
+		t.Fatalf("unique rows = %v want [3 5]", g.Rows)
+	}
+	// Row 3 gets sample0 + sample1 grads, row 5 only sample0.
+	byRow := map[int][]float32{}
+	for i, r := range g.Rows {
+		byRow[r] = g.Grads.Row(i)
+	}
+	if byRow[3][0] != 11 || byRow[3][1] != 22 {
+		t.Fatalf("grad row3 = %v want [11 22]", byRow[3])
+	}
+	if byRow[5][0] != 1 || byRow[5][1] != 2 {
+		t.Fatalf("grad row5 = %v want [1 2]", byRow[5])
+	}
+}
+
+func TestBackwardShapeMismatchPanics(t *testing.T) {
+	b := newTestBag(4, 2, 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward with wrong grad shape did not panic")
+		}
+	}()
+	b.Backward([]int{1}, []int{0}, tensor.New(2, 2))
+}
+
+func TestApplySGDUpdatesOnlyTouchedRows(t *testing.T) {
+	b := newTestBag(6, 2, 8)
+	before := b.Weights.Clone()
+	indices := []int{2}
+	offsets := []int{0}
+	dOut := tensor.FromSlice(1, 2, []float32{1, -1})
+	b.Step(indices, offsets, dOut, 0.5)
+	for r := 0; r < 6; r++ {
+		for j := 0; j < 2; j++ {
+			want := before.At(r, j)
+			if r == 2 {
+				want -= 0.5 * dOut.At(0, j)
+			}
+			if math.Abs(float64(b.Weights.At(r, j)-want)) > 1e-6 {
+				t.Fatalf("row %d col %d = %v want %v", r, j, b.Weights.At(r, j), want)
+			}
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	b := newTestBag(8, 3, 9)
+	rows := []int{1, 4, 6}
+	got := b.GatherRows(rows)
+	for i, r := range rows {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != b.Weights.At(r, j) {
+				t.Fatal("GatherRows copied wrong data")
+			}
+		}
+	}
+	// ScatterAdd of zeros is identity; of deltas adds.
+	delta := tensor.New(3, 3)
+	delta.Set(1, 2, 5)
+	before := b.Weights.At(4, 2)
+	b.ScatterAdd(rows, delta)
+	if b.Weights.At(4, 2) != before+5 {
+		t.Fatal("ScatterAdd did not add delta")
+	}
+}
+
+func TestGatherRowsOutOfRangePanics(t *testing.T) {
+	b := newTestBag(4, 2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GatherRows out of range did not panic")
+		}
+	}()
+	b.GatherRows([]int{4})
+}
+
+func TestUniqueBasic(t *testing.T) {
+	uniq, inv := Unique([]int{5, 3, 5, 7, 3})
+	wantU := []int{5, 3, 7}
+	if len(uniq) != 3 {
+		t.Fatalf("uniq = %v", uniq)
+	}
+	for i := range wantU {
+		if uniq[i] != wantU[i] {
+			t.Fatalf("uniq = %v want %v", uniq, wantU)
+		}
+	}
+	for p, u := range inv {
+		if uniq[u] != []int{5, 3, 5, 7, 3}[p] {
+			t.Fatalf("inverse[%d] wrong", p)
+		}
+	}
+}
+
+func TestUniqueEmpty(t *testing.T) {
+	uniq, inv := Unique(nil)
+	if len(uniq) != 0 || len(inv) != 0 {
+		t.Fatal("Unique(nil) not empty")
+	}
+}
+
+// Property: Unique produces a valid inverse mapping and no duplicates.
+func TestQuickUniqueInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := r.Intn(50)
+		indices := make([]int, n)
+		for i := range indices {
+			indices[i] = r.Intn(10)
+		}
+		uniq, inv := Unique(indices)
+		seen := map[int]bool{}
+		for _, u := range uniq {
+			if seen[u] {
+				return false
+			}
+			seen[u] = true
+		}
+		for p := range indices {
+			if uniq[inv[p]] != indices[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Backward+ApplySGD equals a dense gradient-descent step on the
+// materialized table.
+func TestQuickSparseStepMatchesDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		rows, dim := 2+r.Intn(8), 1+r.Intn(5)
+		b := NewBag(rows, dim, tensor.NewRNG(seed+1))
+		dense := b.Weights.Clone()
+
+		batch := 1 + r.Intn(4)
+		var indices []int
+		offsets := make([]int, batch)
+		for s := 0; s < batch; s++ {
+			offsets[s] = len(indices)
+			k := 1 + r.Intn(3)
+			for i := 0; i < k; i++ {
+				indices = append(indices, r.Intn(rows))
+			}
+		}
+		dOut := tensor.New(batch, dim)
+		r.FillUniform(dOut.Data, 1)
+
+		const lr = 0.1
+		b.Step(indices, offsets, dOut, lr)
+
+		// Dense reference: accumulate full-table gradient then subtract.
+		full := tensor.New(rows, dim)
+		for s := 0; s < batch; s++ {
+			lo := offsets[s]
+			hi := len(indices)
+			if s+1 < batch {
+				hi = offsets[s+1]
+			}
+			for _, idx := range indices[lo:hi] {
+				tensor.AddTo(full.Row(idx), dOut.Row(s))
+			}
+		}
+		tensor.Axpy(-lr, full.Data, dense.Data)
+		return b.Weights.MaxAbsDiff(dense) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

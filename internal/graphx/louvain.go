@@ -1,0 +1,150 @@
+package graphx
+
+// Louvain runs the modularity-based community detection of Blondel et al.
+// (the algorithm the paper cites for index reordering): repeated local
+// moving of nodes to the neighboring community with the best modularity
+// gain, followed by graph aggregation, until modularity stops improving.
+// It returns a community id per node, renumbered contiguously from 0 in
+// order of first appearance.
+func Louvain(g *Graph) []int {
+	// assignment maps original nodes to communities of the current level.
+	assignment := make([]int, g.NumNodes())
+	for i := range assignment {
+		assignment[i] = i
+	}
+	work := g
+	for {
+		comm, improved := localMoving(work)
+		if !improved {
+			break
+		}
+		// Renumber level communities contiguously.
+		remap := map[int]int{}
+		for _, c := range comm {
+			if _, ok := remap[c]; !ok {
+				remap[c] = len(remap)
+			}
+		}
+		for u := range comm {
+			comm[u] = remap[comm[u]]
+		}
+		// Project onto the original nodes.
+		for i := range assignment {
+			assignment[i] = comm[assignment[i]]
+		}
+		if len(remap) == work.NumNodes() {
+			break // no aggregation happened; fixed point
+		}
+		work = aggregate(work, comm, len(remap))
+	}
+	// Final contiguous renumbering over original nodes.
+	remap := map[int]int{}
+	for i, c := range assignment {
+		nc, ok := remap[c]
+		if !ok {
+			nc = len(remap)
+			remap[c] = nc
+		}
+		assignment[i] = nc
+	}
+	return assignment
+}
+
+// localMoving performs Louvain phase 1 on g: greedy node moves until no move
+// improves modularity. Returns the assignment and whether any move happened.
+func localMoving(g *Graph) (comm []int, improved bool) {
+	n := g.NumNodes()
+	comm = make([]int, n)
+	commTot := make([]float64, n) // Σ degrees per community
+	deg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		comm[u] = u
+		deg[u] = g.Degree(u)
+		commTot[u] = deg[u]
+	}
+	m2 := 2 * g.TotalWeight()
+	if m2 == 0 {
+		return comm, false
+	}
+
+	neighWeight := make(map[int]float64)
+	var cands []int
+	for pass := 0; pass < 32; pass++ {
+		moves := 0
+		for u := 0; u < n; u++ {
+			cu := comm[u]
+			// Weights from u into each neighboring community. Candidates
+			// are visited in ascending community id so tie-breaking (and
+			// therefore the final partition) is deterministic.
+			for c := range neighWeight {
+				delete(neighWeight, c)
+			}
+			cands = cands[:0]
+			g.Neighbors(u, func(v int, w float64) {
+				c := comm[v]
+				if _, ok := neighWeight[c]; !ok {
+					cands = append(cands, c)
+				}
+				neighWeight[c] += w
+			})
+			sortInts(cands)
+			// Remove u from its community.
+			commTot[cu] -= deg[u]
+			// Gain of joining community c: k_{u,c}/m − tot_c·k_u/(2m²);
+			// compare against rejoining cu.
+			best, bestGain := cu, neighWeight[cu]-commTot[cu]*deg[u]/m2
+			for _, c := range cands {
+				if c == cu {
+					continue
+				}
+				gain := neighWeight[c] - commTot[c]*deg[u]/m2
+				if gain > bestGain+1e-12 {
+					best, bestGain = c, gain
+				}
+			}
+			commTot[best] += deg[u]
+			if best != cu {
+				comm[u] = best
+				moves++
+			}
+		}
+		if moves == 0 {
+			break
+		}
+		improved = true
+	}
+	return comm, improved
+}
+
+// sortInts sorts a small int slice (insertion sort: candidate lists are
+// typically tiny).
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// aggregate builds the level graph: one node per community, intra-community
+// weight becomes a self loop, inter-community weights sum.
+func aggregate(g *Graph, comm []int, numComm int) *Graph {
+	out := NewGraph(numComm)
+	for u := 0; u < g.NumNodes(); u++ {
+		cu := comm[u]
+		if w := g.EdgeWeight(u, u); w > 0 {
+			out.AddEdge(cu, cu, w)
+		}
+		g.Neighbors(u, func(v int, w float64) {
+			if u < v { // visit each undirected edge once
+				cv := comm[v]
+				if cu == cv {
+					out.AddEdge(cu, cu, w)
+				} else {
+					out.AddEdge(cu, cv, w)
+				}
+			}
+		})
+	}
+	return out
+}

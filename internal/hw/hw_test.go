@@ -1,0 +1,221 @@
+package hw
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDeviceFits(t *testing.T) {
+	dev := TeslaV100()
+	if !dev.Fits(15<<30, 1<<29) {
+		t.Fatal("15.5 GB should fit in 16 GB")
+	}
+	if dev.Fits(16<<30, 1) {
+		t.Fatal("16 GB + 1 byte should not fit")
+	}
+}
+
+func TestTransferTimeScalesWithBytes(t *testing.T) {
+	l := PCIe3x16()
+	small := l.TransferTime(1 << 20)
+	big := l.TransferTime(1 << 30)
+	if big <= small {
+		t.Fatal("transfer time not increasing with size")
+	}
+	// 12 GB over 12 GB/s ≈ 1 s.
+	sec := l.TransferTime(12e9)
+	if sec < 900*time.Millisecond || sec > 1100*time.Millisecond {
+		t.Fatalf("12GB transfer = %v want ≈1s", sec)
+	}
+	if l.TransferTime(0) != 0 {
+		t.Fatal("zero bytes should cost nothing")
+	}
+}
+
+func TestTransferTimeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative transfer did not panic")
+		}
+	}()
+	PCIe3x16().TransferTime(-1)
+}
+
+func TestTransferLatencyFloor(t *testing.T) {
+	l := PCIe3x16()
+	if l.TransferTime(1) < l.Latency {
+		t.Fatal("transfer below latency floor")
+	}
+}
+
+func TestAllReduceTime(t *testing.T) {
+	l := NVLinkPair()
+	if AllReduceTime(l, 1, 1<<30) != 0 {
+		t.Fatal("single device all-reduce should be free")
+	}
+	t2 := AllReduceTime(l, 2, 1<<30)
+	t4 := AllReduceTime(l, 4, 1<<30)
+	if t2 <= 0 || t4 <= t2 {
+		t.Fatalf("ring all-reduce times t2=%v t4=%v", t2, t4)
+	}
+	// Ring factor 2(n-1)/n is bounded by 2: quadrupling devices must not
+	// even double the time for fixed payload.
+	if t4 > 2*t2 {
+		t.Fatalf("all-reduce scaling broken: %v -> %v", t2, t4)
+	}
+}
+
+func TestAllToAllTime(t *testing.T) {
+	l := NVLinkPair()
+	if AllToAllTime(l, 1, 1<<20) != 0 {
+		t.Fatal("single device all-to-all should be free")
+	}
+	t2 := AllToAllTime(l, 2, 1<<20)
+	t4 := AllToAllTime(l, 4, 1<<20)
+	if t4 <= t2 {
+		t.Fatalf("all-to-all should grow with device count: %v vs %v", t2, t4)
+	}
+}
+
+func TestSimClock(t *testing.T) {
+	var c SimClock
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Elapsed() != 1000*time.Microsecond {
+		t.Fatalf("SimClock = %v want 1ms", c.Elapsed())
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Fatal("Reset did not clear clock")
+	}
+}
+
+func TestMeterComputeScaling(t *testing.T) {
+	fast := NewMeter(TeslaV100())
+	slow := NewMeter(TeslaT4())
+	host := NewMeter(HostCPU())
+	fast.AddCompute(100 * time.Millisecond)
+	slow.AddCompute(100 * time.Millisecond)
+	host.AddCompute(100 * time.Millisecond)
+	if slow.Compute() <= fast.Compute() {
+		t.Fatalf("T4 compute %v should exceed V100 %v", slow.Compute(), fast.Compute())
+	}
+	if host.Compute() <= slow.Compute() {
+		t.Fatalf("host compute %v should exceed T4 %v", host.Compute(), slow.Compute())
+	}
+	if host.Compute() != 100*time.Millisecond {
+		t.Fatalf("host compute %v should be unscaled", host.Compute())
+	}
+}
+
+func TestMeterTotalsAndThroughput(t *testing.T) {
+	m := NewMeter(HostCPU())
+	m.AddCompute(200 * time.Millisecond)
+	m.AddComm(300 * time.Millisecond)
+	if m.Total() != 500*time.Millisecond {
+		t.Fatalf("Total = %v", m.Total())
+	}
+	if th := m.Throughput(1000); th < 1999 || th > 2001 {
+		t.Fatalf("Throughput = %v want 2000", th)
+	}
+}
+
+func TestMeterOverlappedComm(t *testing.T) {
+	m := NewMeter(HostCPU())
+	m.AddOverlappedComm(100*time.Millisecond, 150*time.Millisecond)
+	if m.Comm() != 0 {
+		t.Fatal("fully overlapped comm should cost nothing")
+	}
+	m.AddOverlappedComm(200*time.Millisecond, 150*time.Millisecond)
+	if m.Comm() != 50*time.Millisecond {
+		t.Fatalf("excess comm = %v want 50ms", m.Comm())
+	}
+}
+
+func TestMeterMeasure(t *testing.T) {
+	m := NewMeter(HostCPU())
+	m.Measure(func() { time.Sleep(5 * time.Millisecond) })
+	if m.Compute() < 4*time.Millisecond {
+		t.Fatalf("Measure recorded %v", m.Compute())
+	}
+}
+
+func TestMeterZeroThroughput(t *testing.T) {
+	m := NewMeter(TeslaV100())
+	if m.Throughput(10) != 0 {
+		t.Fatal("empty meter should report zero throughput")
+	}
+}
+
+func TestNewMeterInvalidDevicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero compute scale accepted")
+		}
+	}()
+	NewMeter(Device{Name: "bad"})
+}
+
+func TestPSAccessTime(t *testing.T) {
+	if PSAccessTime(0) != 0 {
+		t.Fatal("zero rows should cost nothing")
+	}
+	if PSAccessTime(1000) != 1000*PSRowLatency {
+		t.Fatalf("PSAccessTime(1000) = %v", PSAccessTime(1000))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rows accepted")
+		}
+	}()
+	PSAccessTime(-1)
+}
+
+func TestCollectiveOverhead(t *testing.T) {
+	if CollectiveOverhead(0) != 0 {
+		t.Fatal("zero collectives should cost nothing")
+	}
+	if CollectiveOverhead(3) != 3*CollectiveLaunch {
+		t.Fatalf("CollectiveOverhead(3) = %v", CollectiveOverhead(3))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative count accepted")
+		}
+	}()
+	CollectiveOverhead(-1)
+}
+
+func TestSimClockNegativePanics(t *testing.T) {
+	var c SimClock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative sim time accepted")
+		}
+	}()
+	c.Add(-time.Second)
+}
+
+func TestMeterNegativeCommPanics(t *testing.T) {
+	m := NewMeter(HostCPU())
+	m.AddCompute(-time.Second) // clamped, no panic
+	if m.Compute() != 0 {
+		t.Fatal("negative compute not clamped")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative comm accepted")
+		}
+	}()
+	m.AddComm(-time.Second)
+}

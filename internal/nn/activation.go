@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation layer.
+type ReLU struct {
+	mask []bool // true where the input was positive
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(0, x) element-wise.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.New(x.Rows, x.Cols)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward zeroes gradient entries where the forward input was non-positive.
+func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if len(r.mask) != len(dy.Data) {
+		panic("nn: ReLU Backward shape does not match Forward")
+	}
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Params returns no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation layer.
+type Sigmoid struct {
+	y *tensor.Matrix // cached output
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward computes 1/(1+exp(-x)) element-wise.
+func (s *Sigmoid) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = sigmoid(v)
+	}
+	s.y = y
+	return y
+}
+
+// Backward computes dx = dy · y·(1-y).
+func (s *Sigmoid) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if s.y == nil || len(s.y.Data) != len(dy.Data) {
+		panic("nn: Sigmoid Backward shape does not match Forward")
+	}
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for i, v := range dy.Data {
+		yv := s.y.Data[i]
+		dx.Data[i] = v * yv * (1 - yv)
+	}
+	return dx
+}
+
+// Params returns no parameters.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// sigmoid is the scalar logistic function with overflow guards.
+func sigmoid(v float32) float32 {
+	x := float64(v)
+	switch {
+	case x >= 30:
+		return 1
+	case x <= -30:
+		return 0
+	}
+	return float32(1 / (1 + math.Exp(-x)))
+}

@@ -1,0 +1,48 @@
+package nn
+
+import "math"
+
+// Adagrad is the adaptive-gradient optimizer commonly used for DLRM dense
+// towers in production (the paper trains with SGD; Adagrad is provided as
+// the natural extension — sparse embedding variants live with the tables).
+// Each parameter entry accumulates the sum of squared gradients and is
+// updated with lr / sqrt(accum + eps).
+type Adagrad struct {
+	LR  float32
+	Eps float32
+
+	state map[*Param][]float32
+}
+
+// NewAdagrad returns an optimizer with the given learning rate.
+func NewAdagrad(lr float32) *Adagrad {
+	return &Adagrad{LR: lr, Eps: 1e-8, state: make(map[*Param][]float32)}
+}
+
+// Step applies the Adagrad update to every parameter and clears gradients.
+func (a *Adagrad) Step(params []*Param) {
+	for _, p := range params {
+		acc, ok := a.state[p]
+		if !ok {
+			acc = make([]float32, len(p.Value.Data))
+			a.state[p] = acc
+		}
+		for i, g := range p.Grad.Data {
+			acc[i] += g * g
+			p.Value.Data[i] -= a.LR * g / float32(math.Sqrt(float64(acc[i])+float64(a.Eps)))
+		}
+		p.Grad.Zero()
+	}
+}
+
+// Accum returns the squared-gradient accumulator of a parameter (nil if the
+// parameter has not been stepped yet). Exposed for checkpointing.
+func (a *Adagrad) Accum(p *Param) []float32 { return a.state[p] }
+
+// SetAccum restores a checkpointed accumulator.
+func (a *Adagrad) SetAccum(p *Param, acc []float32) {
+	if len(acc) != len(p.Value.Data) {
+		panic("nn: Adagrad accumulator length mismatch")
+	}
+	a.state[p] = acc
+}

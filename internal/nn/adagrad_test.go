@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAdagradKnownUpdate(t *testing.T) {
+	p := NewParam("p", 1, 2)
+	copy(p.Value.Data, []float32{1, 1})
+	copy(p.Grad.Data, []float32{2, 0})
+	opt := NewAdagrad(0.5)
+	opt.Step([]*Param{p})
+	// Entry 0: accum=4, update = 0.5*2/sqrt(4) = 0.5 -> 0.5.
+	if math.Abs(float64(p.Value.Data[0])-0.5) > 1e-6 {
+		t.Fatalf("value[0] = %v want 0.5", p.Value.Data[0])
+	}
+	// Entry 1: zero gradient, unchanged.
+	if p.Value.Data[1] != 1 {
+		t.Fatalf("value[1] = %v want 1", p.Value.Data[1])
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("Step must zero gradients")
+	}
+	// Second identical step takes a smaller effective step: accum=8,
+	// update = 0.5*2/sqrt(8) ≈ 0.3536.
+	copy(p.Grad.Data, []float32{2, 0})
+	opt.Step([]*Param{p})
+	want := 0.5 - 0.5*2/float32(math.Sqrt(8))
+	if math.Abs(float64(p.Value.Data[0]-want)) > 1e-5 {
+		t.Fatalf("second step value %v want %v", p.Value.Data[0], want)
+	}
+}
+
+func TestAdagradAccumRoundTrip(t *testing.T) {
+	p := NewParam("p", 1, 3)
+	opt := NewAdagrad(0.1)
+	if opt.Accum(p) != nil {
+		t.Fatal("accumulator should be nil before first step")
+	}
+	copy(p.Grad.Data, []float32{1, 2, 3})
+	opt.Step([]*Param{p})
+	acc := opt.Accum(p)
+	if acc[2] != 9 {
+		t.Fatalf("accum = %v", acc)
+	}
+	opt2 := NewAdagrad(0.1)
+	opt2.SetAccum(p, acc)
+	if opt2.Accum(p)[1] != 4 {
+		t.Fatal("SetAccum did not restore state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched accumulator accepted")
+		}
+	}()
+	opt2.SetAccum(p, []float32{1})
+}
+
+func TestAdagradTrainsXOR(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	m := NewMLP([]int{2, 16, 1}, false, rng)
+	opt := NewAdagrad(0.3)
+	x := tensor.FromSlice(4, 2, []float32{0, 0, 0, 1, 1, 0, 1, 1})
+	labels := []float32{0, 1, 1, 0}
+	var loss float32
+	for epoch := 0; epoch < 800; epoch++ {
+		logits := m.Forward(x)
+		var grad *tensor.Matrix
+		loss, grad = BCEWithLogits(logits, labels)
+		m.Backward(grad)
+		opt.Step(m.Params())
+	}
+	if loss > 0.1 {
+		t.Fatalf("Adagrad failed to fit XOR: final loss %v", loss)
+	}
+}

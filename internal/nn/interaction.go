@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Interaction is the DLRM dot-product feature-interaction layer. For each
+// sample it stacks the bottom-MLP output with the per-table embedding
+// vectors, computes all pairwise dot products, and concatenates the strictly
+// lower triangle of the Gram matrix after the original dense vector — exactly
+// the reference DLRM "dot" interaction.
+type Interaction struct {
+	Dim       int // feature dimension shared by dense output and embeddings
+	NumTables int // number of embedding vectors per sample
+
+	dense *tensor.Matrix
+	embs  []*tensor.Matrix
+}
+
+// NewInteraction returns an interaction layer over numTables embeddings of
+// width dim.
+func NewInteraction(dim, numTables int) *Interaction {
+	return &Interaction{Dim: dim, NumTables: numTables}
+}
+
+// OutputDim returns the width of the interaction output:
+// dim + C(numTables+1, 2) pairwise terms.
+func (it *Interaction) OutputDim() int {
+	f := it.NumTables + 1
+	return it.Dim + f*(f-1)/2
+}
+
+// Forward consumes the dense tower output (batch×dim) and one embedding
+// matrix per table (each batch×dim) and returns the interaction features.
+func (it *Interaction) Forward(dense *tensor.Matrix, embs []*tensor.Matrix) *tensor.Matrix {
+	if len(embs) != it.NumTables {
+		panic(fmt.Sprintf("nn: Interaction expected %d embedding tables, got %d", it.NumTables, len(embs)))
+	}
+	if dense.Cols != it.Dim {
+		panic(fmt.Sprintf("nn: Interaction dense width %d want %d", dense.Cols, it.Dim))
+	}
+	batch := dense.Rows
+	for i, e := range embs {
+		if e.Rows != batch || e.Cols != it.Dim {
+			panic(fmt.Sprintf("nn: Interaction emb[%d] is %dx%d want %dx%d", i, e.Rows, e.Cols, batch, it.Dim))
+		}
+	}
+	it.dense, it.embs = dense, embs
+
+	out := tensor.New(batch, it.OutputDim())
+	f := it.NumTables + 1
+	for s := 0; s < batch; s++ {
+		row := out.Row(s)
+		copy(row[:it.Dim], dense.Row(s))
+		pos := it.Dim
+		// Pairwise dots over the stacked feature list [dense, emb0, emb1, ...],
+		// strictly lower triangle (i > j).
+		for i := 1; i < f; i++ {
+			vi := it.feature(i, s)
+			for j := 0; j < i; j++ {
+				row[pos] = tensor.Dot(vi, it.feature(j, s))
+				pos++
+			}
+		}
+	}
+	return out
+}
+
+// feature returns stacked feature idx for sample s: 0 is the dense vector,
+// 1..NumTables are embeddings.
+func (it *Interaction) feature(idx, s int) []float32 {
+	if idx == 0 {
+		return it.dense.Row(s)
+	}
+	return it.embs[idx-1].Row(s)
+}
+
+// Backward returns gradients for the dense tower output and each embedding
+// matrix given the gradient of the interaction output.
+func (it *Interaction) Backward(dy *tensor.Matrix) (dDense *tensor.Matrix, dEmbs []*tensor.Matrix) {
+	if it.dense == nil {
+		panic("nn: Interaction Backward before Forward")
+	}
+	batch := it.dense.Rows
+	if dy.Rows != batch || dy.Cols != it.OutputDim() {
+		panic(fmt.Sprintf("nn: Interaction backward grad %dx%d want %dx%d", dy.Rows, dy.Cols, batch, it.OutputDim()))
+	}
+	dDense = tensor.New(batch, it.Dim)
+	dEmbs = make([]*tensor.Matrix, it.NumTables)
+	for i := range dEmbs {
+		dEmbs[i] = tensor.New(batch, it.Dim)
+	}
+	grad := func(idx, s int) []float32 {
+		if idx == 0 {
+			return dDense.Row(s)
+		}
+		return dEmbs[idx-1].Row(s)
+	}
+	f := it.NumTables + 1
+	for s := 0; s < batch; s++ {
+		row := dy.Row(s)
+		tensor.AddTo(dDense.Row(s), row[:it.Dim])
+		pos := it.Dim
+		for i := 1; i < f; i++ {
+			for j := 0; j < i; j++ {
+				g := row[pos]
+				pos++
+				if g == 0 {
+					continue
+				}
+				tensor.Axpy(g, it.feature(j, s), grad(i, s))
+				tensor.Axpy(g, it.feature(i, s), grad(j, s))
+			}
+		}
+	}
+	return dDense, dEmbs
+}

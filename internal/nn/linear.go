@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully connected layer computing y = x·Wᵀ + b for a batch of
+// row vectors, matching torch.nn.Linear's weight layout (W is out×in).
+type Linear struct {
+	In, Out int
+	W       *Param // Out × In
+	B       *Param // 1 × Out
+
+	x *tensor.Matrix // cached input from Forward
+}
+
+// NewLinear constructs a Linear layer with Xavier-initialized weights.
+func NewLinear(in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParam(fmt.Sprintf("linear%dx%d.W", out, in), out, in),
+		B:   NewParam(fmt.Sprintf("linear%dx%d.b", out, in), 1, out),
+	}
+	tensor.XavierInit(l.W.Value, rng)
+	return l
+}
+
+// Forward computes y = x·Wᵀ + b and caches x for Backward.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: Linear forward input width %d want %d", x.Cols, l.In))
+	}
+	l.x = x
+	y := tensor.New(x.Rows, l.Out)
+	tensor.MatMulTransB(y, x, l.W.Value)
+	bias := l.B.Value.Data
+	for i := 0; i < y.Rows; i++ {
+		tensor.AddTo(y.Row(i), bias)
+	}
+	return y
+}
+
+// Backward accumulates dW += dyᵀ·x and db += Σᵢ dyᵢ, and returns dx = dy·W.
+func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if l.x == nil {
+		panic("nn: Linear Backward before Forward")
+	}
+	if dy.Rows != l.x.Rows || dy.Cols != l.Out {
+		panic(fmt.Sprintf("nn: Linear backward grad %dx%d want %dx%d", dy.Rows, dy.Cols, l.x.Rows, l.Out))
+	}
+	tensor.MatMulTransAAdd(l.W.Grad, dy, l.x)
+	db := l.B.Grad.Data
+	for i := 0; i < dy.Rows; i++ {
+		tensor.AddTo(db, dy.Row(i))
+	}
+	dx := tensor.New(dy.Rows, l.In)
+	tensor.MatMul(dx, dy, l.W.Value)
+	return dx
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }

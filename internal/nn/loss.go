@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BCEWithLogits computes the mean binary cross-entropy between logits
+// (batch×1) and labels (0 or 1), returning the loss and the gradient with
+// respect to the logits. The formulation is the numerically stable
+// log-sum-exp form used by torch.nn.BCEWithLogitsLoss:
+//
+//	loss = max(z,0) − z·y + log(1 + exp(−|z|))
+//	dz   = (σ(z) − y) / batch
+func BCEWithLogits(logits *tensor.Matrix, labels []float32) (float32, *tensor.Matrix) {
+	if logits.Cols != 1 {
+		panic(fmt.Sprintf("nn: BCEWithLogits expects batch×1 logits, got %dx%d", logits.Rows, logits.Cols))
+	}
+	if logits.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: BCEWithLogits %d logits vs %d labels", logits.Rows, len(labels)))
+	}
+	n := logits.Rows
+	if n == 0 {
+		return 0, tensor.New(0, 1)
+	}
+	grad := tensor.New(n, 1)
+	var total float64
+	inv := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		z := float64(logits.Data[i])
+		y := float64(labels[i])
+		loss := math.Max(z, 0) - z*y + math.Log1p(math.Exp(-math.Abs(z)))
+		total += loss
+		grad.Data[i] = (sigmoid(logits.Data[i]) - labels[i]) * inv
+	}
+	return float32(total / float64(n)), grad
+}
+
+// BCE computes the mean binary cross-entropy between probabilities p∈(0,1)
+// (batch×1) and labels, with clamping for numerical safety, returning the
+// loss and gradient w.r.t. p. Used when a model ends in an explicit Sigmoid.
+func BCE(probs *tensor.Matrix, labels []float32) (float32, *tensor.Matrix) {
+	if probs.Cols != 1 {
+		panic(fmt.Sprintf("nn: BCE expects batch×1 probs, got %dx%d", probs.Rows, probs.Cols))
+	}
+	if probs.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: BCE %d probs vs %d labels", probs.Rows, len(labels)))
+	}
+	n := probs.Rows
+	if n == 0 {
+		return 0, tensor.New(0, 1)
+	}
+	const eps = 1e-7
+	grad := tensor.New(n, 1)
+	var total float64
+	inv := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		p := float64(probs.Data[i])
+		if p < eps {
+			p = eps
+		} else if p > 1-eps {
+			p = 1 - eps
+		}
+		y := float64(labels[i])
+		total += -(y*math.Log(p) + (1-y)*math.Log(1-p))
+		grad.Data[i] = float32((p-y)/(p*(1-p))) * inv
+	}
+	return float32(total / float64(n)), grad
+}
+
+// SigmoidSlice applies the logistic function to logits, producing
+// probabilities (for evaluation/AUC).
+func SigmoidSlice(logits []float32) []float32 {
+	out := make([]float32, len(logits))
+	for i, v := range logits {
+		out[i] = sigmoid(v)
+	}
+	return out
+}

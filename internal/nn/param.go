@@ -1,0 +1,49 @@
+// Package nn implements the dense neural-network substrate of a DLRM: linear
+// layers, activations, multi-layer perceptrons, the dot-product feature
+// interaction, binary cross-entropy loss, and a plain SGD optimizer. Layers
+// follow a manual forward/backward discipline: Forward caches what Backward
+// needs; Backward accumulates parameter gradients and returns the gradient
+// with respect to the layer input.
+package nn
+
+import "repro/internal/tensor"
+
+// Param is a trainable dense parameter with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam allocates a parameter and a zeroed gradient of the same shape.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(rows, cols),
+		Grad:  tensor.New(rows, cols),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is the interface shared by all dense layers.
+type Layer interface {
+	// Forward consumes a batch×in matrix and returns a batch×out matrix.
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	// Backward consumes the gradient w.r.t. the output of the most recent
+	// Forward call and returns the gradient w.r.t. its input, accumulating
+	// parameter gradients along the way.
+	Backward(dy *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// ZeroGrads clears gradients on every parameter of every layer given.
+func ZeroGrads(layers ...Layer) {
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			p.ZeroGrad()
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package ps implements the paper's TT-based pipeline training system (§V):
+// a parameter-server architecture where host memory holds the embedding
+// tables that do not fit on the device, a pre-fetch queue and a gradient
+// queue overlap server-side work with worker-side compute, and a worker-side
+// embedding cache with life-cycle (LC) management resolves the
+// read-after-write conflict that pre-fetching introduces (Figure 10).
+package ps
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache is the GPU-side embedding cache of §V-B. It keeps the most recent
+// worker-side value of every embedding row that still has gradient pushes in
+// flight, so pre-fetched (possibly stale) rows can be patched before use.
+// Every entry carries a life cycle (LC) counter: publishing (after training
+// a batch) sets LC to the request-queue capacity; each gradient application
+// mentioning the row decrements it; at zero the row is evicted — by then the
+// host copy has absorbed the update.
+type Cache struct {
+	dim      int
+	capacity int // LC value assigned on publish (max queue length)
+
+	mu      sync.Mutex
+	entries map[int]*cacheEntry
+
+	// statistics
+	syncs, hits, evictions int64
+}
+
+type cacheEntry struct {
+	value []float32
+	lc    int
+}
+
+// NewCache builds a cache for rows of the given dimension. lifecycle is the
+// LC value assigned on publish. The paper sets it to the request-queue
+// length and decrements per pull; our pipeline uses the conservative bound
+// 2·depth+2 with one global decrement per applied batch, which provably
+// guarantees that no row is evicted before every pre-fetched batch that
+// could have read its stale host copy has been cache-synced (see
+// Pipeline.Train).
+func NewCache(dim, lifecycle int) *Cache {
+	if dim <= 0 || lifecycle <= 0 {
+		panic(fmt.Sprintf("ps: invalid cache dim=%d lifecycle=%d", dim, lifecycle))
+	}
+	return &Cache{dim: dim, capacity: lifecycle, entries: make(map[int]*cacheEntry)}
+}
+
+// Sync patches pre-fetched rows in place: values row i (for index ids[i]) is
+// replaced by the cached copy when present (the Emb2 case of Figure 10(b)).
+// Returns the number of patched rows.
+func (c *Cache) Sync(ids []int, values [][]float32) int {
+	if len(ids) != len(values) {
+		panic(fmt.Sprintf("ps: Sync %d ids vs %d rows", len(ids), len(values)))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	patched := 0
+	for i, id := range ids {
+		if e, ok := c.entries[id]; ok {
+			copy(values[i], e.value)
+			patched++
+			c.hits++
+		}
+	}
+	c.syncs++
+	return patched
+}
+
+// Publish stores the post-update values of the rows just trained, assigning
+// a fresh LC. Existing entries are overwritten and their LC reset.
+func (c *Cache) Publish(ids []int, values [][]float32) {
+	if len(ids) != len(values) {
+		panic(fmt.Sprintf("ps: Publish %d ids vs %d rows", len(ids), len(values)))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, id := range ids {
+		if len(values[i]) != c.dim {
+			panic(fmt.Sprintf("ps: Publish row %d has dim %d want %d", i, len(values[i]), c.dim))
+		}
+		e, ok := c.entries[id]
+		if !ok {
+			e = &cacheEntry{value: make([]float32, c.dim)}
+			c.entries[id] = e
+		}
+		copy(e.value, values[i])
+		e.lc = c.capacity
+	}
+}
+
+// Tick lowers the LC of every cached row by one, evicting rows that reach
+// zero. Called once per gradient-queue pull applied by the server.
+func (c *Cache) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, e := range c.entries {
+		e.lc--
+		if e.lc <= 0 {
+			delete(c.entries, id)
+			c.evictions++
+		}
+	}
+}
+
+// Decrement lowers the LC of every listed row that is cached, evicting rows
+// that reach zero (the paper's per-batch formulation, kept for targeted
+// eviction policies).
+func (c *Cache) Decrement(ids []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		e, ok := c.entries[id]
+		if !ok {
+			continue
+		}
+		e.lc--
+		if e.lc <= 0 {
+			delete(c.entries, id)
+			c.evictions++
+		}
+	}
+}
+
+// Len returns the number of cached rows.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Lookup returns a copy of the cached row and whether it was present.
+func (c *Cache) Lookup(id int) ([]float32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]float32, c.dim)
+	copy(out, e.value)
+	return out, true
+}
+
+// Stats returns (sync calls, patched rows, evictions).
+func (c *Cache) Stats() (syncs, hits, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.syncs, c.hits, c.evictions
+}

@@ -1,0 +1,110 @@
+package ps
+
+import (
+	"testing"
+)
+
+func rowsOf(vals ...float32) [][]float32 {
+	out := make([][]float32, len(vals))
+	for i, v := range vals {
+		out[i] = []float32{v, v}
+	}
+	return out
+}
+
+func TestCachePublishLookup(t *testing.T) {
+	c := NewCache(2, 3)
+	c.Publish([]int{7}, rowsOf(1.5))
+	got, ok := c.Lookup(7)
+	if !ok || got[0] != 1.5 || got[1] != 1.5 {
+		t.Fatalf("Lookup = %v, %v", got, ok)
+	}
+	if _, ok := c.Lookup(8); ok {
+		t.Fatal("absent row found")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheSyncPatchesOnlyCached(t *testing.T) {
+	c := NewCache(2, 3)
+	c.Publish([]int{5}, rowsOf(9))
+	vals := rowsOf(1, 2)
+	patched := c.Sync([]int{5, 6}, vals)
+	if patched != 1 {
+		t.Fatalf("patched %d rows want 1", patched)
+	}
+	if vals[0][0] != 9 {
+		t.Fatal("cached row not patched")
+	}
+	if vals[1][0] != 2 {
+		t.Fatal("uncached row modified")
+	}
+	syncs, hits, _ := c.Stats()
+	if syncs != 1 || hits != 1 {
+		t.Fatalf("stats syncs=%d hits=%d", syncs, hits)
+	}
+}
+
+func TestCacheTickEvicts(t *testing.T) {
+	c := NewCache(2, 2)
+	c.Publish([]int{1}, rowsOf(1))
+	c.Tick()
+	if c.Len() != 1 {
+		t.Fatal("evicted too early")
+	}
+	c.Tick()
+	if c.Len() != 0 {
+		t.Fatal("not evicted at LC=0")
+	}
+	_, _, ev := c.Stats()
+	if ev != 1 {
+		t.Fatalf("evictions = %d", ev)
+	}
+}
+
+func TestCachePublishResetsLC(t *testing.T) {
+	c := NewCache(2, 2)
+	c.Publish([]int{1}, rowsOf(1))
+	c.Tick()
+	c.Publish([]int{1}, rowsOf(5)) // re-train: LC reset
+	c.Tick()
+	if c.Len() != 1 {
+		t.Fatal("re-published row evicted prematurely")
+	}
+	got, _ := c.Lookup(1)
+	if got[0] != 5 {
+		t.Fatal("re-publish did not overwrite value")
+	}
+}
+
+func TestCacheDecrementTargeted(t *testing.T) {
+	c := NewCache(2, 1)
+	c.Publish([]int{1, 2}, rowsOf(1, 2))
+	c.Decrement([]int{1, 99}) // 99 absent: no-op
+	if _, ok := c.Lookup(1); ok {
+		t.Fatal("row 1 should be evicted")
+	}
+	if _, ok := c.Lookup(2); !ok {
+		t.Fatal("row 2 should remain")
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache(0, 1) },
+		func() { NewCache(2, 0) },
+		func() { NewCache(2, 1).Sync([]int{1}, nil) },
+		func() { NewCache(2, 1).Publish([]int{1}, [][]float32{{1}}) }, // wrong dim
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid cache call did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,386 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/dlrm"
+	"repro/internal/embedding"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// BatchSource produces training batches; data.Dataset satisfies it, and the
+// core package wraps it with the index-reordering bijection.
+type BatchSource interface {
+	Batch(iter, size int) *data.Batch
+}
+
+// TableLoc places one embedding table: either resident on the device
+// (Device non-nil — typically an Eff-TT table in HBM) or in host memory
+// (HostRows > 0 — served by the parameter server through the pipeline).
+type TableLoc struct {
+	Device   dlrm.Table
+	HostRows int
+}
+
+// Config configures a pipeline trainer.
+type Config struct {
+	Model dlrm.Config
+	// QueueDepth is the capacity of the pre-fetch and gradient queues.
+	// Depth 1 degrades the pipeline to sequential execution (the EL-Rec
+	// (Sequential) baseline of Figure 16).
+	QueueDepth int
+	Seed       uint64
+}
+
+// Stats aggregates pipeline counters for the experiment harness: the byte
+// counts become simulated PCIe time under the hw model.
+type Stats struct {
+	Steps           int
+	BytesPrefetched int64 // host → device embedding rows
+	BytesPushed     int64 // device → host gradients
+	CacheSyncs      int64
+	CacheHits       int64
+	CacheEvictions  int64
+
+	// Wall-time split for the hw cost model: GatherTime and ApplyTime are
+	// host-side parameter-server work, TrainTime is worker-side compute,
+	// and AdapterTime is the share of TrainTime spent pooling and
+	// aggregating host-table rows (CPU-side work in the PS architecture).
+	GatherTime  time.Duration
+	ApplyTime   time.Duration
+	TrainTime   time.Duration
+	AdapterTime time.Duration
+}
+
+// hostBatch is one pre-fetch queue element: the training batch plus the
+// gathered unique host-table rows.
+type hostBatch struct {
+	iter  int
+	batch *data.Batch
+	rows  []hostRows // one per host table, in host-table order
+}
+
+// hostRows carries the unique rows of one host table for one batch.
+type hostRows struct {
+	uniq    []int
+	inverse []int
+	values  *tensor.Matrix // len(uniq) × dim
+}
+
+// gradPush is one gradient queue element.
+type gradPush struct {
+	iter  int
+	rows  []gradRows
+	donec chan struct{} // closed once applied (used for drain/shutdown)
+}
+
+type gradRows struct {
+	uniq  []int
+	grads *tensor.Matrix // aggregated per unique row
+}
+
+// Pipeline trains a DLRM whose embedding layer is split between device
+// tables and host-memory tables behind a parameter server, overlapping the
+// server-side gather/update with worker-side compute (Figure 9).
+type Pipeline struct {
+	cfg    Config
+	model  *dlrm.Model
+	caches []*Cache
+
+	hostBags []*embedding.Bag // parameter-server state
+	hostMu   []sync.RWMutex   // guards each host bag
+	hostIdx  []int            // host table order -> model table position
+	adapters []*hostAdapter
+
+	stats   Stats
+	statsMu sync.Mutex // guards gather/apply times written from goroutines
+}
+
+// addGatherTime and addApplyTime accumulate host-side durations from the
+// pre-fetcher and server goroutines.
+func (p *Pipeline) addGatherTime(d time.Duration) {
+	p.statsMu.Lock()
+	p.stats.GatherTime += d
+	p.statsMu.Unlock()
+}
+
+func (p *Pipeline) addApplyTime(d time.Duration) {
+	p.statsMu.Lock()
+	p.stats.ApplyTime += d
+	p.statsMu.Unlock()
+}
+
+// NewPipeline builds the trainer. locs must list every embedding table in
+// dataset order.
+func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
+	if cfg.QueueDepth <= 0 {
+		return nil, fmt.Errorf("ps: queue depth %d must be positive", cfg.QueueDepth)
+	}
+	if len(locs) == 0 {
+		return nil, fmt.Errorf("ps: no tables")
+	}
+	p := &Pipeline{cfg: cfg}
+	tables := make([]dlrm.Table, len(locs))
+	for i, loc := range locs {
+		switch {
+		case loc.Device != nil && loc.HostRows > 0:
+			return nil, fmt.Errorf("ps: table %d placed on both device and host", i)
+		case loc.Device != nil:
+			tables[i] = loc.Device
+		case loc.HostRows > 0:
+			bag := embedding.NewBag(loc.HostRows, cfg.Model.EmbDim, tensor.NewRNG(cfg.Seed+uint64(i)*104729))
+			cache := NewCache(cfg.Model.EmbDim, 2*cfg.QueueDepth+2)
+			ad := &hostAdapter{pipeline: p, slot: len(p.hostBags), rows: loc.HostRows, dim: cfg.Model.EmbDim, lr: cfg.Model.LR}
+			p.hostBags = append(p.hostBags, bag)
+			p.caches = append(p.caches, cache)
+			p.hostIdx = append(p.hostIdx, i)
+			p.adapters = append(p.adapters, ad)
+			tables[i] = ad
+		default:
+			return nil, fmt.Errorf("ps: table %d has no placement", i)
+		}
+	}
+	p.hostMu = make([]sync.RWMutex, len(p.hostBags))
+	model, err := dlrm.NewModel(cfg.Model, tables)
+	if err != nil {
+		return nil, err
+	}
+	p.model = model
+	return p, nil
+}
+
+// Model exposes the underlying model (for evaluation).
+func (p *Pipeline) Model() *dlrm.Model { return p.model }
+
+// Stats returns accumulated counters (cache counters summed over tables).
+func (p *Pipeline) Stats() Stats {
+	s := p.stats
+	for _, c := range p.caches {
+		syncs, hits, ev := c.Stats()
+		s.CacheSyncs += syncs
+		s.CacheHits += hits
+		s.CacheEvictions += ev
+	}
+	return s
+}
+
+// NumHostTables returns how many tables live in host memory.
+func (p *Pipeline) NumHostTables() int { return len(p.hostBags) }
+
+// HostBag exposes host table i (for tests).
+func (p *Pipeline) HostBag(i int) *embedding.Bag { return p.hostBags[i] }
+
+// gather assembles the pre-fetch payload for one batch: the unique rows of
+// every host table, read under the table lock (the server-side embedding
+// lookup of the PS architecture).
+func (p *Pipeline) gather(iter int, b *data.Batch) *hostBatch {
+	start := time.Now()
+	defer func() { p.addGatherTime(time.Since(start)) }()
+	hb := &hostBatch{iter: iter, batch: b, rows: make([]hostRows, len(p.hostBags))}
+	for h, pos := range p.hostIdx {
+		uniq, inverse := embedding.Unique(b.Sparse[pos])
+		p.hostMu[h].RLock()
+		values := p.hostBags[h].GatherRows(uniq)
+		p.hostMu[h].RUnlock()
+		hb.rows[h] = hostRows{uniq: uniq, inverse: inverse, values: values}
+	}
+	return hb
+}
+
+// apply is the server side of the gradient queue: scatter −lr·grad into the
+// host tables, then decrement the cache life cycles.
+func (p *Pipeline) apply(g *gradPush) {
+	start := time.Now()
+	defer func() { p.addApplyTime(time.Since(start)) }()
+	for h, gr := range g.rows {
+		if len(gr.uniq) == 0 {
+			continue
+		}
+		delta := gr.grads.Clone()
+		tensor.Scale(-p.cfg.Model.LR, delta.Data)
+		p.hostMu[h].Lock()
+		p.hostBags[h].ScatterAdd(gr.uniq, delta)
+		p.hostMu[h].Unlock()
+	}
+	for _, c := range p.caches {
+		c.Tick()
+	}
+	close(g.donec)
+}
+
+// trainOne runs the worker side for one pre-fetched batch: cache-sync the
+// pre-fetched rows (Step 1 of Figure 9), run forward/backward (the adapters
+// capture host-table gradients), and return the gradient push.
+func (p *Pipeline) trainOne(hb *hostBatch) (float32, *gradPush) {
+	start := time.Now()
+	defer func() { p.stats.TrainTime += time.Since(start) }()
+	for h := range hb.rows {
+		rows := make([][]float32, len(hb.rows[h].uniq))
+		for i := range rows {
+			rows[i] = hb.rows[h].values.Row(i)
+		}
+		p.caches[h].Sync(hb.rows[h].uniq, rows)
+		p.stats.BytesPrefetched += int64(len(rows)) * int64(p.cfg.Model.EmbDim) * 4
+	}
+	for h, ad := range p.adapters {
+		ad.current = &hb.rows[h]
+		ad.pending = nil
+	}
+	loss := p.model.TrainStep(hb.batch)
+	push := &gradPush{iter: hb.iter, rows: make([]gradRows, len(p.adapters)), donec: make(chan struct{})}
+	for h, ad := range p.adapters {
+		if ad.pending == nil {
+			panic("ps: host adapter did not receive an update")
+		}
+		push.rows[h] = *ad.pending
+		p.stats.BytesPushed += int64(len(ad.pending.uniq)) * int64(p.cfg.Model.EmbDim) * 4
+		ad.current, ad.pending = nil, nil
+	}
+	return loss, push
+}
+
+// Train runs steps batches of the given size from the dataset through the
+// pipeline and returns the loss curve. With QueueDepth > 1 a pre-fetch
+// goroutine keeps the queue full and a server goroutine drains the gradient
+// queue concurrently with worker compute; with QueueDepth == 1 the pipeline
+// degrades to strictly sequential gather → train → apply on one thread (the
+// EL-Rec (Sequential) baseline — the worker waits for the server each step,
+// exactly as §VI-C describes). Both schedules produce bit-identical
+// parameters: the embedding cache guarantees the worker always computes on
+// up-to-date rows.
+func (p *Pipeline) Train(d BatchSource, startIter, steps, batchSize int) *metrics.LossCurve {
+	if p.cfg.QueueDepth == 1 {
+		curve := &metrics.LossCurve{}
+		for it := 0; it < steps; it++ {
+			hb := p.gather(startIter+it, d.Batch(startIter+it, batchSize))
+			loss, push := p.trainOne(hb)
+			curve.Add(hb.iter, float64(loss))
+			p.apply(push)
+			p.stats.Steps++
+		}
+		return curve
+	}
+	prefetchQ := make(chan *hostBatch, p.cfg.QueueDepth)
+	gradQ := make(chan *gradPush, p.cfg.QueueDepth)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // pre-fetcher (server pull side)
+		defer wg.Done()
+		defer close(prefetchQ)
+		for it := 0; it < steps; it++ {
+			prefetchQ <- p.gather(startIter+it, d.Batch(startIter+it, batchSize))
+		}
+	}()
+	go func() { // server apply side
+		defer wg.Done()
+		for g := range gradQ {
+			p.apply(g)
+		}
+	}()
+
+	curve := &metrics.LossCurve{}
+	for hb := range prefetchQ {
+		loss, push := p.trainOne(hb)
+		curve.Add(hb.iter, float64(loss))
+		gradQ <- push
+		p.stats.Steps++
+	}
+	close(gradQ)
+	wg.Wait()
+	return curve
+}
+
+// hostAdapter exposes one host-memory table to the model as a dlrm.Table.
+// Lookup pools the pre-fetched (cache-synced) unique rows; Update aggregates
+// the pooled gradient per unique row, publishes the post-update values to
+// the embedding cache, and leaves the gradient for the pipeline to push.
+type hostAdapter struct {
+	pipeline *Pipeline
+	slot     int
+	rows     int
+	dim      int
+	lr       float32
+
+	current *hostRows
+	pending *gradRows
+}
+
+var _ dlrm.Table = (*hostAdapter)(nil)
+
+// Lookup pools the current pre-fetched rows into per-sample embeddings.
+// Outside a pipeline step (inference/evaluation) it reads the host table
+// directly under its lock — the synchronous path a serving system would
+// take.
+func (a *hostAdapter) Lookup(indices, offsets []int) *tensor.Matrix {
+	cur := a.current
+	if cur == nil {
+		uniq, inverse := embedding.Unique(indices)
+		a.pipeline.hostMu[a.slot].RLock()
+		values := a.pipeline.hostBags[a.slot].GatherRows(uniq)
+		a.pipeline.hostMu[a.slot].RUnlock()
+		cur = &hostRows{uniq: uniq, inverse: inverse, values: values}
+	} else {
+		start := time.Now()
+		defer func() { a.pipeline.stats.AdapterTime += time.Since(start) }()
+	}
+	out := tensor.New(len(offsets), a.dim)
+	for s := range offsets {
+		start := offsets[s]
+		end := len(indices)
+		if s+1 < len(offsets) {
+			end = offsets[s+1]
+		}
+		row := out.Row(s)
+		for pos := start; pos < end; pos++ {
+			tensor.AddTo(row, cur.values.Row(cur.inverse[pos]))
+		}
+	}
+	return out
+}
+
+// Update aggregates dOut per unique row, publishes updated values to the
+// cache, and stages the gradient push.
+func (a *hostAdapter) Update(indices, offsets []int, dOut *tensor.Matrix, lr float32) {
+	cur := a.current
+	if cur == nil {
+		panic("ps: host table update outside a pipeline step")
+	}
+	start := time.Now()
+	defer func() { a.pipeline.stats.AdapterTime += time.Since(start) }()
+	grads := tensor.New(len(cur.uniq), a.dim)
+	for s := range offsets {
+		start := offsets[s]
+		end := len(indices)
+		if s+1 < len(offsets) {
+			end = offsets[s+1]
+		}
+		for pos := start; pos < end; pos++ {
+			tensor.AddTo(grads.Row(cur.inverse[pos]), dOut.Row(s))
+		}
+	}
+	// Publish post-update values: value − lr·grad (the worker's view of the
+	// row after this batch; the server applies the same delta to the host).
+	updated := make([][]float32, len(cur.uniq))
+	for i := range cur.uniq {
+		row := make([]float32, a.dim)
+		copy(row, cur.values.Row(i))
+		tensor.Axpy(-lr, grads.Row(i), row)
+		updated[i] = row
+	}
+	a.pipeline.caches[a.slot].Publish(cur.uniq, updated)
+	a.pending = &gradRows{uniq: cur.uniq, grads: grads}
+}
+
+// NumRows returns the host table's row count.
+func (a *hostAdapter) NumRows() int { return a.rows }
+
+// Dim returns the embedding dimension.
+func (a *hostAdapter) Dim() int { return a.dim }
+
+// FootprintBytes reports the host-side storage (it does not occupy HBM).
+func (a *hostAdapter) FootprintBytes() int64 { return int64(a.rows) * int64(a.dim) * 4 }

@@ -1,0 +1,226 @@
+package ps
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/dlrm"
+	"repro/internal/tensor"
+	"repro/internal/tt"
+)
+
+func psSpec() data.Spec {
+	return data.Spec{
+		Name: "ps-test", NumDense: 3, TableRows: []int{400, 120},
+		ZipfS: 1.2, ZipfV: 2, GroupSize: 16, ActiveGroups: 4, Locality: 0.8,
+		Samples: 1 << 20, Seed: 21,
+	}
+}
+
+func psModelCfg() dlrm.Config {
+	return dlrm.Config{
+		NumDense:    3,
+		EmbDim:      8,
+		BottomSizes: []int{12},
+		TopSizes:    []int{12},
+		LR:          0.5,
+		Seed:        9,
+	}
+}
+
+func allHostLocs(spec data.Spec) []TableLoc {
+	locs := make([]TableLoc, len(spec.TableRows))
+	for i, r := range spec.TableRows {
+		locs[i] = TableLoc{HostRows: r}
+	}
+	return locs
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	spec := psSpec()
+	if _, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 0}, allHostLocs(spec)); err == nil {
+		t.Fatal("zero queue depth accepted")
+	}
+	if _, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1}, nil); err == nil {
+		t.Fatal("no tables accepted")
+	}
+	if _, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1}, []TableLoc{{}}); err == nil {
+		t.Fatal("unplaced table accepted")
+	}
+	shape, _ := tt.NewShape(100, 8, 4)
+	dev := tt.NewTable(shape, tensor.NewRNG(1), 0)
+	if _, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1},
+		[]TableLoc{{Device: dev, HostRows: 5}, {HostRows: 10}}); err == nil {
+		t.Fatal("double placement accepted")
+	}
+}
+
+// TestPipelineMatchesSequentialExactly is the central consistency property
+// (§V-B): with the embedding cache resolving RAW conflicts, pipelined
+// training (queue depth 4) must produce bit-identical parameters to
+// sequential training (queue depth 1).
+func TestPipelineMatchesSequentialExactly(t *testing.T) {
+	spec := psSpec()
+	d, err := data.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(depth int) *Pipeline {
+		p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: depth, Seed: 4}, allHostLocs(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Train(d, 0, 60, 64)
+		return p
+	}
+	seq := run(1)
+	pipe := run(4)
+
+	// Host tables bit-equal.
+	for h := 0; h < seq.NumHostTables(); h++ {
+		if d := seq.HostBag(h).Weights.MaxAbsDiff(pipe.HostBag(h).Weights); d != 0 {
+			t.Fatalf("host table %d differs by %v between sequential and pipelined", h, d)
+		}
+	}
+	// MLP parameters bit-equal.
+	sp, pp := seq.Model().MLPParams(), pipe.Model().MLPParams()
+	for i := range sp {
+		if d := sp[i].Value.MaxAbsDiff(pp[i].Value); d != 0 {
+			t.Fatalf("MLP param %d differs by %v", i, d)
+		}
+	}
+	// The pipelined run must actually have exercised the RAW path.
+	if hits := pipe.Stats().CacheHits; hits == 0 {
+		t.Fatal("pipelined run never hit the embedding cache; test has no power")
+	}
+}
+
+func TestPipelineCacheActuallyNeeded(t *testing.T) {
+	// The same workload, but with the cache sabotaged (lifecycle so large
+	// nothing evicts is fine; instead verify staleness exists by counting
+	// hits): consecutive batches share hot rows, so pre-fetching without
+	// patching would read stale values. We assert overlap exists.
+	spec := psSpec()
+	d, _ := data.New(spec)
+	p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 4, Seed: 4}, allHostLocs(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Train(d, 0, 30, 64)
+	st := p.Stats()
+	if st.CacheHits == 0 {
+		t.Fatal("no overlapping rows between in-flight batches; RAW conflict never arises")
+	}
+	if st.Steps != 30 {
+		t.Fatalf("Steps = %d", st.Steps)
+	}
+	if st.BytesPrefetched == 0 || st.BytesPushed == 0 {
+		t.Fatalf("transfer accounting empty: %+v", st)
+	}
+}
+
+func TestPipelineWithDeviceTTTable(t *testing.T) {
+	// Mixed placement: table 0 as Eff-TT on device, table 1 on host
+	// (the Figure 16 configuration).
+	spec := psSpec()
+	d, _ := data.New(spec)
+	shape, err := tt.NewShape(spec.TableRows[0], 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := tt.NewTable(shape, tensor.NewRNG(2), 0.05)
+	locs := []TableLoc{{Device: dev}, {HostRows: spec.TableRows[1]}}
+	p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 4, Seed: 4}, locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := p.Train(d, 0, 120, 64)
+	if len(curve.Losses) != 120 {
+		t.Fatalf("curve has %d points", len(curve.Losses))
+	}
+	early := curve.Smoothed(10)[9]
+	late := curve.Final(10)
+	if late >= early {
+		t.Fatalf("mixed-placement pipeline did not reduce loss: %v -> %v", early, late)
+	}
+	if p.NumHostTables() != 1 {
+		t.Fatalf("NumHostTables = %d", p.NumHostTables())
+	}
+}
+
+func TestPipelineResumesAcrossTrainCalls(t *testing.T) {
+	spec := psSpec()
+	d, _ := data.New(spec)
+	p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 2, Seed: 4}, allHostLocs(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Train(d, 0, 10, 32)
+	p.Train(d, 10, 10, 32)
+	if st := p.Stats(); st.Steps != 20 {
+		t.Fatalf("Steps = %d want 20", st.Steps)
+	}
+}
+
+func TestHostAdapterInferenceOutsideStep(t *testing.T) {
+	// Lookup outside a pipeline step serves the host table synchronously
+	// (the evaluation path); Update outside a step must still panic.
+	spec := psSpec()
+	p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1, Seed: 4}, allHostLocs(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.adapters[0].Lookup([]int{1, 1, 3}, []int{0, 2})
+	want := p.HostBag(0).Lookup([]int{1, 1, 3}, []int{0, 2})
+	if out.MaxAbsDiff(want) != 0 {
+		t.Fatal("inference lookup disagrees with host table")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adapter update outside pipeline step did not panic")
+		}
+	}()
+	p.adapters[0].Update([]int{1}, []int{0}, tensor.New(1, 8), 0.1)
+}
+
+func TestHostAdapterAccessors(t *testing.T) {
+	spec := psSpec()
+	p, _ := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1, Seed: 4}, allHostLocs(spec))
+	ad := p.adapters[0]
+	if ad.NumRows() != spec.TableRows[0] || ad.Dim() != 8 {
+		t.Fatalf("adapter accessors %d, %d", ad.NumRows(), ad.Dim())
+	}
+	if ad.FootprintBytes() != int64(spec.TableRows[0])*8*4 {
+		t.Fatalf("adapter footprint %d", ad.FootprintBytes())
+	}
+}
+
+func TestPipelineAllDeviceTables(t *testing.T) {
+	// No host tables: the pipeline degrades to a plain training loop with
+	// empty gather/apply stages.
+	spec := psSpec()
+	d, _ := data.New(spec)
+	locs := make([]TableLoc, len(spec.TableRows))
+	for i, r := range spec.TableRows {
+		shape, err := tt.NewShape(r, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs[i] = TableLoc{Device: tt.NewTable(shape, tensor.NewRNG(uint64(i)+1), 0.05)}
+	}
+	p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 4, Seed: 4}, locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := p.Train(d, 0, 10, 32)
+	if len(curve.Losses) != 10 {
+		t.Fatalf("trained %d steps", len(curve.Losses))
+	}
+	st := p.Stats()
+	if st.BytesPrefetched != 0 || st.BytesPushed != 0 {
+		t.Fatalf("device-only pipeline moved bytes: %+v", st)
+	}
+	if p.NumHostTables() != 0 {
+		t.Fatalf("NumHostTables = %d", p.NumHostTables())
+	}
+}

@@ -1,0 +1,41 @@
+package ps
+
+import (
+	"testing"
+
+	"repro/internal/data"
+)
+
+// TestPipelineEquivalenceSparseTables stresses the embedding cache with
+// sparse large tables (many evictions between reuses) and checks exact
+// pipelined/sequential equivalence.
+func TestPipelineEquivalenceSparseTables(t *testing.T) {
+	spec := data.Spec{
+		Name: "ps-sparse", NumDense: 3, TableRows: []int{4000, 2500},
+		ZipfS: 1.2, ZipfV: 2, GroupSize: 16, ActiveGroups: 4, Locality: 0.8,
+		Samples: 1 << 20, Seed: 77,
+	}
+	d, _ := data.New(spec)
+	run := func(depth int) *Pipeline {
+		p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: depth, Seed: 4}, allHostLocs(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Train(d, 0, 200, 32)
+		return p
+	}
+	seq := run(1)
+	pipe := run(4)
+	t.Logf("pipe stats: %+v", pipe.Stats())
+	for h := 0; h < seq.NumHostTables(); h++ {
+		if diff := seq.HostBag(h).Weights.MaxAbsDiff(pipe.HostBag(h).Weights); diff != 0 {
+			t.Fatalf("host table %d differs by %v", h, diff)
+		}
+	}
+	sp, pp := seq.Model().MLPParams(), pipe.Model().MLPParams()
+	for i := range sp {
+		if diff := sp[i].Value.MaxAbsDiff(pp[i].Value); diff != 0 {
+			t.Fatalf("MLP param %d differs by %v", i, diff)
+		}
+	}
+}

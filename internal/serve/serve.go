@@ -1,0 +1,172 @@
+// Package serve provides batch inference over a trained DLRM: CTR scoring
+// and top-k candidate ranking. A recommendation service holds one user
+// context (dense features + the user-side categorical features) and scores
+// many candidate items by swapping the item-side feature, in batches — the
+// standard ranking-stage pattern (cf. DeepRecSys). Compressed Eff-TT tables
+// make the scoring model small enough to replicate on every serving node.
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/dlrm"
+	"repro/internal/tensor"
+)
+
+// Ranker scores candidates against a user context.
+type Ranker struct {
+	model *dlrm.Model
+	// itemFeature is the categorical feature (table index) that identifies
+	// the candidate item; all other features describe the user/context.
+	itemFeature int
+	// batch is the scoring batch size.
+	batch int
+}
+
+// NewRanker wraps a trained model. itemFeature selects which sparse feature
+// carries the candidate item id.
+func NewRanker(model *dlrm.Model, itemFeature, batchSize int) (*Ranker, error) {
+	if itemFeature < 0 || itemFeature >= len(model.Tables) {
+		return nil, fmt.Errorf("serve: item feature %d outside %d tables", itemFeature, len(model.Tables))
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("serve: non-positive batch size %d", batchSize)
+	}
+	return &Ranker{model: model, itemFeature: itemFeature, batch: batchSize}, nil
+}
+
+// Context is one user/request context: dense features plus one categorical
+// index per table (the item feature's value is ignored during ranking).
+type Context struct {
+	Dense  []float32
+	Sparse []int
+}
+
+// validate checks the context against the model.
+func (r *Ranker) validate(ctx Context) error {
+	if len(ctx.Dense) != r.model.Cfg.NumDense {
+		return fmt.Errorf("serve: context has %d dense features, model wants %d", len(ctx.Dense), r.model.Cfg.NumDense)
+	}
+	if len(ctx.Sparse) != len(r.model.Tables) {
+		return fmt.Errorf("serve: context has %d sparse features, model wants %d", len(ctx.Sparse), len(r.model.Tables))
+	}
+	for t, idx := range ctx.Sparse {
+		if t == r.itemFeature {
+			continue
+		}
+		if idx < 0 || idx >= r.model.Tables[t].NumRows() {
+			return fmt.Errorf("serve: feature %d index %d out of range", t, idx)
+		}
+	}
+	return nil
+}
+
+// Score returns the CTR probability of each candidate item for the context,
+// in candidate order.
+func (r *Ranker) Score(ctx Context, candidates []int) ([]float32, error) {
+	if err := r.validate(ctx); err != nil {
+		return nil, err
+	}
+	itemRows := r.model.Tables[r.itemFeature].NumRows()
+	for _, c := range candidates {
+		if c < 0 || c >= itemRows {
+			return nil, fmt.Errorf("serve: candidate %d outside item table of %d rows", c, itemRows)
+		}
+	}
+	out := make([]float32, 0, len(candidates))
+	for start := 0; start < len(candidates); start += r.batch {
+		end := start + r.batch
+		if end > len(candidates) {
+			end = len(candidates)
+		}
+		out = append(out, r.model.Predict(r.buildBatch(ctx, candidates[start:end]))...)
+	}
+	return out, nil
+}
+
+// buildBatch replicates the context across rows, varying the item feature.
+func (r *Ranker) buildBatch(ctx Context, candidates []int) *data.Batch {
+	n := len(candidates)
+	b := &data.Batch{
+		Dense:   tensor.New(n, len(ctx.Dense)),
+		Sparse:  make([][]int, len(ctx.Sparse)),
+		Offsets: make([]int, n),
+		Labels:  make([]float32, n),
+	}
+	for s := 0; s < n; s++ {
+		copy(b.Dense.Row(s), ctx.Dense)
+		b.Offsets[s] = s
+	}
+	for t := range ctx.Sparse {
+		col := make([]int, n)
+		for s := 0; s < n; s++ {
+			if t == r.itemFeature {
+				col[s] = candidates[s]
+			} else {
+				col[s] = ctx.Sparse[t]
+			}
+		}
+		b.Sparse[t] = col
+	}
+	return b
+}
+
+// Scored pairs a candidate item with its predicted CTR.
+type Scored struct {
+	Item  int
+	Score float32
+}
+
+// TopK returns the k highest-scoring candidates in descending score order
+// (ties broken by lower item id). k larger than the candidate count returns
+// all candidates ranked.
+func (r *Ranker) TopK(ctx Context, candidates []int, k int) ([]Scored, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: non-positive k %d", k)
+	}
+	scores, err := r.Score(ctx, candidates)
+	if err != nil {
+		return nil, err
+	}
+	h := &minHeap{}
+	heap.Init(h)
+	for i, c := range candidates {
+		s := Scored{Item: c, Score: scores[i]}
+		if h.Len() < k {
+			heap.Push(h, s)
+		} else if better(s, (*h)[0]) {
+			(*h)[0] = s
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]Scored, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Scored)
+	}
+	return out, nil
+}
+
+// better reports whether a outranks b (higher score, then lower item id).
+func better(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Item < b.Item
+}
+
+// minHeap keeps the current worst of the top-k at the root.
+type minHeap []Scored
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return better(h[j], h[i]) }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

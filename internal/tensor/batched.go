@@ -1,0 +1,149 @@
+package tensor
+
+import "fmt"
+
+// GemmBatch describes one entry of a batched GEMM call: C = A·B with the
+// shared dimensions of the batch. The slices alias caller storage, exactly
+// like the device pointers passed to cublasGemmBatchedEx — Algorithm 1 in the
+// paper prepares precisely these pointer lists.
+type GemmBatch struct {
+	A, B, C []float32
+}
+
+// BatchedMatMul computes C_i = A_i · B_i for every entry, where every A_i is
+// m×k, every B_i is k×n and every C_i is m×n, all row-major. It mirrors
+// cublasGemmBatchedEx: one shape, many pointer triples. Entries are processed
+// in parallel. C entries must not alias each other.
+func BatchedMatMul(m, k, n int, batch []GemmBatch) {
+	if m < 0 || k < 0 || n < 0 {
+		panic(fmt.Sprintf("tensor: BatchedMatMul negative dims %d,%d,%d", m, k, n))
+	}
+	for idx, e := range batch {
+		if len(e.A) < m*k || len(e.B) < k*n || len(e.C) < m*n {
+			panic(fmt.Sprintf("tensor: BatchedMatMul entry %d buffers too small for %dx%dx%d", idx, m, k, n))
+		}
+	}
+	work := len(batch) * m * k * n
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gemmInto(m, k, n, batch[i].A, batch[i].B, batch[i].C)
+		}
+	}
+	if work >= parallelThreshold && len(batch) > 1 {
+		ParallelFor(len(batch), body)
+		return
+	}
+	body(0, len(batch))
+}
+
+// BatchedMatMulTransA computes C_i = A_iᵀ · B_i for every entry, where every
+// A_i is k×m (so A_iᵀ is m×k), every B_i is k×n and every C_i is m×n. Used by
+// the Eff-TT backward pass to form core gradients in bulk.
+func BatchedMatMulTransA(m, k, n int, batch []GemmBatch) {
+	for idx, e := range batch {
+		if len(e.A) < k*m || len(e.B) < k*n || len(e.C) < m*n {
+			panic(fmt.Sprintf("tensor: BatchedMatMulTransA entry %d buffers too small", idx))
+		}
+	}
+	work := len(batch) * m * k * n
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := batch[i]
+			for x := 0; x < m*n; x++ {
+				e.C[x] = 0
+			}
+			for kk := 0; kk < k; kk++ {
+				arow := e.A[kk*m : (kk+1)*m]
+				brow := e.B[kk*n : (kk+1)*n]
+				for r, av := range arow {
+					if av == 0 {
+						continue
+					}
+					axpy(av, brow, e.C[r*n:(r+1)*n])
+				}
+			}
+		}
+	}
+	if work >= parallelThreshold && len(batch) > 1 {
+		ParallelFor(len(batch), body)
+		return
+	}
+	body(0, len(batch))
+}
+
+// gemmInto computes c = a·b for row-major buffers with explicit dimensions,
+// zeroing c first.
+func gemmInto(m, k, n int, a, b, c []float32) {
+	for x := 0; x < m*n; x++ {
+		c[x] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		out := c[i*n : (i+1)*n]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy(av, b[kk*n:(kk+1)*n], out)
+		}
+	}
+}
+
+// GemmInto exposes the raw-buffer GEMM (c = a·b, shapes m×k · k×n) for
+// callers that manage their own flat storage.
+func GemmInto(m, k, n int, a, b, c []float32) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmInto buffers too small")
+	}
+	gemmInto(m, k, n, a, b, c)
+}
+
+// GemmAddInto computes c += a·b for row-major buffers.
+func GemmAddInto(m, k, n int, a, b, c []float32) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmAddInto buffers too small")
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		out := c[i*n : (i+1)*n]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy(av, b[kk*n:(kk+1)*n], out)
+		}
+	}
+}
+
+// GemmTransAAddInto computes c += aᵀ·b where a is k×m row-major (aᵀ is m×k),
+// b is k×n and c is m×n.
+func GemmTransAAddInto(m, k, n int, a, b, c []float32) {
+	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmTransAAddInto buffers too small")
+	}
+	for kk := 0; kk < k; kk++ {
+		arow := a[kk*m : (kk+1)*m]
+		brow := b[kk*n : (kk+1)*n]
+		for r, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy(av, brow, c[r*n:(r+1)*n])
+		}
+	}
+}
+
+// GemmTransBAddInto computes c += a·bᵀ where a is m×k, b is n×k row-major
+// (bᵀ is k×n) and c is m×n.
+func GemmTransBAddInto(m, k, n int, a, b, c []float32) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmTransBAddInto buffers too small")
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		out := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			out[j] += dot(arow, b[j*k:(j+1)*k])
+		}
+	}
+}

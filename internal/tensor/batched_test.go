@@ -1,0 +1,154 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBatchedMatMulMatchesSequential(t *testing.T) {
+	r := NewRNG(10)
+	const m, k, n = 4, 6, 5
+	var batch []GemmBatch
+	var want []*Matrix
+	for i := 0; i < 9; i++ {
+		a := randomMatrix(r, m, k)
+		b := randomMatrix(r, k, n)
+		c := New(m, n)
+		batch = append(batch, GemmBatch{A: a.Data, B: b.Data, C: c.Data})
+		want = append(want, naiveMatMul(a, b))
+	}
+	BatchedMatMul(m, k, n, batch)
+	for i, w := range want {
+		got := FromSlice(m, n, batch[i].C)
+		if d := got.MaxAbsDiff(w); d > 1e-4 {
+			t.Fatalf("batch entry %d deviates by %v", i, d)
+		}
+	}
+}
+
+func TestBatchedMatMulEmptyBatch(t *testing.T) {
+	BatchedMatMul(2, 2, 2, nil) // must not panic
+}
+
+func TestBatchedMatMulTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized buffer did not panic")
+		}
+	}()
+	BatchedMatMul(2, 2, 2, []GemmBatch{{A: make([]float32, 3), B: make([]float32, 4), C: make([]float32, 4)}})
+}
+
+func TestBatchedMatMulLargeParallel(t *testing.T) {
+	r := NewRNG(11)
+	const m, k, n = 8, 16, 8
+	var batch []GemmBatch
+	var as, bs []*Matrix
+	for i := 0; i < 128; i++ {
+		a := randomMatrix(r, m, k)
+		b := randomMatrix(r, k, n)
+		c := New(m, n)
+		as, bs = append(as, a), append(bs, b)
+		batch = append(batch, GemmBatch{A: a.Data, B: b.Data, C: c.Data})
+	}
+	BatchedMatMul(m, k, n, batch)
+	for i := range batch {
+		want := naiveMatMul(as[i], bs[i])
+		if d := FromSlice(m, n, batch[i].C).MaxAbsDiff(want); d > 1e-4 {
+			t.Fatalf("parallel batch entry %d deviates by %v", i, d)
+		}
+	}
+}
+
+func TestBatchedMatMulTransA(t *testing.T) {
+	r := NewRNG(12)
+	const m, k, n = 3, 7, 4 // A is k×m
+	var batch []GemmBatch
+	var as, bs []*Matrix
+	for i := 0; i < 5; i++ {
+		a := randomMatrix(r, k, m)
+		b := randomMatrix(r, k, n)
+		c := New(m, n)
+		as, bs = append(as, a), append(bs, b)
+		batch = append(batch, GemmBatch{A: a.Data, B: b.Data, C: c.Data})
+	}
+	BatchedMatMulTransA(m, k, n, batch)
+	for i := range batch {
+		want := naiveMatMul(as[i].Transpose(), bs[i])
+		if d := FromSlice(m, n, batch[i].C).MaxAbsDiff(want); d > 1e-4 {
+			t.Fatalf("transA batch entry %d deviates by %v", i, d)
+		}
+	}
+}
+
+func TestGemmIntoAndAdd(t *testing.T) {
+	r := NewRNG(13)
+	a := randomMatrix(r, 3, 4)
+	b := randomMatrix(r, 4, 2)
+	c := make([]float32, 6)
+	GemmInto(3, 4, 2, a.Data, b.Data, c)
+	want := naiveMatMul(a, b)
+	if d := FromSlice(3, 2, c).MaxAbsDiff(want); d > 1e-4 {
+		t.Fatalf("GemmInto deviates by %v", d)
+	}
+	// Accumulate the same product again: result should double.
+	GemmAddInto(3, 4, 2, a.Data, b.Data, c)
+	for i := range c {
+		if diff := c[i] - 2*want.Data[i]; diff > 1e-3 || diff < -1e-3 {
+			t.Fatalf("GemmAddInto[%d] = %v want %v", i, c[i], 2*want.Data[i])
+		}
+	}
+}
+
+func TestGemmTransAAddInto(t *testing.T) {
+	r := NewRNG(14)
+	a := randomMatrix(r, 5, 3) // k×m, aᵀ: 3×5
+	b := randomMatrix(r, 5, 2)
+	c := make([]float32, 6)
+	GemmTransAAddInto(3, 5, 2, a.Data, b.Data, c)
+	want := naiveMatMul(a.Transpose(), b)
+	if d := FromSlice(3, 2, c).MaxAbsDiff(want); d > 1e-4 {
+		t.Fatalf("GemmTransAAddInto deviates by %v", d)
+	}
+}
+
+func TestGemmTransBAddInto(t *testing.T) {
+	r := NewRNG(15)
+	a := randomMatrix(r, 4, 3)
+	b := randomMatrix(r, 2, 3) // n×k, bᵀ: 3×2
+	c := make([]float32, 8)
+	GemmTransBAddInto(4, 3, 2, a.Data, b.Data, c)
+	want := naiveMatMul(a, b.Transpose())
+	if d := FromSlice(4, 2, c).MaxAbsDiff(want); d > 1e-4 {
+		t.Fatalf("GemmTransBAddInto deviates by %v", d)
+	}
+}
+
+// Property: batched GEMM on random shapes agrees with Matrix MatMul.
+func TestQuickBatchedAgreesWithMatMul(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		count := 1 + r.Intn(6)
+		batch := make([]GemmBatch, count)
+		ref := make([]*Matrix, count)
+		for i := range batch {
+			a := randomMatrix(r, m, k)
+			b := randomMatrix(r, k, n)
+			c := New(m, n)
+			batch[i] = GemmBatch{A: a.Data, B: b.Data, C: c.Data}
+			ref[i] = New(m, n)
+			MatMul(ref[i], a, b)
+		}
+		BatchedMatMul(m, k, n, batch)
+		for i := range batch {
+			if FromSlice(m, n, batch[i].C).MaxAbsDiff(ref[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate multiply-add count below which kernels
+// stay single-threaded; goroutine dispatch costs more than it saves on tiny
+// problems (the TT slice GEMMs are often only a few thousand FLOPs).
+const parallelThreshold = 1 << 16
+
+// MaxWorkers bounds the number of goroutines ParallelFor spawns. It defaults
+// to GOMAXPROCS and can be lowered (e.g. by the hw package when emulating a
+// weaker device).
+var MaxWorkers = runtime.GOMAXPROCS(0)
+
+// ParallelFor splits [0,n) into contiguous chunks and invokes body(lo,hi) on
+// each chunk from its own goroutine, blocking until all chunks complete.
+// body must be safe to run concurrently on disjoint ranges. With n <= 1 or a
+// single worker the call runs inline.
+func ParallelFor(n int, body func(lo, hi int)) {
+	workers := MaxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,341 @@
+// Package tensor provides the dense float32 linear-algebra kernels that the
+// rest of the repository builds on. It plays the role that cuBLAS plays in
+// the paper: plain GEMM, transposed GEMM variants, a batched GEMM with a
+// pointer-list interface mirroring cublasGemmBatchedEx, and element-wise
+// vector helpers. All kernels are deterministic and goroutine-parallel over
+// rows (or batch entries) where profitable.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix. The zero value is an empty
+// matrix; use New to allocate storage.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data as a rows×cols matrix without copying. The slice
+// length must be exactly rows*cols.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns the i-th row as a subslice (no copy).
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d <- %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Reshape returns a view of m with new dimensions sharing the same data.
+// rows*cols must equal the current element count.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows*cols != m.Rows*m.Cols {
+		panic(fmt.Sprintf("tensor: Reshape %dx%d -> %dx%d changes element count", m.Rows, m.Cols, rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: m.Data}
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and other have the same shape and all elements
+// within tol of each other.
+func (m *Matrix) Equal(other *Matrix, tol float32) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - other.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between m
+// and other, panicking on shape mismatch.
+func (m *Matrix) MaxAbsDiff(other *Matrix) float32 {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var max float32
+	for i, v := range m.Data {
+		d := v - other.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// MatMul computes dst = a · b. dst must be preallocated with shape
+// a.Rows × b.Cols and must not alias a or b. Rows of dst are computed in
+// parallel when the problem is large enough.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work >= parallelThreshold {
+		ParallelFor(a.Rows, func(lo, hi int) {
+			matMulRange(dst, a, b, lo, hi)
+		})
+		return
+	}
+	matMulRange(dst, a, b, 0, a.Rows)
+}
+
+// matMulRange computes rows [lo,hi) of dst = a·b with an ikj loop order that
+// streams through b rows sequentially.
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		out := dst.Data[i*n : (i+1)*n]
+		for j := range out {
+			out[j] = 0
+		}
+		arow := a.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			axpy(av, brow, out)
+		}
+	}
+}
+
+// MatMulAdd computes dst += a · b (accumulating into dst).
+func MatMulAdd(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulAdd inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulAdd dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		out := dst.Data[i*n : (i+1)*n]
+		arow := a.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy(av, b.Data[k*n:(k+1)*n], out)
+		}
+	}
+}
+
+// MatMulTransA computes dst = aᵀ · b where a is stored untransposed.
+// dst shape must be a.Cols × b.Cols.
+func MatMulTransA(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d != %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	MatMulTransAAdd(dst, a, b)
+}
+
+// MatMulTransAAdd computes dst += aᵀ · b.
+func MatMulTransAAdd(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransAAdd inner dims %d != %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransAAdd dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Data[k*n : (k+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy(av, brow, dst.Data[i*n:(i+1)*n])
+		}
+	}
+}
+
+// MatMulTransB computes dst = a · bᵀ where b is stored untransposed.
+// dst shape must be a.Rows × b.Rows.
+func MatMulTransB(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	work := a.Rows * a.Cols * b.Rows
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			out := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				out[j] = dot(arow, b.Row(j))
+			}
+		}
+	}
+	if work >= parallelThreshold {
+		ParallelFor(a.Rows, body)
+		return
+	}
+	body(0, a.Rows)
+}
+
+// MatMulTransBAdd computes dst += a · bᵀ.
+func MatMulTransBAdd(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransBAdd inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransBAdd dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		out := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			out[j] += dot(arow, b.Row(j))
+		}
+	}
+}
+
+// axpy computes y += a*x over equal-length slices; the loop vectorizes well.
+func axpy(a float32, x, y []float32) {
+	_ = y[len(x)-1]
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+// dot returns the inner product of equal-length slices.
+func dot(x, y []float32) float32 {
+	var s float32
+	_ = y[len(x)-1]
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x for vectors exposed as slices.
+func Axpy(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	if len(x) == 0 {
+		return
+	}
+	axpy(a, x, y)
+}
+
+// Dot returns xᵀy for vectors exposed as slices.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(x), len(y)))
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	return dot(x, y)
+}
+
+// Scale multiplies every element of x by a in place.
+func Scale(a float32, x []float32) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// AddTo computes dst += src element-wise.
+func AddTo(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: AddTo length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}

@@ -1,0 +1,246 @@
+package tt
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Backward computes TT-core gradients for the batch described by cache and
+// applies the SGD update with learning rate lr. The executed path follows
+// t.Opts:
+//
+//   - InAdvanceAgg aggregates dOut into one gradient row per unique index
+//     first (Figure 6(b)); otherwise every occurrence of every index runs
+//     the full chain-rule multiplications (Figure 6(a), TT-Rec behaviour).
+//   - FusedUpdate applies −lr·grad to core slices inside the same pass;
+//     otherwise gradients accumulate into full core-sized buffers and a
+//     separate optimizer sweep updates the cores (extra memory traffic,
+//     exactly the cost the fused kernel removes).
+//
+// dOut is the gradient of the loss w.r.t. the pooled batch output
+// (batch×Dim).
+func (t *Table) Backward(cache *ForwardCache, dOut *tensor.Matrix, lr float32) {
+	if cache == nil {
+		panic("tt: Backward with nil cache")
+	}
+	if dOut.Rows != len(cache.Offsets) || dOut.Cols != t.Shape.Dim {
+		panic(fmt.Sprintf("tt: Backward grad %dx%d want %dx%d", dOut.Rows, dOut.Cols, len(cache.Offsets), t.Shape.Dim))
+	}
+
+	var workIdx []int
+	var workGrad *tensor.Matrix
+	if t.Opts.InAdvanceAgg {
+		workIdx, workGrad = t.aggregateGrads(cache, dOut)
+	} else {
+		workIdx, workGrad = t.perOccurrenceGrads(cache, dOut)
+	}
+
+	var gradBufs [Dims]*tensor.Matrix
+	if !t.Opts.FusedUpdate {
+		gradBufs = t.gradBuffers()
+	}
+
+	n := t.Shape.ColFactors
+	r1, r2 := t.Shape.R1, t.Shape.R2
+	sz := t.Shape.SliceSizes()
+	prefixNeeded := cache.PrefixBuf == nil
+	var slots []int
+	if !prefixNeeded {
+		slots = t.slotsFor(cache, workIdx)
+	}
+
+	t.parallelItems(len(workIdx), func(lo, hi int) {
+		p12 := make([]float32, t.Shape.PrefixSize())
+		dP12 := make([]float32, t.Shape.PrefixSize())
+		dG1 := make([]float32, sz[0])
+		dG2 := make([]float32, sz[1])
+		dG3 := make([]float32, sz[2])
+		for w := lo; w < hi; w++ {
+			idx := workIdx[w]
+			g := workGrad.Row(w)
+			i1, i2, i3 := t.Shape.FactorIndex(idx)
+
+			// Fetch or recompute the forward intermediate P₁₂.
+			var pref []float32
+			if prefixNeeded {
+				t.computePrefix(i1, i2, p12)
+				pref = p12
+			} else {
+				pref = cache.PrefixBuf.Row(slots[w])
+			}
+
+			// dG₃[i₃] = P₁₂ᵀ · g   (R₂ × n₃), P₁₂ viewed as n₁n₂ × R₂.
+			zero(dG3)
+			tensor.GemmTransAAddInto(r2, n[0]*n[1], n[2], pref, g, dG3)
+			// dP₁₂ = g · G₃[i₃]ᵀ   (n₁n₂ × R₂).
+			zero(dP12)
+			tensor.GemmTransBAddInto(n[0]*n[1], n[2], r2, g, t.Slice3(i3), dP12)
+			// dG₂[i₂] = G₁[i₁]ᵀ · dP₁₂  (R₁ × n₂R₂), dP₁₂ viewed as n₁ × n₂R₂.
+			zero(dG2)
+			tensor.GemmTransAAddInto(r1, n[0], n[1]*r2, t.Slice1(i1), dP12, dG2)
+			// dG₁[i₁] = dP₁₂ · G₂[i₂]ᵀ  (n₁ × R₁).
+			zero(dG1)
+			tensor.GemmTransBAddInto(n[0], n[1]*r2, r1, dP12, t.Slice2(i2), dG1)
+
+			if t.Opts.FusedUpdate {
+				t.applyGradSlice(0, i1, dG1, lr)
+				t.applyGradSlice(1, i2, dG2, lr)
+				t.applyGradSlice(2, i3, dG3, lr)
+			} else {
+				t.accumSlice(gradBufs[0], 0, i1, dG1)
+				t.accumSlice(gradBufs[1], 1, i2, dG2)
+				t.accumSlice(gradBufs[2], 2, i3, dG3)
+			}
+		}
+	})
+
+	if !t.Opts.FusedUpdate {
+		// Separate optimizer sweep over the full core buffers: the extra
+		// read-modify-write traffic the fused path avoids.
+		if t.AdagradEnabled() {
+			t.adagradSweep(gradBufs, lr)
+		} else {
+			for k := 0; k < Dims; k++ {
+				tensor.Axpy(-lr, gradBufs[k].Data, t.Cores[k].Data)
+			}
+		}
+	}
+}
+
+// slotsFor returns one reuse-buffer slot per backward work item. When the
+// backward work list is the forward work list (the common case) the cached
+// slots are reused directly; otherwise (aggregation enabled on a
+// non-deduplicated forward) a prefix→slot map recovers them.
+func (t *Table) slotsFor(cache *ForwardCache, workIdx []int) []int {
+	if len(workIdx) == len(cache.WorkIdx) {
+		same := true
+		for i := range workIdx {
+			if workIdx[i] != cache.WorkIdx[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return cache.PrefixSlots
+		}
+	}
+	byPrefix := make(map[int]int, len(cache.WorkIdx))
+	for fw, fidx := range cache.WorkIdx {
+		byPrefix[t.Shape.Prefix(fidx)] = cache.PrefixSlots[fw]
+	}
+	slots := make([]int, len(workIdx))
+	for w, idx := range workIdx {
+		slot, ok := byPrefix[t.Shape.Prefix(idx)]
+		if !ok {
+			panic(fmt.Sprintf("tt: prefix of index %d missing from forward cache", idx))
+		}
+		slots[w] = slot
+	}
+	return slots
+}
+
+// aggregateGrads computes one aggregated gradient row per unique index of
+// the batch (in-advance gradient aggregation). When the forward pass already
+// deduplicated, its unique structure is reused; otherwise it is built here.
+func (t *Table) aggregateGrads(cache *ForwardCache, dOut *tensor.Matrix) ([]int, *tensor.Matrix) {
+	workIdx, workOf := cache.WorkIdx, cache.WorkOf
+	if !t.Opts.DedupIndices {
+		// Forward ran per occurrence; build the unique structure now.
+		pos := make(map[int]int, len(cache.Indices))
+		workIdx = workIdx[:0:0]
+		workOf = make([]int, len(cache.Indices))
+		for p, idx := range cache.Indices {
+			u, ok := pos[idx]
+			if !ok {
+				u = len(workIdx)
+				pos[idx] = u
+				workIdx = append(workIdx, idx)
+			}
+			workOf[p] = u
+		}
+	}
+	grads := tensor.New(len(workIdx), t.Shape.Dim)
+	for s := range cache.Offsets {
+		start := cache.Offsets[s]
+		end := len(cache.Indices)
+		if s+1 < len(cache.Offsets) {
+			end = cache.Offsets[s+1]
+		}
+		src := dOut.Row(s)
+		for p := start; p < end; p++ {
+			tensor.AddTo(grads.Row(workOf[p]), src)
+		}
+	}
+	return workIdx, grads
+}
+
+// perOccurrenceGrads materializes one gradient row per index occurrence
+// (no aggregation): occurrence p of sample s receives a copy of dOut[s].
+// The copy is the point — TT-Rec stores per-row gradients before reducing.
+func (t *Table) perOccurrenceGrads(cache *ForwardCache, dOut *tensor.Matrix) ([]int, *tensor.Matrix) {
+	grads := tensor.New(len(cache.Indices), t.Shape.Dim)
+	for s := range cache.Offsets {
+		start := cache.Offsets[s]
+		end := len(cache.Indices)
+		if s+1 < len(cache.Offsets) {
+			end = cache.Offsets[s+1]
+		}
+		for p := start; p < end; p++ {
+			copy(grads.Row(p), dOut.Row(s))
+		}
+	}
+	return cache.Indices, grads
+}
+
+// accumSlice adds delta into the gradient buffer of core k under the stripe
+// lock.
+func (t *Table) accumSlice(buf *tensor.Matrix, k, row int, delta []float32) {
+	mu := t.lockFor(k, row)
+	mu.Lock()
+	tensor.AddTo(buf.Row(row), delta)
+	mu.Unlock()
+}
+
+func zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Lookup runs Forward and retains the cache for a following Update call,
+// satisfying the embedding-table interface the DLRM model consumes.
+func (t *Table) Lookup(indices, offsets []int) *tensor.Matrix {
+	out, cache := t.Forward(indices, offsets)
+	t.lastCache = cache
+	return out
+}
+
+// Update applies gradients for the most recent Lookup batch. The batch
+// description must match that Lookup call; if it does not (or no Lookup ran)
+// a fresh forward pass rebuilds the intermediates.
+func (t *Table) Update(indices, offsets []int, dOut *tensor.Matrix, lr float32) {
+	cache := t.lastCache
+	if cache == nil || !sameBatch(cache, indices, offsets) {
+		_, cache = t.Forward(indices, offsets)
+	}
+	t.lastCache = nil
+	t.Backward(cache, dOut, lr)
+}
+
+func sameBatch(c *ForwardCache, indices, offsets []int) bool {
+	if len(c.Indices) != len(indices) || len(c.Offsets) != len(offsets) {
+		return false
+	}
+	for i := range indices {
+		if c.Indices[i] != indices[i] {
+			return false
+		}
+	}
+	for i := range offsets {
+		if c.Offsets[i] != offsets[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package tt
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+)
+
+// ForwardCache carries the intermediates of one Forward call into the
+// matching Backward call: the batch description, the unique-index structure
+// (when deduplication ran), and the reuse buffer of first-two-core products
+// (when prefix reuse ran).
+type ForwardCache struct {
+	Indices []int
+	Offsets []int
+
+	// WorkIdx[w] is the embedding index of work item w; WorkOf[p] maps
+	// occurrence p to its work item. With deduplication WorkIdx is the
+	// unique index list, otherwise it is a copy of Indices and WorkOf is
+	// the identity.
+	WorkIdx []int
+	WorkOf  []int
+
+	// PrefixSlots[w] is the reuse-buffer row of work item w; PrefixBuf row
+	// s holds the n₁×(n₂R₂) product for that prefix. Nil when prefix reuse
+	// is disabled.
+	PrefixSlots []int
+	PrefixBuf   *tensor.Matrix
+
+	// Rows holds the materialized embedding row of each work item
+	// (len(WorkIdx) × Dim).
+	Rows *tensor.Matrix
+}
+
+// validateBatch panics when a batch description is malformed, mirroring
+// embedding.Bag's validation.
+func (t *Table) validateBatch(indices, offsets []int) {
+	if len(offsets) == 0 {
+		panic("tt: empty offsets")
+	}
+	if offsets[0] != 0 {
+		panic(fmt.Sprintf("tt: offsets[0] = %d want 0", offsets[0]))
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			panic(fmt.Sprintf("tt: offsets not monotone at %d", i))
+		}
+	}
+	if offsets[len(offsets)-1] > len(indices) {
+		panic(fmt.Sprintf("tt: last offset %d exceeds %d indices", offsets[len(offsets)-1], len(indices)))
+	}
+	for p, idx := range indices {
+		if idx < 0 || idx >= t.Shape.Rows {
+			panic(fmt.Sprintf("tt: index %d at position %d out of [0,%d)", idx, p, t.Shape.Rows))
+		}
+	}
+}
+
+// Forward computes the sum-pooled embeddings of a batch (batch×Dim) and the
+// cache consumed by Backward. The executed path follows t.Opts: with
+// DedupIndices each unique row is computed once; with ReusePrefix the
+// products of the first two cores are computed once per unique prefix via a
+// single batched GEMM over prepared pointer lists (Algorithm 1).
+func (t *Table) Forward(indices, offsets []int) (*tensor.Matrix, *ForwardCache) {
+	t.validateBatch(indices, offsets)
+	c := &ForwardCache{Indices: indices, Offsets: offsets}
+
+	if t.Opts.DedupIndices {
+		c.WorkIdx, c.WorkOf = embedding.Unique(indices)
+	} else {
+		c.WorkIdx = indices
+		c.WorkOf = make([]int, len(indices))
+		for p := range indices {
+			c.WorkOf[p] = p
+		}
+	}
+
+	if t.Opts.ReusePrefix {
+		t.fillPrefixBuffer(c)
+	}
+
+	// Materialize one row per work item.
+	c.Rows = tensor.New(len(c.WorkIdx), t.Shape.Dim)
+	prefixScratchSize := 0
+	if c.PrefixBuf == nil {
+		prefixScratchSize = t.Shape.PrefixSize()
+	}
+	t.parallelItems(len(c.WorkIdx), func(lo, hi int) {
+		var scratch []float32
+		if prefixScratchSize > 0 {
+			scratch = make([]float32, prefixScratchSize)
+		}
+		for w := lo; w < hi; w++ {
+			i1, i2, i3 := t.Shape.FactorIndex(c.WorkIdx[w])
+			p12 := scratch
+			if c.PrefixBuf != nil {
+				p12 = c.PrefixBuf.Row(c.PrefixSlots[w])
+			} else {
+				t.computePrefix(i1, i2, p12)
+			}
+			t.rowFromPrefix(p12, i3, c.Rows.Row(w))
+		}
+	})
+
+	// Pool work-item rows into per-sample embeddings.
+	out := tensor.New(len(offsets), t.Shape.Dim)
+	t.parallelItems(len(offsets), func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			start := offsets[s]
+			end := len(indices)
+			if s+1 < len(offsets) {
+				end = offsets[s+1]
+			}
+			row := out.Row(s)
+			for p := start; p < end; p++ {
+				tensor.AddTo(row, c.Rows.Row(c.WorkOf[p]))
+			}
+		}
+	})
+	return out, c
+}
+
+// fillPrefixBuffer deduplicates the prefixes of the work items, prepares the
+// batched-GEMM pointer lists (Ptr_a/Ptr_b/Ptr_c in Algorithm 1), and runs
+// one batched GEMM to populate the reuse buffer. A dense slot map plays the
+// role of Algorithm 1's Buf_flag when the prefix space is small; otherwise a
+// hash map deduplicates.
+func (t *Table) fillPrefixBuffer(c *ForwardCache) {
+	c.PrefixSlots = make([]int, len(c.WorkIdx))
+	var prefixes []int
+
+	if np := t.Shape.NumPrefixes(); np <= 4*len(c.WorkIdx)+1024 {
+		slotOf := make([]int32, np)
+		for i := range slotOf {
+			slotOf[i] = -1
+		}
+		for w, idx := range c.WorkIdx {
+			pfx := t.Shape.Prefix(idx)
+			if slotOf[pfx] < 0 {
+				slotOf[pfx] = int32(len(prefixes))
+				prefixes = append(prefixes, pfx)
+			}
+			c.PrefixSlots[w] = int(slotOf[pfx])
+		}
+	} else {
+		slotOf := make(map[int]int, len(c.WorkIdx))
+		for w, idx := range c.WorkIdx {
+			pfx := t.Shape.Prefix(idx)
+			slot, ok := slotOf[pfx]
+			if !ok {
+				slot = len(prefixes)
+				slotOf[pfx] = slot
+				prefixes = append(prefixes, pfx)
+			}
+			c.PrefixSlots[w] = slot
+		}
+	}
+
+	c.PrefixBuf = tensor.New(len(prefixes), t.Shape.PrefixSize())
+	batch := make([]tensor.GemmBatch, len(prefixes))
+	m2 := t.Shape.RowFactors[1]
+	for s, pfx := range prefixes {
+		i1, i2 := pfx/m2, pfx%m2
+		batch[s] = tensor.GemmBatch{A: t.Slice1(i1), B: t.Slice2(i2), C: c.PrefixBuf.Row(s)}
+	}
+	n := t.Shape.ColFactors
+	tensor.BatchedMatMul(n[0], t.Shape.R1, n[1]*t.Shape.R2, batch)
+}
+
+// parallelItems runs body over [0,n) in parallel unless the table is in
+// deterministic mode.
+func (t *Table) parallelItems(n int, body func(lo, hi int)) {
+	if t.Deterministic {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	tensor.ParallelFor(n, body)
+}

@@ -1,0 +1,221 @@
+package tt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// SVD computes a full singular value decomposition A = U·diag(s)·Vᵀ using
+// one-sided Jacobi rotations with float64 accumulation. U is rows×k,
+// V is cols×k and s has k = min(rows, cols)... in fact k = cols here; for
+// rows < cols the caller should decompose Aᵀ. Singular values are returned
+// in descending order. The implementation targets the moderate matrices of
+// TT-SVD initialization, not large-scale numerics.
+func SVD(a *tensor.Matrix) (u *tensor.Matrix, s []float32, v *tensor.Matrix) {
+	rows, cols := a.Rows, a.Cols
+	// Work in float64 column-major for cache-friendly column rotations.
+	b := make([][]float64, cols)
+	for j := 0; j < cols; j++ {
+		col := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			col[i] = float64(a.At(i, j))
+		}
+		b[j] = col
+	}
+	vm := make([][]float64, cols)
+	for j := range vm {
+		vm[j] = make([]float64, cols)
+		vm[j][j] = 1
+	}
+
+	const (
+		eps       = 1e-12
+		maxSweeps = 60
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < cols-1; p++ {
+			for q := p + 1; q < cols; q++ {
+				alpha, beta, gamma := 0.0, 0.0, 0.0
+				bp, bq := b[p], b[q]
+				for i := 0; i < rows; i++ {
+					alpha += bp[i] * bp[i]
+					beta += bq[i] * bq[i]
+					gamma += bp[i] * bq[i]
+				}
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				off += math.Abs(gamma)
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				for i := 0; i < rows; i++ {
+					bpi, bqi := bp[i], bq[i]
+					bp[i] = c*bpi - sn*bqi
+					bq[i] = sn*bpi + c*bqi
+				}
+				vp, vq := vm[p], vm[q]
+				for i := 0; i < cols; i++ {
+					vpi, vqi := vp[i], vq[i]
+					vp[i] = c*vpi - sn*vqi
+					vq[i] = sn*vpi + c*vqi
+				}
+			}
+		}
+		if off < eps {
+			break
+		}
+	}
+
+	// Column norms are the singular values.
+	type sv struct {
+		val float64
+		idx int
+	}
+	svs := make([]sv, cols)
+	for j := 0; j < cols; j++ {
+		var n float64
+		for i := 0; i < rows; i++ {
+			n += b[j][i] * b[j][i]
+		}
+		svs[j] = sv{math.Sqrt(n), j}
+	}
+	sort.Slice(svs, func(i, j int) bool { return svs[i].val > svs[j].val })
+
+	u = tensor.New(rows, cols)
+	v = tensor.New(cols, cols)
+	s = make([]float32, cols)
+	for rank, e := range svs {
+		s[rank] = float32(e.val)
+		inv := 0.0
+		if e.val > eps {
+			inv = 1 / e.val
+		}
+		for i := 0; i < rows; i++ {
+			u.Set(i, rank, float32(b[e.idx][i]*inv))
+		}
+		for i := 0; i < cols; i++ {
+			v.Set(i, rank, float32(vm[e.idx][i]))
+		}
+	}
+	return u, s, v
+}
+
+// DecomposeDense performs truncated TT-SVD of a dense rows×dim table into a
+// Table of the given shape (ranks taken from the shape). This is the
+// "initialize TT cores from a pretrained table" extension of TT-Rec: the
+// returned table materializes to the best rank-(R₁,R₂) TT approximation the
+// two sequential truncated SVDs find. Rows beyond w.Rows (padding) are zero.
+func DecomposeDense(w *tensor.Matrix, shape Shape) (*Table, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	if w.Rows != shape.Rows || w.Cols != shape.Dim {
+		return nil, fmt.Errorf("tt: dense table %dx%d does not match shape %v", w.Rows, w.Cols, shape)
+	}
+	m, n := shape.RowFactors, shape.ColFactors
+	r1, r2 := shape.R1, shape.R2
+
+	// Unfolding 1: rows (i₁,j₁) → m₁n₁; cols ((i₂,j₂),(i₃,j₃)).
+	rest := m[1] * n[1] * m[2] * n[2]
+	a := tensor.New(m[0]*n[0], rest)
+	for i := 0; i < shape.Rows; i++ {
+		i1, i2, i3 := shape.FactorIndex(i)
+		for j := 0; j < shape.Dim; j++ {
+			j1 := j / (n[1] * n[2])
+			j2 := (j / n[2]) % n[1]
+			j3 := j % n[2]
+			row := i1*n[0] + j1
+			col := (i2*n[1]+j2)*(m[2]*n[2]) + i3*n[2] + j3
+			a.Set(row, col, w.At(i, j))
+		}
+	}
+
+	u1, s1, v1 := svdEconomy(a)
+	k1 := clampRank(r1, len(s1))
+	if k1 < r1 {
+		return nil, fmt.Errorf("tt: rank R1=%d exceeds unfolding rank bound %d", r1, k1)
+	}
+
+	// B = S₁·V₁ᵀ truncated to R₁ rows: R₁ × rest.
+	b := tensor.New(r1, rest)
+	for r := 0; r < r1; r++ {
+		for c := 0; c < rest; c++ {
+			b.Set(r, c, s1[r]*v1.At(c, r))
+		}
+	}
+
+	// Unfolding 2: rows (r₁,i₂,j₂) → R₁m₂n₂; cols (i₃,j₃).
+	b2 := tensor.New(r1*m[1]*n[1], m[2]*n[2])
+	for r := 0; r < r1; r++ {
+		for c := 0; c < rest; c++ {
+			ij2 := c / (m[2] * n[2])
+			ij3 := c % (m[2] * n[2])
+			b2.Set(r*m[1]*n[1]+ij2, ij3, b.At(r, c))
+		}
+	}
+	u2, s2, v2 := svdEconomy(b2)
+	k2 := clampRank(r2, len(s2))
+	if k2 < r2 {
+		return nil, fmt.Errorf("tt: rank R2=%d exceeds unfolding rank bound %d", r2, k2)
+	}
+
+	t := &Table{Shape: shape, Opts: EffOptions()}
+	sz := shape.SliceSizes()
+	for k := 0; k < Dims; k++ {
+		t.Cores[k] = tensor.New(shape.RowFactors[k], sz[k])
+	}
+	// Core 1: slice[i₁][j₁·R₁ + r] = U₁[i₁n₁+j₁, r].
+	for i1 := 0; i1 < m[0]; i1++ {
+		slice := t.Cores[0].Row(i1)
+		for j1 := 0; j1 < n[0]; j1++ {
+			for r := 0; r < r1; r++ {
+				slice[j1*r1+r] = u1.At(i1*n[0]+j1, r)
+			}
+		}
+	}
+	// Core 2: slice[i₂][r·n₂R₂ + j₂·R₂ + r'] = U₂[(r·m₂+i₂)·n₂+j₂, r'].
+	for i2 := 0; i2 < m[1]; i2++ {
+		slice := t.Cores[1].Row(i2)
+		for r := 0; r < r1; r++ {
+			for j2 := 0; j2 < n[1]; j2++ {
+				for rp := 0; rp < r2; rp++ {
+					slice[r*n[1]*r2+j2*r2+rp] = u2.At((r*m[1]+i2)*n[1]+j2, rp)
+				}
+			}
+		}
+	}
+	// Core 3: slice[i₃][r'·n₃ + j₃] = S₂V₂ᵀ[r', i₃n₃+j₃].
+	for i3 := 0; i3 < m[2]; i3++ {
+		slice := t.Cores[2].Row(i3)
+		for rp := 0; rp < r2; rp++ {
+			for j3 := 0; j3 < n[2]; j3++ {
+				slice[rp*n[2]+j3] = s2[rp] * v2.At(i3*n[2]+j3, rp)
+			}
+		}
+	}
+	return t, nil
+}
+
+// svdEconomy decomposes via the narrower side to bound Jacobi cost:
+// when rows < cols it decomposes the transpose and swaps U/V.
+func svdEconomy(a *tensor.Matrix) (u *tensor.Matrix, s []float32, v *tensor.Matrix) {
+	if a.Rows >= a.Cols {
+		return SVD(a)
+	}
+	vt, s, ut := SVD(a.Transpose())
+	return ut, s, vt
+}
+
+// clampRank returns min(r, available non-trivial rank bound).
+func clampRank(r, bound int) int {
+	if r > bound {
+		return bound
+	}
+	return r
+}

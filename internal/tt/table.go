@@ -1,0 +1,175 @@
+package tt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Options selects which of the paper's optimizations a Table uses. The zero
+// value is the plain TT-Rec behaviour; EffOptions() enables everything
+// (the Eff-TT table).
+type Options struct {
+	// DedupIndices computes each unique row of a batch once and scatters it,
+	// instead of recomputing per occurrence (part of two-level reuse, §III-A).
+	DedupIndices bool
+	// ReusePrefix maintains the reuse buffer of first-two-core products
+	// keyed by index/m₃ and evaluates it with batched GEMM (Algorithm 1).
+	ReusePrefix bool
+	// InAdvanceAgg aggregates embedding gradients per unique index before
+	// multiplying with TT cores in the backward pass (§III-B).
+	InAdvanceAgg bool
+	// FusedUpdate applies the SGD update inside the backward kernel instead
+	// of materializing core gradients and updating in a second pass (§III-B).
+	FusedUpdate bool
+}
+
+// EffOptions returns the full Eff-TT configuration.
+func EffOptions() Options {
+	return Options{DedupIndices: true, ReusePrefix: true, InAdvanceAgg: true, FusedUpdate: true}
+}
+
+// NaiveOptions returns the TT-Rec baseline configuration.
+func NaiveOptions() Options { return Options{} }
+
+// lockStripes is the number of striped mutexes per core protecting fused
+// in-place slice updates when the backward pass runs in parallel.
+const lockStripes = 128
+
+// Table is a TT-compressed embedding table with sum-pooling lookup
+// semantics identical to embedding.Bag. It is safe for concurrent lookups;
+// backward passes must not run concurrently with each other on the same
+// table.
+type Table struct {
+	Shape Shape
+	Opts  Options
+	// Deterministic forces single-threaded forward/backward execution.
+	// The parallel fused-update path applies slice updates in whatever
+	// order goroutines reach them (hogwild-style, as the paper's CUDA
+	// kernel does with atomics); tests that need bit-exact results set
+	// this flag.
+	Deterministic bool
+	// Cores[k] stores one slice per row: Cores[k] has RowFactors[k] rows of
+	// SliceSizes()[k] floats each.
+	Cores [Dims]*tensor.Matrix
+
+	locks [Dims][lockStripes]sync.Mutex
+
+	// grads holds core-gradient accumulators for the unfused update path,
+	// allocated lazily.
+	grads [Dims]*tensor.Matrix
+
+	// adagrad holds per-core squared-gradient accumulators when the
+	// adaptive update rule is enabled (see EnableAdagrad).
+	adagrad [Dims]*tensor.Matrix
+
+	// lastCache retains the most recent Lookup's forward cache for Update.
+	lastCache *ForwardCache
+}
+
+// NewTable allocates a table for the given shape with Eff-TT options and
+// random cores scaled so materialized rows have standard deviation near
+// targetStd (pass 0 for the default 0.05, roughly matching the DLRM
+// reference initialization at the bench scales used here).
+func NewTable(shape Shape, rng *tensor.RNG, targetStd float64) *Table {
+	if err := shape.Validate(); err != nil {
+		panic(err)
+	}
+	if targetStd <= 0 {
+		targetStd = 0.05
+	}
+	t := &Table{Shape: shape, Opts: EffOptions()}
+	sz := shape.SliceSizes()
+	// Var(row element) ≈ R₁·R₂·σ₁²σ₂²σ₃²; pick equal per-core σ so the
+	// product of the three cores lands on targetStd.
+	sigma := math.Pow(targetStd*targetStd/float64(shape.R1*shape.R2), 1.0/6.0)
+	for k := 0; k < Dims; k++ {
+		t.Cores[k] = tensor.New(shape.RowFactors[k], sz[k])
+		rng.FillNormal(t.Cores[k].Data, float32(sigma))
+	}
+	return t
+}
+
+// NumRows returns the logical row count of the table.
+func (t *Table) NumRows() int { return t.Shape.Rows }
+
+// Dim returns the embedding dimension.
+func (t *Table) Dim() int { return t.Shape.Dim }
+
+// FootprintBytes returns the TT parameter storage in bytes.
+func (t *Table) FootprintBytes() int64 { return t.Shape.FootprintBytes() }
+
+// Slice1 returns G₁[i₁] as a flat n₁×R₁ buffer.
+func (t *Table) Slice1(i1 int) []float32 { return t.Cores[0].Row(i1) }
+
+// Slice2 returns G₂[i₂] as a flat R₁×(n₂R₂) buffer.
+func (t *Table) Slice2(i2 int) []float32 { return t.Cores[1].Row(i2) }
+
+// Slice3 returns G₃[i₃] as a flat R₂×n₃ buffer.
+func (t *Table) Slice3(i3 int) []float32 { return t.Cores[2].Row(i3) }
+
+// computePrefix writes G₁[i₁]·G₂[i₂] into dst (n₁ × n₂R₂ row-major,
+// PrefixSize() floats).
+func (t *Table) computePrefix(i1, i2 int, dst []float32) {
+	n := t.Shape.ColFactors
+	tensor.GemmInto(n[0], t.Shape.R1, n[1]*t.Shape.R2, t.Slice1(i1), t.Slice2(i2), dst)
+}
+
+// rowFromPrefix writes the embedding row into dst (Dim floats) given the
+// prefix product p12 (n₁n₂ × R₂ when reshaped) and the third TT index.
+func (t *Table) rowFromPrefix(p12 []float32, i3 int, dst []float32) {
+	n := t.Shape.ColFactors
+	tensor.GemmInto(n[0]*n[1], t.Shape.R2, n[2], p12, t.Slice3(i3), dst)
+}
+
+// LookupRow materializes a single embedding row into dst (len Dim). It is
+// the reference single-index path used by tests and the parameter server.
+func (t *Table) LookupRow(i int, dst []float32) {
+	if i < 0 || i >= t.Shape.Rows {
+		panic(fmt.Sprintf("tt: LookupRow index %d out of [0,%d)", i, t.Shape.Rows))
+	}
+	if len(dst) != t.Shape.Dim {
+		panic(fmt.Sprintf("tt: LookupRow dst len %d want %d", len(dst), t.Shape.Dim))
+	}
+	i1, i2, i3 := t.Shape.FactorIndex(i)
+	p12 := make([]float32, t.Shape.PrefixSize())
+	t.computePrefix(i1, i2, p12)
+	t.rowFromPrefix(p12, i3, dst)
+}
+
+// Materialize reconstructs the full logical table (Rows × Dim); for tests
+// and TT-SVD round trips only — it defeats the compression.
+func (t *Table) Materialize() *tensor.Matrix {
+	out := tensor.New(t.Shape.Rows, t.Shape.Dim)
+	p12 := make([]float32, t.Shape.PrefixSize())
+	lastPrefix := -1
+	for i := 0; i < t.Shape.Rows; i++ {
+		i1, i2, i3 := t.Shape.FactorIndex(i)
+		if pfx := t.Shape.Prefix(i); pfx != lastPrefix {
+			t.computePrefix(i1, i2, p12)
+			lastPrefix = pfx
+		}
+		t.rowFromPrefix(p12, i3, out.Row(i))
+	}
+	return out
+}
+
+// lockFor returns the striped mutex guarding slice row of core k.
+func (t *Table) lockFor(k, row int) *sync.Mutex {
+	return &t.locks[k][row&(lockStripes-1)]
+}
+
+// gradBuffers returns (allocating on first use) the unfused core-gradient
+// accumulators, zeroed.
+func (t *Table) gradBuffers() [Dims]*tensor.Matrix {
+	for k := 0; k < Dims; k++ {
+		if t.grads[k] == nil {
+			t.grads[k] = tensor.New(t.Cores[k].Rows, t.Cores[k].Cols)
+		} else {
+			t.grads[k].Zero()
+		}
+	}
+	return t.grads
+}
