@@ -7,12 +7,27 @@
 //	elrec-train -dataset terabyte -dataset-scale 0.005 -steps 2000
 //	elrec-train -dataset kaggle -no-reorder -naive-tt   # TT-Rec ablation
 //	elrec-train -dataset avazu -tt-threshold -1         # uncompressed DLRM
+//
+// Fault tolerance: training runs under a context cancelled by Ctrl-C
+// (SIGINT/SIGTERM), so an interrupted run drains the pipeline gracefully and
+// reports the next resumable iteration. With -checkpoint the full training
+// state (model, optimizer state, host tables, iteration counter) is written
+// atomically every -checkpoint-every steps and once more at the drain point;
+// -resume restores it and continues bit-exactly:
+//
+//	elrec-train -steps 5000 -checkpoint run.ckpt -checkpoint-every 500
+//	^C  (interrupt mid-run; state saved at the drain point)
+//	elrec-train -steps 5000 -checkpoint run.ckpt -checkpoint-every 500 -resume run.ckpt
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	elrec "repro"
 	"repro/internal/tt"
@@ -34,7 +49,10 @@ func main() {
 		naiveTT      = flag.Bool("naive-tt", false, "use the TT-Rec baseline table instead of Eff-TT")
 		evalBatches  = flag.Int("eval", 10, "held-out evaluation batches")
 		logEvery     = flag.Int("log-every", 100, "loss print interval")
-		savePath     = flag.String("save", "", "checkpoint the trained model to this path")
+		savePath     = flag.String("save", "", "save the trained model (weights only) to this path")
+		ckptPath     = flag.String("checkpoint", "", "write crash-consistent training checkpoints to this path")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint interval in steps (requires -checkpoint)")
+		resumePath   = flag.String("resume", "", "resume training from a checkpoint written by -checkpoint")
 	)
 	flag.Parse()
 
@@ -55,6 +73,8 @@ func main() {
 	if *naiveTT {
 		cfg.Opts = tt.NaiveOptions()
 	}
+	cfg.CheckpointPath = *ckptPath
+	cfg.CheckpointEvery = *ckptEvery
 
 	sys, err := elrec.BuildSystem(cfg)
 	if err != nil {
@@ -70,23 +90,58 @@ func main() {
 	fmt.Printf("embedding parameters: %.2f MB on device, %.2f MB on host (compression %.1fx)\n",
 		float64(sys.DeviceBytes)/1e6, float64(sys.HostBytes)/1e6, sys.CompressionRatio())
 
-	fmt.Printf("\ntraining %d steps, batch %d:\n", *steps, *batch)
-	done := 0
+	start := 0
+	if *resumePath != "" {
+		start, err = sys.ResumeFrom(*resumePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed from %s at iteration %d\n", *resumePath, start)
+	}
+
+	// Ctrl-C cancels the training context; the pipeline drains in-flight
+	// batches and applies every queued gradient before returning, so the
+	// reported resume iteration is always consistent with the tables.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("\ntraining %d steps, batch %d:\n", *steps-start, *batch)
+	done := start
 	for done < *steps {
 		chunk := *logEvery
 		if done+chunk > *steps {
 			chunk = *steps - done
 		}
-		curve := sys.Train(done, chunk, *batch)
-		done += chunk
-		fmt.Printf("  iter %5d  loss %.4f\n", done, curve.Final(chunk))
+		res, trainErr := sys.TrainContext(ctx, done, chunk, *batch)
+		done += res.Completed
+		if res.Completed > 0 {
+			fmt.Printf("  iter %5d  loss %.4f\n", done, res.Curve.Final(res.Completed))
+		}
+		if trainErr != nil {
+			if errors.Is(trainErr, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "interrupted after %d iterations\n", done)
+			} else {
+				fmt.Fprintln(os.Stderr, trainErr)
+			}
+			if res.Resumable && *ckptPath != "" {
+				if err := sys.SaveCheckpoint(*ckptPath, res.NextIter); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "state saved; resume with -resume %s\n", *ckptPath)
+			} else if res.Resumable {
+				fmt.Fprintf(os.Stderr, "resumable from iteration %d (rerun with -checkpoint to persist state)\n", res.NextIter)
+			}
+			os.Exit(1)
+		}
 	}
 
 	acc, auc := sys.Evaluate(*steps+1, *evalBatches, *batch)
 	fmt.Printf("\nheld-out accuracy %.2f%%, AUC %.4f over %d batches\n", acc*100, auc, *evalBatches)
 	if *savePath != "" {
 		if sys.Pipeline != nil {
-			fmt.Fprintln(os.Stderr, "checkpointing requires a fully device-resident model (host tables live in the parameter server)")
+			fmt.Fprintln(os.Stderr, "-save stores model weights only and requires a fully device-resident model; use -checkpoint for pipelined training state")
 			os.Exit(1)
 		}
 		if err := elrec.SaveModel(*savePath, sys.Model()); err != nil {
@@ -99,6 +154,10 @@ func main() {
 		st := sys.Pipeline.Stats()
 		fmt.Printf("pipeline: %d steps, %.2f MB prefetched, %.2f MB gradients pushed, %d cache hits, %d evictions\n",
 			st.Steps, float64(st.BytesPrefetched)/1e6, float64(st.BytesPushed)/1e6, st.CacheHits, st.CacheEvictions)
+		if st.Retries > 0 || st.Checkpoints > 0 {
+			fmt.Printf("pipeline: %d retries (%s backoff), %d checkpoints written\n",
+				st.Retries, st.BackoffTime, st.Checkpoints)
+		}
 	}
 }
 

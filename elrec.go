@@ -34,6 +34,8 @@ import (
 	"repro/internal/data"
 	"repro/internal/dlrm"
 	"repro/internal/embedding"
+	"repro/internal/faults"
+	"repro/internal/ps"
 	"repro/internal/reorder"
 	"repro/internal/serve"
 	"repro/internal/tensor"
@@ -190,3 +192,44 @@ func SaveModel(path string, m *dlrm.Model) error { return checkpoint.SaveFile(pa
 // LoadModel restores a checkpoint saved with SaveModel into a model with
 // the same architecture.
 func LoadModel(path string, m *dlrm.Model) error { return checkpoint.LoadFile(path, m) }
+
+// Fault-tolerant training surface. System.TrainContext trains under a
+// context: cancellation drains the pipeline gracefully (in-flight batch
+// finishes, every queued gradient is applied) and the returned TrainResult
+// carries the partial loss curve plus the next resumable iteration.
+// SystemConfig.CheckpointPath/CheckpointEvery enable periodic atomic
+// training checkpoints; System.SaveCheckpoint and System.ResumeFrom persist
+// and restore them, and a resumed run is bit-identical to one that never
+// stopped.
+
+// TrainResult is what System.TrainContext hands back, on success and on
+// failure alike: the (possibly partial) loss curve, the number of completed
+// iterations, the next resumable iteration and whether the in-memory
+// parameters are consistent.
+type TrainResult = ps.TrainResult
+
+// TrainStats aggregates pipeline counters, including the fault-tolerance
+// counters (injected faults, retries, backoff time, checkpoints written).
+type TrainStats = ps.Stats
+
+// RetryPolicy bounds transient-fault retries in the pipeline (capped
+// exponential backoff); the zero value takes defaults.
+type RetryPolicy = ps.RetryPolicy
+
+// FaultInjector decides, per attempt, whether a pipeline operation faults.
+// Set SystemConfig.Faults to inject deterministic failures for chaos and
+// recovery testing; nil trains fault-free.
+type FaultInjector = faults.Injector
+
+// FaultConfig parameterizes NewSeededFaults: per-attempt probabilities for
+// transient gather/apply failures, slow-server stalls and a fatal worker
+// fault, all drawn deterministically from the seed.
+type FaultConfig = faults.Config
+
+// NewSeededFaults builds a deterministic fault injector: the same seed and
+// schedule inject the same faults, so failure handling is replayable.
+func NewSeededFaults(cfg FaultConfig) FaultInjector { return faults.NewSeeded(cfg) }
+
+// IsInjected reports whether err originates from a fault injector rather
+// than a genuine failure.
+func IsInjected(err error) bool { return faults.IsInjected(err) }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,6 +37,11 @@ func statsDelta(after, before ps.Stats) ps.Stats {
 		ApplyTime:       after.ApplyTime - before.ApplyTime,
 		TrainTime:       after.TrainTime - before.TrainTime,
 		AdapterTime:     after.AdapterTime - before.AdapterTime,
+		InjectedFaults:  after.InjectedFaults - before.InjectedFaults,
+		Retries:         after.Retries - before.Retries,
+		BackoffTime:     after.BackoffTime - before.BackoffTime,
+		StallTime:       after.StallTime - before.StallTime,
+		Checkpoints:     after.Checkpoints - before.Checkpoints,
 	}
 }
 
@@ -389,9 +395,13 @@ func Fig16(sc Scale) *Result {
 		if err != nil {
 			panic(err)
 		}
-		p.Train(d, 0, sc.WarmSteps, sc.Batch)
+		if _, err := p.Train(context.Background(), d, 0, sc.WarmSteps, sc.Batch); err != nil {
+			panic(err)
+		}
 		before := p.Stats()
-		p.Train(d, sc.WarmSteps, sc.Steps, sc.Batch)
+		if _, err := p.Train(context.Background(), d, sc.WarmSteps, sc.Steps, sc.Batch); err != nil {
+			panic(err)
+		}
 		return statsDelta(p.Stats(), before)
 	}
 

@@ -18,25 +18,94 @@ import (
 	"repro/internal/tt"
 )
 
-// Format constants.
+// Format constants. Version 2 adds the Adagrad-wrapped dense bag kind and
+// the training-state envelope; version-1 model files remain readable.
 const (
-	magic   = uint32(0xE17EC001)
-	version = uint32(1)
+	magic      = uint32(0xE17EC001)
+	trainMagic = uint32(0xE17EC7A1)
+	version    = uint32(2)
 
-	kindBag       = uint8(0)
-	kindTT        = uint8(1)
-	kindGeneralTT = uint8(2)
+	kindBag        = uint8(0)
+	kindTT         = uint8(1)
+	kindGeneralTT  = uint8(2)
+	kindAdagradBag = uint8(3)
 )
 
+// TableResolver substitutes a model table with its checkpointable backing
+// store before serialization. The pipeline trainer uses it to map its
+// parameter-server adapters to the host-memory bags they front; nil keeps
+// every table as-is.
+type TableResolver func(i int, t dlrm.Table) dlrm.Table
+
+// TrainState is the durable training progress written around a model
+// snapshot: the next iteration a resumed run should train.
+type TrainState struct {
+	NextIter int
+}
+
 // SaveModel writes the model's dense parameters and every embedding table
-// to w. Tables must be *embedding.Bag, *tt.Table or *tt.GeneralTable (the
-// trainable kinds); baseline executors and pipeline adapters are not
-// checkpointable.
+// to w. Tables must be *embedding.Bag, *embedding.AdagradBag, *tt.Table or
+// *tt.GeneralTable (the trainable kinds); baseline executors and pipeline
+// adapters need a TableResolver (see SaveTraining) that maps them to their
+// backing store.
 func SaveModel(w io.Writer, m *dlrm.Model) error {
 	bw := bufio.NewWriter(w)
-	if err := writeHeader(bw); err != nil {
+	if err := writeHeader(bw, magic); err != nil {
 		return err
 	}
+	if err := writeModelBody(bw, m, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadModel restores state saved by SaveModel into a model with the same
+// architecture (same parameter shapes, table kinds and table shapes).
+func LoadModel(r io.Reader, m *dlrm.Model) error {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, magic); err != nil {
+		return err
+	}
+	return readModelBody(br, m, nil)
+}
+
+// SaveTraining writes a training-state checkpoint: the iteration counter
+// followed by the full model snapshot (dense parameters, embedding tables,
+// optimizer state). resolve maps wrapper tables to their backing store and
+// may be nil.
+func SaveTraining(w io.Writer, m *dlrm.Model, resolve TableResolver, st TrainState) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, trainMagic); err != nil {
+		return err
+	}
+	if err := writeInt(bw, st.NextIter); err != nil {
+		return err
+	}
+	if err := writeModelBody(bw, m, resolve); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadTraining restores a checkpoint saved by SaveTraining and returns the
+// recorded training state.
+func LoadTraining(r io.Reader, m *dlrm.Model, resolve TableResolver) (TrainState, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, trainMagic); err != nil {
+		return TrainState{}, err
+	}
+	next, err := readInt(br)
+	if err != nil {
+		return TrainState{}, err
+	}
+	if err := readModelBody(br, m, resolve); err != nil {
+		return TrainState{}, err
+	}
+	return TrainState{NextIter: next}, nil
+}
+
+// writeModelBody serializes the dense parameters and tables (post-resolve).
+func writeModelBody(bw *bufio.Writer, m *dlrm.Model, resolve TableResolver) error {
 	params := m.MLPParams()
 	if err := writeInt(bw, len(params)); err != nil {
 		return err
@@ -50,42 +119,18 @@ func SaveModel(w io.Writer, m *dlrm.Model) error {
 		return err
 	}
 	for i, table := range m.Tables {
-		switch tbl := table.(type) {
-		case *embedding.Bag:
-			if err := bw.WriteByte(kindBag); err != nil {
-				return err
-			}
-			if err := writeMatrix(bw, tbl.Weights); err != nil {
-				return fmt.Errorf("checkpoint: table %d: %w", i, err)
-			}
-		case *tt.Table:
-			if err := bw.WriteByte(kindTT); err != nil {
-				return err
-			}
-			if err := writeTT(bw, tbl); err != nil {
-				return fmt.Errorf("checkpoint: table %d: %w", i, err)
-			}
-		case *tt.GeneralTable:
-			if err := bw.WriteByte(kindGeneralTT); err != nil {
-				return err
-			}
-			if err := writeGeneralTT(bw, tbl); err != nil {
-				return fmt.Errorf("checkpoint: table %d: %w", i, err)
-			}
-		default:
-			return fmt.Errorf("checkpoint: table %d has unsupported type %T", i, table)
+		if resolve != nil {
+			table = resolve(i, table)
+		}
+		if err := writeTable(bw, i, table); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// LoadModel restores state saved by SaveModel into a model with the same
-// architecture (same parameter shapes, table kinds and table shapes).
-func LoadModel(r io.Reader, m *dlrm.Model) error {
-	br := bufio.NewReader(r)
-	if err := readHeader(br); err != nil {
-		return err
-	}
+// readModelBody restores what writeModelBody wrote.
+func readModelBody(br *bufio.Reader, m *dlrm.Model, resolve TableResolver) error {
 	nParams, err := readInt(br)
 	if err != nil {
 		return err
@@ -107,56 +152,99 @@ func LoadModel(r io.Reader, m *dlrm.Model) error {
 		return fmt.Errorf("checkpoint: %d tables in file, model has %d", nTables, len(m.Tables))
 	}
 	for i, table := range m.Tables {
-		kind, err := br.ReadByte()
-		if err != nil {
-			return err
+		if resolve != nil {
+			table = resolve(i, table)
 		}
-		switch tbl := table.(type) {
-		case *embedding.Bag:
-			if kind != kindBag {
-				return fmt.Errorf("checkpoint: table %d kind %d, model expects dense bag", i, kind)
-			}
-			if err := readMatrixInto(br, tbl.Weights); err != nil {
-				return fmt.Errorf("checkpoint: table %d: %w", i, err)
-			}
-		case *tt.Table:
-			if kind != kindTT {
-				return fmt.Errorf("checkpoint: table %d kind %d, model expects TT table", i, kind)
-			}
-			if err := readTTInto(br, tbl); err != nil {
-				return fmt.Errorf("checkpoint: table %d: %w", i, err)
-			}
-		case *tt.GeneralTable:
-			if kind != kindGeneralTT {
-				return fmt.Errorf("checkpoint: table %d kind %d, model expects general TT table", i, kind)
-			}
-			if err := readGeneralTTInto(br, tbl); err != nil {
-				return fmt.Errorf("checkpoint: table %d: %w", i, err)
-			}
-		default:
-			return fmt.Errorf("checkpoint: table %d has unsupported type %T", i, table)
+		if err := readTable(br, i, table); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// SaveFile writes the model to path (atomically via a temp file).
-func SaveFile(path string, m *dlrm.Model) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+// writeTable serializes one (resolved) embedding table.
+func writeTable(bw *bufio.Writer, i int, table dlrm.Table) error {
+	switch tbl := table.(type) {
+	case *embedding.Bag:
+		if err := bw.WriteByte(kindBag); err != nil {
+			return err
+		}
+		if err := writeMatrix(bw, tbl.Weights); err != nil {
+			return fmt.Errorf("checkpoint: table %d: %w", i, err)
+		}
+	case *embedding.AdagradBag:
+		if err := bw.WriteByte(kindAdagradBag); err != nil {
+			return err
+		}
+		if err := writeAdagradBag(bw, tbl); err != nil {
+			return fmt.Errorf("checkpoint: table %d: %w", i, err)
+		}
+	case *tt.Table:
+		if err := bw.WriteByte(kindTT); err != nil {
+			return err
+		}
+		if err := writeTT(bw, tbl); err != nil {
+			return fmt.Errorf("checkpoint: table %d: %w", i, err)
+		}
+	case *tt.GeneralTable:
+		if err := bw.WriteByte(kindGeneralTT); err != nil {
+			return err
+		}
+		if err := writeGeneralTT(bw, tbl); err != nil {
+			return fmt.Errorf("checkpoint: table %d: %w", i, err)
+		}
+	default:
+		return fmt.Errorf("checkpoint: table %d has unsupported type %T", i, table)
+	}
+	return nil
+}
+
+// readTable restores one (resolved) embedding table.
+func readTable(br *bufio.Reader, i int, table dlrm.Table) error {
+	kind, err := br.ReadByte()
 	if err != nil {
 		return err
 	}
-	if err := SaveModel(f, m); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	switch tbl := table.(type) {
+	case *embedding.Bag:
+		if kind != kindBag {
+			return fmt.Errorf("checkpoint: table %d kind %d, model expects dense bag", i, kind)
+		}
+		if err := readMatrixInto(br, tbl.Weights); err != nil {
+			return fmt.Errorf("checkpoint: table %d: %w", i, err)
+		}
+	case *embedding.AdagradBag:
+		if kind != kindAdagradBag {
+			return fmt.Errorf("checkpoint: table %d kind %d, model expects Adagrad bag", i, kind)
+		}
+		if err := readAdagradBagInto(br, tbl); err != nil {
+			return fmt.Errorf("checkpoint: table %d: %w", i, err)
+		}
+	case *tt.Table:
+		if kind != kindTT {
+			return fmt.Errorf("checkpoint: table %d kind %d, model expects TT table", i, kind)
+		}
+		if err := readTTInto(br, tbl); err != nil {
+			return fmt.Errorf("checkpoint: table %d: %w", i, err)
+		}
+	case *tt.GeneralTable:
+		if kind != kindGeneralTT {
+			return fmt.Errorf("checkpoint: table %d kind %d, model expects general TT table", i, kind)
+		}
+		if err := readGeneralTTInto(br, tbl); err != nil {
+			return fmt.Errorf("checkpoint: table %d: %w", i, err)
+		}
+	default:
+		return fmt.Errorf("checkpoint: table %d has unsupported type %T", i, table)
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return nil
+}
+
+// SaveFile writes the model to path crash-consistently: the bytes land in a
+// temp file that is fsynced before an atomic rename, so a crash leaves
+// either the old checkpoint or the new one, never a torn file.
+func SaveFile(path string, m *dlrm.Model) error {
+	return writeFileAtomic(path, func(f *os.File) error { return SaveModel(f, m) })
 }
 
 // LoadFile restores a model from path.
@@ -167,6 +255,51 @@ func LoadFile(path string, m *dlrm.Model) error {
 	}
 	defer f.Close()
 	return LoadModel(f, m)
+}
+
+// SaveTrainingFile writes a training-state checkpoint to path with the same
+// crash-consistency guarantee as SaveFile.
+func SaveTrainingFile(path string, m *dlrm.Model, resolve TableResolver, st TrainState) error {
+	return writeFileAtomic(path, func(f *os.File) error { return SaveTraining(f, m, resolve, st) })
+}
+
+// LoadTrainingFile restores a training-state checkpoint from path.
+func LoadTrainingFile(path string, m *dlrm.Model, resolve TableResolver) (TrainState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TrainState{}, err
+	}
+	defer f.Close()
+	return LoadTraining(f, m, resolve)
+}
+
+// writeFileAtomic runs write against path+".tmp", fsyncs, and renames over
+// path. The temp file is removed on any failure.
+func writeFileAtomic(path string, write func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // --- TT section ------------------------------------------------------------
@@ -291,26 +424,71 @@ func readGeneralTTInto(r io.Reader, tbl *tt.GeneralTable) error {
 
 // --- primitives -------------------------------------------------------------
 
-func writeHeader(w io.Writer) error {
-	if err := binary.Write(w, binary.LittleEndian, magic); err != nil {
+func writeHeader(w io.Writer, wantMagic uint32) error {
+	if err := binary.Write(w, binary.LittleEndian, wantMagic); err != nil {
 		return err
 	}
 	return binary.Write(w, binary.LittleEndian, version)
 }
 
-func readHeader(r io.Reader) error {
+func readHeader(r io.Reader, wantMagic uint32) error {
 	var m, v uint32
 	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
 		return fmt.Errorf("checkpoint: reading magic: %w", err)
 	}
-	if m != magic {
-		return fmt.Errorf("checkpoint: bad magic %#x (not a checkpoint file?)", m)
+	if m != wantMagic {
+		return fmt.Errorf("checkpoint: bad magic %#x (not a checkpoint file of the expected kind?)", m)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
 		return err
 	}
-	if v != version {
+	if v < 1 || v > version {
 		return fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	return nil
+}
+
+// writeAdagradBag serializes a dense bag plus its Adagrad accumulator (the
+// optimizer state).
+func writeAdagradBag(w io.Writer, bag *embedding.AdagradBag) error {
+	if err := writeMatrix(w, bag.Weights); err != nil {
+		return err
+	}
+	rows, dim := bag.NumRows(), bag.Dim()
+	if err := writeInt(w, rows); err != nil {
+		return err
+	}
+	if err := writeInt(w, dim); err != nil {
+		return err
+	}
+	for r := 0; r < rows; r++ {
+		if err := binary.Write(w, binary.LittleEndian, bag.AccumRow(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readAdagradBagInto restores a dense bag and its Adagrad accumulator.
+func readAdagradBagInto(r io.Reader, bag *embedding.AdagradBag) error {
+	if err := readMatrixInto(r, bag.Weights); err != nil {
+		return err
+	}
+	rows, err := readInt(r)
+	if err != nil {
+		return err
+	}
+	dim, err := readInt(r)
+	if err != nil {
+		return err
+	}
+	if rows != bag.NumRows() || dim != bag.Dim() {
+		return fmt.Errorf("checkpoint: Adagrad accumulator %dx%d in file, model has %dx%d", rows, dim, bag.NumRows(), bag.Dim())
+	}
+	for row := 0; row < rows; row++ {
+		if err := binary.Read(r, binary.LittleEndian, bag.AccumRow(row)); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -9,12 +9,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/data"
 	"repro/internal/dlrm"
 	"repro/internal/embedding"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/ps"
@@ -61,6 +63,20 @@ type Config struct {
 	// placement is needed (1 = sequential).
 	QueueDepth int
 
+	// Faults injects deterministic failures into the pipeline trainer
+	// (tests/chaos runs); nil trains fault-free.
+	Faults faults.Injector
+
+	// Retry bounds transient-fault retries in the pipeline; zero fields
+	// take ps defaults.
+	Retry ps.RetryPolicy
+
+	// CheckpointPath / CheckpointEvery enable periodic crash-consistent
+	// training-state checkpoints: the full state is written atomically to
+	// CheckpointPath every CheckpointEvery completed iterations.
+	CheckpointPath  string
+	CheckpointEvery int
+
 	// Device provides the HBM budget for placement; HBMReserve is held back
 	// for activations and optimizer state.
 	Device     hw.Device
@@ -98,6 +114,9 @@ type System struct {
 	Placements []Placement
 	Pipeline   *ps.Pipeline // non-nil when any table lives on the host
 
+	// pipe is the underlying trainer even when no table spilled to host
+	// (Pipeline == nil); it carries the checkpoint machinery.
+	pipe   *ps.Pipeline
 	model  *dlrm.Model
 	source ps.BatchSource
 
@@ -214,13 +233,21 @@ func BuildWithDataset(cfg Config, d *data.Dataset) (*System, error) {
 		}
 	}
 
-	pipe, err := ps.NewPipeline(ps.Config{Model: cfg.Model, QueueDepth: cfg.QueueDepth, Seed: cfg.Seed}, locs)
+	pipe, err := ps.NewPipeline(ps.Config{
+		Model:      cfg.Model,
+		QueueDepth: cfg.QueueDepth,
+		Seed:       cfg.Seed,
+		Faults:     cfg.Faults,
+		Retry:      cfg.Retry,
+		Checkpoint: ps.CheckpointConfig{Path: cfg.CheckpointPath, Every: cfg.CheckpointEvery},
+	}, locs)
 	if err != nil {
 		return nil, err
 	}
 	if anyHost {
 		s.Pipeline = pipe
 	}
+	s.pipe = pipe
 	s.model = pipe.Model()
 	s.source = &remappedSource{d: d, bijections: s.Bijections}
 	return s, nil
@@ -249,18 +276,67 @@ func (s *System) Model() *dlrm.Model { return s.model }
 // Source returns the (remapped) batch source the system trains on.
 func (s *System) Source() ps.BatchSource { return s.source }
 
-// Train runs steps batches through the system (via the pipeline when host
-// tables exist) and returns the loss curve.
-func (s *System) Train(startIter, steps, batchSize int) *metrics.LossCurve {
+// TrainContext runs steps batches through the system (via the pipeline
+// when host tables exist) with cancellation, fault handling and periodic
+// checkpointing. On cancellation or failure the pipeline drains gracefully
+// and the returned TrainResult carries the partial loss curve plus the
+// next resumable iteration; see ps.Pipeline.Train for the consistency
+// contract.
+func (s *System) TrainContext(ctx context.Context, startIter, steps, batchSize int) (*ps.TrainResult, error) {
 	if s.Pipeline != nil {
-		return s.Pipeline.Train(s.source, startIter, steps, batchSize)
+		return s.Pipeline.Train(ctx, s.source, startIter, steps, batchSize)
+	}
+	// Fully device-resident: a sequential timed loop (the hw cost model
+	// reads the per-op timing), with the same cancellation and checkpoint
+	// behaviour as the pipelined path.
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	curve := &metrics.LossCurve{}
+	res := &ps.TrainResult{Curve: curve, NextIter: startIter, Resumable: true}
 	for it := 0; it < steps; it++ {
-		loss := s.model.TimedTrainStep(s.source.Batch(startIter+it, batchSize))
-		curve.Add(startIter+it, float64(loss))
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		iter := startIter + it
+		loss := s.model.TimedTrainStep(s.source.Batch(iter, batchSize))
+		curve.Add(iter, float64(loss))
+		res.Completed++
+		res.NextIter = iter + 1
+		if s.Cfg.CheckpointPath != "" && s.Cfg.CheckpointEvery > 0 && res.NextIter%s.Cfg.CheckpointEvery == 0 {
+			if err := s.SaveCheckpoint(s.Cfg.CheckpointPath, res.NextIter); err != nil {
+				return res, err
+			}
+		}
 	}
-	return curve
+	return res, nil
+}
+
+// Train is the legacy convenience wrapper: no cancellation, panics on a
+// pipeline fault (without an injector configured, faults cannot occur, so
+// the experiment harness and examples keep their simple shape).
+func (s *System) Train(startIter, steps, batchSize int) *metrics.LossCurve {
+	res, err := s.TrainContext(context.Background(), startIter, steps, batchSize)
+	if err != nil {
+		panic(err)
+	}
+	return res.Curve
+}
+
+// SaveCheckpoint atomically persists the full training state (model,
+// optimizer state, host tables, iteration counter) to path. Call between
+// Train invocations, or rely on Cfg.CheckpointPath/CheckpointEvery for
+// periodic checkpoints inside Train.
+func (s *System) SaveCheckpoint(path string, nextIter int) error {
+	return s.pipe.SaveCheckpoint(path, nextIter)
+}
+
+// ResumeFrom restores a checkpoint written by SaveCheckpoint into this
+// system (which must be built with the same configuration) and returns the
+// next iteration to train. Resumed training is bit-identical to a run that
+// never stopped.
+func (s *System) ResumeFrom(path string) (int, error) {
+	return s.pipe.LoadCheckpoint(path)
 }
 
 // Evaluate computes held-out accuracy and AUC over batches starting at

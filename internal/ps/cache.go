@@ -14,10 +14,16 @@ import (
 // Cache is the GPU-side embedding cache of §V-B. It keeps the most recent
 // worker-side value of every embedding row that still has gradient pushes in
 // flight, so pre-fetched (possibly stale) rows can be patched before use.
-// Every entry carries a life cycle (LC) counter: publishing (after training
-// a batch) sets LC to the request-queue capacity; each gradient application
-// mentioning the row decrements it; at zero the row is evicted — by then the
-// host copy has absorbed the update.
+//
+// Entries expire in one of two ways. The paper's formulation is a life
+// cycle (LC) counter: publishing (after training a batch) sets LC to the
+// request-queue capacity; each gradient application decrements it
+// (Tick/Decrement); at zero the row is evicted. The pipeline instead uses
+// push visibility (PublishAt/SyncAt): an entry is dropped exactly when a
+// gathered batch proves the host copy has absorbed the entry's update,
+// which — unlike the countdown — does not depend on how the server and
+// worker goroutines happen to interleave, and is what makes pipelined
+// training bit-exact under drain barriers, faults and checkpoint resume.
 type Cache struct {
 	dim      int
 	capacity int // LC value assigned on publish (max queue length)
@@ -32,15 +38,17 @@ type Cache struct {
 type cacheEntry struct {
 	value []float32
 	lc    int
+	// push is the iteration whose gradient push produced value (see
+	// PublishAt); entries published through plain Publish never expire by
+	// push visibility.
+	push int
 }
 
 // NewCache builds a cache for rows of the given dimension. lifecycle is the
-// LC value assigned on publish. The paper sets it to the request-queue
-// length and decrements per pull; our pipeline uses the conservative bound
-// 2·depth+2 with one global decrement per applied batch, which provably
-// guarantees that no row is evicted before every pre-fetched batch that
-// could have read its stale host copy has been cache-synced (see
-// Pipeline.Train).
+// LC value assigned on publish, used only by the countdown expiry path
+// (Tick/Decrement); the paper sets it to the request-queue length. The
+// pipeline's push-visibility path (SyncAt) ignores it and instead evicts a
+// row the moment a gathered batch shows the host has caught up.
 func NewCache(dim, lifecycle int) *Cache {
 	if dim <= 0 || lifecycle <= 0 {
 		panic(fmt.Sprintf("ps: invalid cache dim=%d lifecycle=%d", dim, lifecycle))
@@ -72,6 +80,19 @@ func (c *Cache) Sync(ids []int, values [][]float32) int {
 // Publish stores the post-update values of the rows just trained, assigning
 // a fresh LC. Existing entries are overwritten and their LC reset.
 func (c *Cache) Publish(ids []int, values [][]float32) {
+	c.PublishAt(ids, values, neverVisible)
+}
+
+// neverVisible marks entries published without a push iteration: they only
+// expire through the LC counter (Tick/Decrement), never through push
+// visibility.
+const neverVisible = int(^uint(0) >> 1) // max int
+
+// PublishAt stores the post-update values of the rows trained at iteration
+// pushIter — the iteration whose gradient push will make the host copy catch
+// up with the cached value. Existing entries are overwritten, their LC reset
+// and their push tag advanced.
+func (c *Cache) PublishAt(ids []int, values [][]float32, pushIter int) {
 	if len(ids) != len(values) {
 		panic(fmt.Sprintf("ps: Publish %d ids vs %d rows", len(ids), len(values)))
 	}
@@ -88,7 +109,46 @@ func (c *Cache) Publish(ids []int, values [][]float32) {
 		}
 		copy(e.value, values[i])
 		e.lc = c.capacity
+		e.push = pushIter
 	}
+}
+
+// SyncAt is the schedule-independent variant of Sync the pipeline uses.
+// applied is the number of gradient pushes that were already visible in the
+// host tables when this batch was gathered: pushes 0..applied-1 are
+// reflected in values, so every cache entry whose push tag is below applied
+// is redundant — the gathered row carries the identical bits — and is
+// evicted; the remaining entries hold updates the gathered rows are missing
+// and patch them in place.
+//
+// Unlike a raw LC countdown, whose eviction point shifts with the relative
+// timing of the server and worker goroutines (a checkpoint drain barrier,
+// a stalled server, or an aborted batch all shift it), push visibility is a
+// pure function of the gather order, so any schedule — pipelined,
+// sequential, barrier-interrupted or resumed from a checkpoint — syncs
+// bit-identical values.
+func (c *Cache) SyncAt(applied int, ids []int, values [][]float32) int {
+	if len(ids) != len(values) {
+		panic(fmt.Sprintf("ps: Sync %d ids vs %d rows", len(ids), len(values)))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, e := range c.entries {
+		if e.push < applied {
+			delete(c.entries, id)
+			c.evictions++
+		}
+	}
+	patched := 0
+	for i, id := range ids {
+		if e, ok := c.entries[id]; ok {
+			copy(values[i], e.value)
+			patched++
+			c.hits++
+		}
+	}
+	c.syncs++
+	return patched
 }
 
 // Tick lowers the LC of every cached row by one, evicting rows that reach

@@ -1,0 +1,61 @@
+package ps
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/dlrm"
+)
+
+// resolveTable maps the pipeline's parameter-server adapters to the host
+// bags they front, so the checkpoint package serializes the actual
+// parameters instead of rejecting the wrapper type. Device tables pass
+// through unchanged.
+func (p *Pipeline) resolveTable(i int, t dlrm.Table) dlrm.Table {
+	if ad, ok := t.(*hostAdapter); ok {
+		return p.hostBags[ad.slot]
+	}
+	return t
+}
+
+// SaveCheckpoint atomically persists the full training state — MLP
+// parameters, device tables (with optimizer state), host tables and the
+// iteration counter nextIter — to path via write-temp-fsync-rename.
+//
+// It must be called at a drain point: no batch in flight and every pushed
+// gradient applied. Train's periodic checkpoints hold that invariant by
+// waiting on the last push's done channel; external callers get it for
+// free between Train calls (Train always drains before returning). The
+// host tables are read under their locks, so a concurrent pre-fetcher
+// (which only reads) cannot tear the snapshot.
+func (p *Pipeline) SaveCheckpoint(path string, nextIter int) error {
+	for h := range p.hostMu {
+		p.hostMu[h].RLock()
+	}
+	defer func() {
+		for h := range p.hostMu {
+			p.hostMu[h].RUnlock()
+		}
+	}()
+	return checkpoint.SaveTrainingFile(path, p.model, p.resolveTable, checkpoint.TrainState{NextIter: nextIter})
+}
+
+// LoadCheckpoint restores training state saved by SaveCheckpoint into this
+// pipeline (which must have the same architecture and placement) and
+// returns the next iteration to train. The embedding caches start empty
+// after a restore; that is exact, not approximate — at a drain point every
+// cached row equals its host copy, so resumed training is bit-identical to
+// an uninterrupted run.
+func (p *Pipeline) LoadCheckpoint(path string) (int, error) {
+	for h := range p.hostMu {
+		p.hostMu[h].Lock()
+	}
+	defer func() {
+		for h := range p.hostMu {
+			p.hostMu[h].Unlock()
+		}
+	}()
+	st, err := checkpoint.LoadTrainingFile(path, p.model, p.resolveTable)
+	if err != nil {
+		return 0, err
+	}
+	return st.NextIter, nil
+}

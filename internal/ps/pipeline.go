@@ -1,13 +1,17 @@
 package ps
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/data"
 	"repro/internal/dlrm"
 	"repro/internal/embedding"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
@@ -26,6 +30,62 @@ type TableLoc struct {
 	HostRows int
 }
 
+// RetryPolicy bounds how transient gather/apply faults are retried: capped
+// exponential backoff starting at BaseDelay, doubling per attempt up to
+// MaxDelay, for at most MaxRetries retries after the first attempt.
+type RetryPolicy struct {
+	MaxRetries int
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+
+	// Sleep overrides the backoff sleep; tests install a recorder so a
+	// heavily faulted run still finishes in microseconds. Nil uses a real
+	// timer.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the production policy: 3 retries, 1ms→50ms backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+// withDefaults fills zero fields.
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = d.MaxRetries
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = d.BaseDelay
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = d.MaxDelay
+	}
+	return r
+}
+
+// delay is the backoff before retry `attempt` (0-based), capped at MaxDelay.
+func (r RetryPolicy) delay(attempt int) time.Duration {
+	if attempt > 30 {
+		return r.MaxDelay
+	}
+	d := r.BaseDelay << uint(attempt)
+	if d <= 0 || d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	return d
+}
+
+// CheckpointConfig enables periodic atomic checkpoints during Train: the
+// full training state (MLP, device tables, host tables, optimizer state,
+// iteration counter) is written to Path via write-temp-then-rename whenever
+// the completed iteration count is a multiple of Every. Zero values disable
+// checkpointing.
+type CheckpointConfig struct {
+	Path  string
+	Every int
+}
+
 // Config configures a pipeline trainer.
 type Config struct {
 	Model dlrm.Config
@@ -34,6 +94,16 @@ type Config struct {
 	// (Sequential) baseline of Figure 16).
 	QueueDepth int
 	Seed       uint64
+
+	// Faults injects deterministic failures into the gather/apply/worker
+	// paths; nil (production) injects nothing.
+	Faults faults.Injector
+
+	// Retry bounds transient-fault retries; zero fields take defaults.
+	Retry RetryPolicy
+
+	// Checkpoint enables periodic crash-consistent checkpoints.
+	Checkpoint CheckpointConfig
 }
 
 // Stats aggregates pipeline counters for the experiment harness: the byte
@@ -54,6 +124,33 @@ type Stats struct {
 	ApplyTime   time.Duration
 	TrainTime   time.Duration
 	AdapterTime time.Duration
+
+	// Fault-tolerance counters: transient faults injected into this run,
+	// retries performed, time spent in retry backoff and in injected
+	// slow-server stalls, and checkpoints written.
+	InjectedFaults int64
+	Retries        int64
+	BackoffTime    time.Duration
+	StallTime      time.Duration
+	Checkpoints    int64
+}
+
+// TrainResult is what Train hands back, on success and on failure alike: a
+// (possibly partial) loss curve and where a resumed run should pick up.
+type TrainResult struct {
+	Curve *metrics.LossCurve
+	// Completed counts fully trained iterations in this call.
+	Completed int
+	// NextIter is the first iteration NOT reflected in the trained
+	// parameters — pass it as startIter to continue, or persist it in a
+	// checkpoint. It is -1 when Resumable is false.
+	NextIter int
+	// Resumable reports whether the in-memory parameters are consistent
+	// (every trained batch fully applied to host tables). Cancellation,
+	// gather failures and injected worker faults drain cleanly and stay
+	// resumable; an exhausted apply retry or a mid-step panic does not —
+	// restore from a checkpoint instead.
+	Resumable bool
 }
 
 // hostBatch is one pre-fetch queue element: the training batch plus the
@@ -62,6 +159,10 @@ type hostBatch struct {
 	iter  int
 	batch *data.Batch
 	rows  []hostRows // one per host table, in host-table order
+	// gathered is a lower bound on the number of gradient pushes that were
+	// visible in the host tables when the rows were read; the cache uses it
+	// to decide which published entries the gathered values already cover.
+	gathered int64
 }
 
 // hostRows carries the unique rows of one host table for one batch.
@@ -75,7 +176,7 @@ type hostRows struct {
 type gradPush struct {
 	iter  int
 	rows  []gradRows
-	donec chan struct{} // closed once applied (used for drain/shutdown)
+	donec chan struct{} // closed once handled (used for drain barriers)
 }
 
 type gradRows struct {
@@ -85,9 +186,10 @@ type gradRows struct {
 
 // Pipeline trains a DLRM whose embedding layer is split between device
 // tables and host-memory tables behind a parameter server, overlapping the
-// server-side gather/update with worker-side compute (Figure 9).
+// server-side gather/update with worker compute (Figure 9).
 type Pipeline struct {
 	cfg    Config
+	retry  RetryPolicy
 	model  *dlrm.Model
 	caches []*Cache
 
@@ -96,21 +198,26 @@ type Pipeline struct {
 	hostIdx  []int            // host table order -> model table position
 	adapters []*hostAdapter
 
+	// applied counts gradient pushes fully scattered into the host tables.
+	// The gather side reads it before touching any table, so it is a safe
+	// lower bound on host freshness (see hostBatch.gathered).
+	applied atomic.Int64
+	// trained counts batches fully trained on this pipeline; it is the
+	// ordinal (push tag) of the batch currently in the worker, in the same
+	// counting space as applied, which keeps cache-entry expiry consistent
+	// across Train calls and checkpoint restores.
+	trained atomic.Int64
+
 	stats   Stats
-	statsMu sync.Mutex // guards gather/apply times written from goroutines
+	statsMu sync.Mutex // guards every stats field; writers span three goroutines
 }
 
-// addGatherTime and addApplyTime accumulate host-side durations from the
-// pre-fetcher and server goroutines.
-func (p *Pipeline) addGatherTime(d time.Duration) {
+// statsUpd applies one mutation to the counters under the stats lock. Every
+// counter write in the package goes through here so Stats() is safe to call
+// while Train runs.
+func (p *Pipeline) statsUpd(f func(*Stats)) {
 	p.statsMu.Lock()
-	p.stats.GatherTime += d
-	p.statsMu.Unlock()
-}
-
-func (p *Pipeline) addApplyTime(d time.Duration) {
-	p.statsMu.Lock()
-	p.stats.ApplyTime += d
+	f(&p.stats)
 	p.statsMu.Unlock()
 }
 
@@ -118,17 +225,23 @@ func (p *Pipeline) addApplyTime(d time.Duration) {
 // dataset order.
 func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
 	if cfg.QueueDepth <= 0 {
-		return nil, fmt.Errorf("ps: queue depth %d must be positive", cfg.QueueDepth)
+		return nil, fmt.Errorf("%w: queue depth %d must be positive", ErrInvalidConfig, cfg.QueueDepth)
+	}
+	if cfg.Model.EmbDim <= 0 {
+		return nil, fmt.Errorf("%w: embedding dim %d must be positive", ErrInvalidConfig, cfg.Model.EmbDim)
 	}
 	if len(locs) == 0 {
-		return nil, fmt.Errorf("ps: no tables")
+		return nil, fmt.Errorf("%w: no tables", ErrInvalidConfig)
 	}
-	p := &Pipeline{cfg: cfg}
+	if cfg.Checkpoint.Every < 0 || (cfg.Checkpoint.Every > 0 && cfg.Checkpoint.Path == "") {
+		return nil, fmt.Errorf("%w: checkpoint interval %d without a path", ErrInvalidConfig, cfg.Checkpoint.Every)
+	}
+	p := &Pipeline{cfg: cfg, retry: cfg.Retry.withDefaults()}
 	tables := make([]dlrm.Table, len(locs))
 	for i, loc := range locs {
 		switch {
 		case loc.Device != nil && loc.HostRows > 0:
-			return nil, fmt.Errorf("ps: table %d placed on both device and host", i)
+			return nil, fmt.Errorf("%w: table %d placed on both device and host", ErrInvalidConfig, i)
 		case loc.Device != nil:
 			tables[i] = loc.Device
 		case loc.HostRows > 0:
@@ -141,13 +254,13 @@ func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
 			p.adapters = append(p.adapters, ad)
 			tables[i] = ad
 		default:
-			return nil, fmt.Errorf("ps: table %d has no placement", i)
+			return nil, fmt.Errorf("%w: table %d has no placement", ErrInvalidConfig, i)
 		}
 	}
 	p.hostMu = make([]sync.RWMutex, len(p.hostBags))
 	model, err := dlrm.NewModel(cfg.Model, tables)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
 	p.model = model
 	return p, nil
@@ -156,9 +269,12 @@ func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
 // Model exposes the underlying model (for evaluation).
 func (p *Pipeline) Model() *dlrm.Model { return p.model }
 
-// Stats returns accumulated counters (cache counters summed over tables).
+// Stats returns a consistent snapshot of the accumulated counters (cache
+// counters summed over tables). Safe to call concurrently with Train.
 func (p *Pipeline) Stats() Stats {
+	p.statsMu.Lock()
 	s := p.stats
+	p.statsMu.Unlock()
 	for _, c := range p.caches {
 		syncs, hits, ev := c.Stats()
 		s.CacheSyncs += syncs
@@ -174,13 +290,72 @@ func (p *Pipeline) NumHostTables() int { return len(p.hostBags) }
 // HostBag exposes host table i (for tests).
 func (p *Pipeline) HostBag(i int) *embedding.Bag { return p.hostBags[i] }
 
+// injectFault consults the configured injector for one attempt. Stalls are
+// served in place (the operation proceeds after the delay); transient
+// faults are counted and returned for the retry loop.
+func (p *Pipeline) injectFault(op faults.Op, iter, attempt int) error {
+	if p.cfg.Faults == nil {
+		return nil
+	}
+	err := p.cfg.Faults.Fault(op, iter, attempt)
+	if err == nil {
+		return nil
+	}
+	var stall *faults.Stall
+	if errors.As(err, &stall) {
+		p.statsUpd(func(s *Stats) { s.StallTime += stall.D })
+		p.sleep(stall.D)
+		return nil
+	}
+	p.statsUpd(func(s *Stats) { s.InjectedFaults++ })
+	return err
+}
+
+// sleep waits for d via the retry policy's hook (or a real sleep).
+func (p *Pipeline) sleep(d time.Duration) {
+	if p.retry.Sleep != nil {
+		p.retry.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// backoff records and serves the delay before retry `attempt`. A non-nil
+// ctx aborts the wait on cancellation (used on the gather side; the apply
+// side passes nil because pending gradients must land even during a
+// cancelled drain).
+func (p *Pipeline) backoff(ctx context.Context, attempt int) error {
+	d := p.retry.delay(attempt)
+	p.statsUpd(func(s *Stats) { s.Retries++; s.BackoffTime += d })
+	if p.retry.Sleep != nil {
+		p.retry.Sleep(d)
+	} else if ctx == nil {
+		time.Sleep(d)
+	} else {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
 // gather assembles the pre-fetch payload for one batch: the unique rows of
 // every host table, read under the table lock (the server-side embedding
 // lookup of the PS architecture).
 func (p *Pipeline) gather(iter int, b *data.Batch) *hostBatch {
 	start := time.Now()
-	defer func() { p.addGatherTime(time.Since(start)) }()
-	hb := &hostBatch{iter: iter, batch: b, rows: make([]hostRows, len(p.hostBags))}
+	defer func() {
+		d := time.Since(start)
+		p.statsUpd(func(s *Stats) { s.GatherTime += d })
+	}()
+	hb := &hostBatch{iter: iter, batch: b, rows: make([]hostRows, len(p.hostBags)), gathered: p.applied.Load()}
 	for h, pos := range p.hostIdx {
 		uniq, inverse := embedding.Unique(b.Sparse[pos])
 		p.hostMu[h].RLock()
@@ -191,11 +366,41 @@ func (p *Pipeline) gather(iter int, b *data.Batch) *hostBatch {
 	return hb
 }
 
+// gatherBatch is the fault-tolerant gather: it generates the batch, retries
+// injected transient faults with capped backoff, and converts panics from
+// the data or embedding layers into errors so a faulty pre-fetcher cannot
+// wedge the pipeline.
+func (p *Pipeline) gatherBatch(ctx context.Context, d BatchSource, iter, batchSize int) (hb *hostBatch, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			hb, err = nil, fmt.Errorf("%w: iter %d: %w", ErrGatherFailed, iter, recoveredErr(r))
+		}
+	}()
+	b := d.Batch(iter, batchSize)
+	for attempt := 0; ; attempt++ {
+		ferr := p.injectFault(faults.OpGather, iter, attempt)
+		if ferr == nil {
+			return p.gather(iter, b), nil
+		}
+		if attempt >= p.retry.MaxRetries {
+			return nil, fmt.Errorf("%w: iter %d after %d attempts: %w", ErrGatherFailed, iter, attempt+1, ferr)
+		}
+		if berr := p.backoff(ctx, attempt); berr != nil {
+			return nil, fmt.Errorf("%w: iter %d: %w", ErrGatherFailed, iter, berr)
+		}
+	}
+}
+
 // apply is the server side of the gradient queue: scatter −lr·grad into the
-// host tables, then decrement the cache life cycles.
+// host tables, then advance the applied-push counter that retires cache
+// entries (their life cycle ends once the host copy is provably visible to
+// gathers).
 func (p *Pipeline) apply(g *gradPush) {
 	start := time.Now()
-	defer func() { p.addApplyTime(time.Since(start)) }()
+	defer func() {
+		d := time.Since(start)
+		p.statsUpd(func(s *Stats) { s.ApplyTime += d })
+	}()
 	for h, gr := range g.rows {
 		if len(gr.uniq) == 0 {
 			continue
@@ -206,41 +411,133 @@ func (p *Pipeline) apply(g *gradPush) {
 		p.hostBags[h].ScatterAdd(gr.uniq, delta)
 		p.hostMu[h].Unlock()
 	}
-	for _, c := range p.caches {
-		c.Tick()
+	// Incremented only after every table absorbed the push, so a gather that
+	// reads the counter first can never overstate host freshness.
+	p.applied.Add(1)
+}
+
+// applyPush is the fault-tolerant apply: transient faults retry with
+// backoff (never aborted by cancellation — a cancelled drain still has to
+// land every pending gradient), panics become errors, and g.donec is
+// always closed so drain barriers cannot hang.
+func (p *Pipeline) applyPush(g *gradPush) (err error) {
+	defer close(g.donec)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: iter %d: %w", ErrApplyFailed, g.iter, recoveredErr(r))
+		}
+	}()
+	for attempt := 0; ; attempt++ {
+		ferr := p.injectFault(faults.OpApply, g.iter, attempt)
+		if ferr == nil {
+			p.apply(g)
+			return nil
+		}
+		if attempt >= p.retry.MaxRetries {
+			return fmt.Errorf("%w: iter %d after %d attempts: %w", ErrApplyFailed, g.iter, attempt+1, ferr)
+		}
+		p.backoff(nil, attempt)
 	}
-	close(g.donec)
 }
 
 // trainOne runs the worker side for one pre-fetched batch: cache-sync the
 // pre-fetched rows (Step 1 of Figure 9), run forward/backward (the adapters
-// capture host-table gradients), and return the gradient push.
-func (p *Pipeline) trainOne(hb *hostBatch) (float32, *gradPush) {
+// capture host-table gradients), and return the gradient push. Panics —
+// injected worker faults and genuine model faults alike — are converted to
+// errors so a crashing worker cannot deadlock the queues.
+func (p *Pipeline) trainOne(hb *hostBatch) (loss float32, push *gradPush, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			loss, push = 0, nil
+			err = fmt.Errorf("%w: iter %d: %w", ErrWorkerFault, hb.iter, recoveredErr(r))
+		}
+		if err != nil {
+			for _, ad := range p.adapters {
+				ad.current, ad.pending = nil, nil
+			}
+		}
+	}()
+	if p.cfg.Faults != nil {
+		if ferr := p.cfg.Faults.Fault(faults.OpWorker, hb.iter, 0); ferr != nil {
+			p.statsUpd(func(s *Stats) { s.InjectedFaults++ })
+			// Injected worker faults travel as panics on purpose: they are
+			// raised here, before any model state is touched, and exercise
+			// the same recover path that protects the queues from a real
+			// worker crash.
+			panic(ferr)
+		}
+	}
 	start := time.Now()
-	defer func() { p.stats.TrainTime += time.Since(start) }()
+	defer func() {
+		d := time.Since(start)
+		p.statsUpd(func(s *Stats) { s.TrainTime += d })
+	}()
+	var prefetched int64
 	for h := range hb.rows {
 		rows := make([][]float32, len(hb.rows[h].uniq))
 		for i := range rows {
 			rows[i] = hb.rows[h].values.Row(i)
 		}
-		p.caches[h].Sync(hb.rows[h].uniq, rows)
-		p.stats.BytesPrefetched += int64(len(rows)) * int64(p.cfg.Model.EmbDim) * 4
+		p.caches[h].SyncAt(int(hb.gathered), hb.rows[h].uniq, rows)
+		prefetched += int64(len(rows)) * int64(p.cfg.Model.EmbDim) * 4
 	}
+	p.statsUpd(func(s *Stats) { s.BytesPrefetched += prefetched })
 	for h, ad := range p.adapters {
 		ad.current = &hb.rows[h]
 		ad.pending = nil
 	}
-	loss := p.model.TrainStep(hb.batch)
-	push := &gradPush{iter: hb.iter, rows: make([]gradRows, len(p.adapters)), donec: make(chan struct{})}
+	loss = p.model.TrainStep(hb.batch)
+	push = &gradPush{iter: hb.iter, rows: make([]gradRows, len(p.adapters)), donec: make(chan struct{})}
+	var pushed int64
 	for h, ad := range p.adapters {
 		if ad.pending == nil {
-			panic("ps: host adapter did not receive an update")
+			return 0, nil, fmt.Errorf("%w: host table %d did not receive an update at iter %d", ErrAdapterMisuse, h, hb.iter)
 		}
 		push.rows[h] = *ad.pending
-		p.stats.BytesPushed += int64(len(ad.pending.uniq)) * int64(p.cfg.Model.EmbDim) * 4
+		pushed += int64(len(ad.pending.uniq)) * int64(p.cfg.Model.EmbDim) * 4
 		ad.current, ad.pending = nil, nil
 	}
-	return loss, push
+	p.statsUpd(func(s *Stats) { s.BytesPushed += pushed })
+	p.trained.Add(1)
+	return loss, push, nil
+}
+
+// checkpointDue reports whether a periodic checkpoint fires at nextIter.
+func (p *Pipeline) checkpointDue(nextIter int) bool {
+	return p.cfg.Checkpoint.Path != "" && p.cfg.Checkpoint.Every > 0 &&
+		nextIter > 0 && nextIter%p.cfg.Checkpoint.Every == 0
+}
+
+// writeCheckpoint persists the training state at nextIter and counts it.
+// Callers must hold the drain invariant: no batch in flight, every pushed
+// gradient applied.
+func (p *Pipeline) writeCheckpoint(nextIter int) error {
+	if err := p.SaveCheckpoint(p.cfg.Checkpoint.Path, nextIter); err != nil {
+		return fmt.Errorf("%w: %w", ErrCheckpointFailed, err)
+	}
+	p.statsUpd(func(s *Stats) { s.Checkpoints++ })
+	return nil
+}
+
+// failSlot records the first failure observed by any pipeline goroutine.
+type failSlot struct {
+	mu        sync.Mutex
+	err       error
+	resumable bool
+}
+
+func (f *failSlot) set(err error, resumable bool) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err, f.resumable = err, resumable
+	}
+	f.mu.Unlock()
+}
+
+func (f *failSlot) get() (error, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err, f.resumable
 }
 
 // Train runs steps batches of the given size from the dataset through the
@@ -252,47 +549,168 @@ func (p *Pipeline) trainOne(hb *hostBatch) (float32, *gradPush) {
 // exactly as §VI-C describes). Both schedules produce bit-identical
 // parameters: the embedding cache guarantees the worker always computes on
 // up-to-date rows.
-func (p *Pipeline) Train(d BatchSource, startIter, steps, batchSize int) *metrics.LossCurve {
-	if p.cfg.QueueDepth == 1 {
-		curve := &metrics.LossCurve{}
-		for it := 0; it < steps; it++ {
-			hb := p.gather(startIter+it, d.Batch(startIter+it, batchSize))
-			loss, push := p.trainOne(hb)
-			curve.Add(hb.iter, float64(loss))
-			p.apply(push)
-			p.stats.Steps++
-		}
-		return curve
+//
+// Cancellation and faults drain gracefully: the pre-fetcher stops, the
+// in-flight batch finishes, every pushed gradient is applied, and the
+// returned TrainResult carries the partial loss curve plus the next
+// resumable iteration. Transient gather/apply faults (from cfg.Faults)
+// retry under cfg.Retry before becoming errors; worker panics surface as
+// ErrWorkerFault instead of deadlocking the queues. When cfg.Checkpoint is
+// set, the full training state is atomically persisted every Every steps at
+// a drain barrier.
+func (p *Pipeline) Train(ctx context.Context, d BatchSource, startIter, steps, batchSize int) (*TrainResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	curve := &metrics.LossCurve{}
+	res := &TrainResult{Curve: curve, NextIter: startIter, Resumable: true}
+	fail := func(res *TrainResult, err error, resumable bool) (*TrainResult, error) {
+		res.Resumable = resumable
+		if !resumable {
+			res.NextIter = -1
+		}
+		return res, err
+	}
+
+	if p.cfg.QueueDepth == 1 {
+		for it := 0; it < steps; it++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			iter := startIter + it
+			hb, err := p.gatherBatch(ctx, d, iter, batchSize)
+			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return res, cerr
+				}
+				return res, err
+			}
+			loss, push, err := p.trainOne(hb)
+			if err != nil {
+				return fail(res, err, faults.IsInjected(err))
+			}
+			curve.Add(iter, float64(loss))
+			if err := p.applyPush(push); err != nil {
+				return fail(res, err, false)
+			}
+			p.statsUpd(func(s *Stats) { s.Steps++ })
+			res.Completed++
+			res.NextIter = iter + 1
+			if p.checkpointDue(res.NextIter) {
+				if err := p.writeCheckpoint(res.NextIter); err != nil {
+					return res, err
+				}
+			}
+		}
+		return res, nil
+	}
+
 	prefetchQ := make(chan *hostBatch, p.cfg.QueueDepth)
 	gradQ := make(chan *gradPush, p.cfg.QueueDepth)
-
+	stop := make(chan struct{})
+	var async failSlot
 	var wg sync.WaitGroup
 	wg.Add(2)
+
 	go func() { // pre-fetcher (server pull side)
 		defer wg.Done()
 		defer close(prefetchQ)
 		for it := 0; it < steps; it++ {
-			prefetchQ <- p.gather(startIter+it, d.Batch(startIter+it, batchSize))
-		}
-	}()
-	go func() { // server apply side
-		defer wg.Done()
-		for g := range gradQ {
-			p.apply(g)
+			if ctx.Err() != nil {
+				return
+			}
+			hb, err := p.gatherBatch(ctx, d, startIter+it, batchSize)
+			if err != nil {
+				// A gather failure leaves state consistent (the batch never
+				// reached the worker); pure cancellation is reported by
+				// Train itself.
+				if ctx.Err() == nil {
+					async.set(err, true)
+				}
+				return
+			}
+			select {
+			case prefetchQ <- hb:
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			}
 		}
 	}()
 
-	curve := &metrics.LossCurve{}
-	for hb := range prefetchQ {
-		loss, push := p.trainOne(hb)
+	go func() { // server apply side: drains even after cancel or failure
+		defer wg.Done()
+		broken := false
+		for g := range gradQ {
+			if broken {
+				close(g.donec)
+				continue
+			}
+			if err := p.applyPush(g); err != nil {
+				async.set(err, false)
+				broken = true
+			}
+		}
+	}()
+
+worker:
+	for {
+		if err, _ := async.get(); err != nil {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		var hb *hostBatch
+		var ok bool
+		select {
+		case hb, ok = <-prefetchQ:
+		case <-ctx.Done():
+			break worker
+		}
+		if !ok { // pre-fetcher finished (all steps gathered) or aborted
+			break
+		}
+		loss, push, err := p.trainOne(hb)
+		if err != nil {
+			async.set(err, faults.IsInjected(err))
+			break
+		}
 		curve.Add(hb.iter, float64(loss))
 		gradQ <- push
-		p.stats.Steps++
+		p.statsUpd(func(s *Stats) { s.Steps++ })
+		res.Completed++
+		res.NextIter = hb.iter + 1
+		if p.checkpointDue(res.NextIter) {
+			// Drain barrier: the gradient queue is FIFO and the server
+			// closes donec in order, so once this push has landed every
+			// earlier one has too, and host tables exactly reflect
+			// NextIter iterations of training.
+			<-push.donec
+			if ferr, _ := async.get(); ferr != nil {
+				break
+			}
+			if cerr := p.writeCheckpoint(res.NextIter); cerr != nil {
+				async.set(cerr, true)
+				break
+			}
+		}
 	}
+
+	// Graceful drain: stop the pre-fetcher, close the gradient queue after
+	// the last push, and wait until the server has applied everything.
+	close(stop)
 	close(gradQ)
 	wg.Wait()
-	return curve
+
+	if err, resumable := async.get(); err != nil {
+		return fail(res, err, resumable)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // hostAdapter exposes one host-memory table to the model as a dlrm.Table.
@@ -326,7 +744,10 @@ func (a *hostAdapter) Lookup(indices, offsets []int) *tensor.Matrix {
 		cur = &hostRows{uniq: uniq, inverse: inverse, values: values}
 	} else {
 		start := time.Now()
-		defer func() { a.pipeline.stats.AdapterTime += time.Since(start) }()
+		defer func() {
+			d := time.Since(start)
+			a.pipeline.statsUpd(func(s *Stats) { s.AdapterTime += d })
+		}()
 	}
 	out := tensor.New(len(offsets), a.dim)
 	for s := range offsets {
@@ -344,14 +765,19 @@ func (a *hostAdapter) Lookup(indices, offsets []int) *tensor.Matrix {
 }
 
 // Update aggregates dOut per unique row, publishes updated values to the
-// cache, and stages the gradient push.
+// cache, and stages the gradient push. Outside a pipeline step it panics
+// with a typed error; the pipeline's recover machinery converts that into
+// an ErrAdapterMisuse-wrapped failure instead of a crash.
 func (a *hostAdapter) Update(indices, offsets []int, dOut *tensor.Matrix, lr float32) {
 	cur := a.current
 	if cur == nil {
-		panic("ps: host table update outside a pipeline step")
+		panic(fmt.Errorf("%w: host table %d updated outside a pipeline step", ErrAdapterMisuse, a.slot))
 	}
 	start := time.Now()
-	defer func() { a.pipeline.stats.AdapterTime += time.Since(start) }()
+	defer func() {
+		d := time.Since(start)
+		a.pipeline.statsUpd(func(s *Stats) { s.AdapterTime += d })
+	}()
 	grads := tensor.New(len(cur.uniq), a.dim)
 	for s := range offsets {
 		start := offsets[s]
@@ -372,7 +798,7 @@ func (a *hostAdapter) Update(indices, offsets []int, dOut *tensor.Matrix, lr flo
 		tensor.Axpy(-lr, grads.Row(i), row)
 		updated[i] = row
 	}
-	a.pipeline.caches[a.slot].Publish(cur.uniq, updated)
+	a.pipeline.caches[a.slot].PublishAt(cur.uniq, updated, int(a.pipeline.trained.Load()))
 	a.pending = &gradRows{uniq: cur.uniq, grads: grads}
 }
 

@@ -1,13 +1,30 @@
 package ps
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/data"
 	"repro/internal/dlrm"
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 	"repro/internal/tt"
 )
+
+// mustTrain runs Train with a background context and fails the test on any
+// error, returning the loss curve.
+func mustTrain(t *testing.T, p *Pipeline, d BatchSource, start, steps, batch int) *metrics.LossCurve {
+	t.Helper()
+	res, err := p.Train(context.Background(), d, start, steps, batch)
+	if err != nil {
+		t.Fatalf("Train(%d, %d): %v", start, steps, err)
+	}
+	if res.Completed != steps || res.NextIter != start+steps || !res.Resumable {
+		t.Fatalf("Train(%d, %d) result inconsistent: %+v", start, steps, res)
+	}
+	return res.Curve
+}
 
 func psSpec() data.Spec {
 	return data.Spec{
@@ -38,21 +55,28 @@ func allHostLocs(spec data.Spec) []TableLoc {
 
 func TestNewPipelineValidation(t *testing.T) {
 	spec := psSpec()
-	if _, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 0}, allHostLocs(spec)); err == nil {
-		t.Fatal("zero queue depth accepted")
+	check := func(name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("%s: error %v does not wrap ErrInvalidConfig", name, err)
+		}
 	}
-	if _, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1}, nil); err == nil {
-		t.Fatal("no tables accepted")
-	}
-	if _, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1}, []TableLoc{{}}); err == nil {
-		t.Fatal("unplaced table accepted")
-	}
+	_, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 0}, allHostLocs(spec))
+	check("zero queue depth", err)
+	_, err = NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1}, nil)
+	check("no tables", err)
+	_, err = NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1}, []TableLoc{{}})
+	check("unplaced table", err)
 	shape, _ := tt.NewShape(100, 8, 4)
 	dev := tt.NewTable(shape, tensor.NewRNG(1), 0)
-	if _, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1},
-		[]TableLoc{{Device: dev, HostRows: 5}, {HostRows: 10}}); err == nil {
-		t.Fatal("double placement accepted")
-	}
+	_, err = NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1},
+		[]TableLoc{{Device: dev, HostRows: 5}, {HostRows: 10}})
+	check("double placement", err)
+	_, err = NewPipeline(Config{Model: psModelCfg(), QueueDepth: 1, Checkpoint: CheckpointConfig{Every: 5}}, allHostLocs(spec))
+	check("checkpoint interval without path", err)
 }
 
 // TestPipelineMatchesSequentialExactly is the central consistency property
@@ -70,7 +94,7 @@ func TestPipelineMatchesSequentialExactly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p.Train(d, 0, 60, 64)
+		mustTrain(t, p, d, 0, 60, 64)
 		return p
 	}
 	seq := run(1)
@@ -106,7 +130,7 @@ func TestPipelineCacheActuallyNeeded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Train(d, 0, 30, 64)
+	mustTrain(t, p, d, 0, 30, 64)
 	st := p.Stats()
 	if st.CacheHits == 0 {
 		t.Fatal("no overlapping rows between in-flight batches; RAW conflict never arises")
@@ -134,7 +158,7 @@ func TestPipelineWithDeviceTTTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	curve := p.Train(d, 0, 120, 64)
+	curve := mustTrain(t, p, d, 0, 120, 64)
 	if len(curve.Losses) != 120 {
 		t.Fatalf("curve has %d points", len(curve.Losses))
 	}
@@ -155,8 +179,8 @@ func TestPipelineResumesAcrossTrainCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Train(d, 0, 10, 32)
-	p.Train(d, 10, 10, 32)
+	mustTrain(t, p, d, 0, 10, 32)
+	mustTrain(t, p, d, 10, 10, 32)
 	if st := p.Stats(); st.Steps != 20 {
 		t.Fatalf("Steps = %d want 20", st.Steps)
 	}
@@ -176,8 +200,13 @@ func TestHostAdapterInferenceOutsideStep(t *testing.T) {
 		t.Fatal("inference lookup disagrees with host table")
 	}
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("adapter update outside pipeline step did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrAdapterMisuse) {
+			t.Fatalf("recovered %v; want error wrapping ErrAdapterMisuse", r)
 		}
 	}()
 	p.adapters[0].Update([]int{1}, []int{0}, tensor.New(1, 8), 0.1)
@@ -212,7 +241,7 @@ func TestPipelineAllDeviceTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	curve := p.Train(d, 0, 10, 32)
+	curve := mustTrain(t, p, d, 0, 10, 32)
 	if len(curve.Losses) != 10 {
 		t.Fatalf("trained %d steps", len(curve.Losses))
 	}

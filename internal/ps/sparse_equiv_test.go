@@ -21,7 +21,7 @@ func TestPipelineEquivalenceSparseTables(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p.Train(d, 0, 200, 32)
+		mustTrain(t, p, d, 0, 200, 32)
 		return p
 	}
 	seq := run(1)

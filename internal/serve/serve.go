@@ -8,11 +8,28 @@ package serve
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 
 	"repro/internal/data"
 	"repro/internal/dlrm"
 	"repro/internal/tensor"
+)
+
+// Typed errors for programmatic handling: a serving layer distinguishes bad
+// requests (context/candidate problems, reported to the client) from bad
+// deployments (configuration problems, reported to the operator). All
+// errors returned by this package wrap one of these sentinels; match with
+// errors.Is.
+var (
+	// ErrInvalidConfig marks a Ranker misconfiguration (bad item feature,
+	// batch size or k).
+	ErrInvalidConfig = errors.New("serve: invalid configuration")
+	// ErrInvalidContext marks a request context that does not match the
+	// model (wrong feature counts or out-of-range user features).
+	ErrInvalidContext = errors.New("serve: invalid context")
+	// ErrInvalidCandidate marks a candidate item id outside the item table.
+	ErrInvalidCandidate = errors.New("serve: invalid candidate")
 )
 
 // Ranker scores candidates against a user context.
@@ -29,10 +46,10 @@ type Ranker struct {
 // carries the candidate item id.
 func NewRanker(model *dlrm.Model, itemFeature, batchSize int) (*Ranker, error) {
 	if itemFeature < 0 || itemFeature >= len(model.Tables) {
-		return nil, fmt.Errorf("serve: item feature %d outside %d tables", itemFeature, len(model.Tables))
+		return nil, fmt.Errorf("%w: item feature %d outside %d tables", ErrInvalidConfig, itemFeature, len(model.Tables))
 	}
 	if batchSize <= 0 {
-		return nil, fmt.Errorf("serve: non-positive batch size %d", batchSize)
+		return nil, fmt.Errorf("%w: non-positive batch size %d", ErrInvalidConfig, batchSize)
 	}
 	return &Ranker{model: model, itemFeature: itemFeature, batch: batchSize}, nil
 }
@@ -47,17 +64,17 @@ type Context struct {
 // validate checks the context against the model.
 func (r *Ranker) validate(ctx Context) error {
 	if len(ctx.Dense) != r.model.Cfg.NumDense {
-		return fmt.Errorf("serve: context has %d dense features, model wants %d", len(ctx.Dense), r.model.Cfg.NumDense)
+		return fmt.Errorf("%w: %d dense features, model wants %d", ErrInvalidContext, len(ctx.Dense), r.model.Cfg.NumDense)
 	}
 	if len(ctx.Sparse) != len(r.model.Tables) {
-		return fmt.Errorf("serve: context has %d sparse features, model wants %d", len(ctx.Sparse), len(r.model.Tables))
+		return fmt.Errorf("%w: %d sparse features, model wants %d", ErrInvalidContext, len(ctx.Sparse), len(r.model.Tables))
 	}
 	for t, idx := range ctx.Sparse {
 		if t == r.itemFeature {
 			continue
 		}
 		if idx < 0 || idx >= r.model.Tables[t].NumRows() {
-			return fmt.Errorf("serve: feature %d index %d out of range", t, idx)
+			return fmt.Errorf("%w: feature %d index %d out of range", ErrInvalidContext, t, idx)
 		}
 	}
 	return nil
@@ -72,7 +89,7 @@ func (r *Ranker) Score(ctx Context, candidates []int) ([]float32, error) {
 	itemRows := r.model.Tables[r.itemFeature].NumRows()
 	for _, c := range candidates {
 		if c < 0 || c >= itemRows {
-			return nil, fmt.Errorf("serve: candidate %d outside item table of %d rows", c, itemRows)
+			return nil, fmt.Errorf("%w: item %d outside item table of %d rows", ErrInvalidCandidate, c, itemRows)
 		}
 	}
 	out := make([]float32, 0, len(candidates))
@@ -124,7 +141,7 @@ type Scored struct {
 // all candidates ranked.
 func (r *Ranker) TopK(ctx Context, candidates []int, k int) ([]Scored, error) {
 	if k <= 0 {
-		return nil, fmt.Errorf("serve: non-positive k %d", k)
+		return nil, fmt.Errorf("%w: non-positive k %d", ErrInvalidConfig, k)
 	}
 	scores, err := r.Score(ctx, candidates)
 	if err != nil {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"testing"
@@ -40,11 +41,11 @@ func serveModel(t *testing.T) *dlrm.Model {
 
 func TestNewRankerValidation(t *testing.T) {
 	m := serveModel(t)
-	if _, err := NewRanker(m, 5, 32); err == nil {
-		t.Fatal("item feature out of range accepted")
+	if _, err := NewRanker(m, 5, 32); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("item feature out of range: err = %v, want ErrInvalidConfig", err)
 	}
-	if _, err := NewRanker(m, 1, 0); err == nil {
-		t.Fatal("zero batch accepted")
+	if _, err := NewRanker(m, 1, 0); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("zero batch: err = %v, want ErrInvalidConfig", err)
 	}
 }
 
@@ -97,20 +98,23 @@ func TestScoreBatchBoundary(t *testing.T) {
 func TestScoreValidation(t *testing.T) {
 	m := serveModel(t)
 	r, _ := NewRanker(m, 1, 16)
-	if _, err := r.Score(Context{Dense: []float32{1}, Sparse: []int{0, 0}}, []int{1}); err == nil {
-		t.Fatal("wrong dense width accepted")
+	if _, err := r.Score(Context{Dense: []float32{1}, Sparse: []int{0, 0}}, []int{1}); !errors.Is(err, ErrInvalidContext) {
+		t.Fatalf("wrong dense width: err = %v, want ErrInvalidContext", err)
 	}
-	if _, err := r.Score(Context{Dense: []float32{1, 2, 3}, Sparse: []int{0}}, []int{1}); err == nil {
-		t.Fatal("wrong sparse count accepted")
+	if _, err := r.Score(Context{Dense: []float32{1, 2, 3}, Sparse: []int{0}}, []int{1}); !errors.Is(err, ErrInvalidContext) {
+		t.Fatalf("wrong sparse count: err = %v, want ErrInvalidContext", err)
 	}
-	if _, err := r.Score(Context{Dense: []float32{1, 2, 3}, Sparse: []int{500, 0}}, []int{1}); err == nil {
-		t.Fatal("context index out of range accepted")
+	if _, err := r.Score(Context{Dense: []float32{1, 2, 3}, Sparse: []int{500, 0}}, []int{1}); !errors.Is(err, ErrInvalidContext) {
+		t.Fatalf("context index out of range: err = %v, want ErrInvalidContext", err)
 	}
-	if _, err := r.Score(testContext(), []int{-1}); err == nil {
-		t.Fatal("negative candidate accepted")
+	if _, err := r.Score(testContext(), []int{-1}); !errors.Is(err, ErrInvalidCandidate) {
+		t.Fatalf("negative candidate: err = %v, want ErrInvalidCandidate", err)
 	}
-	if _, err := r.Score(testContext(), []int{2000}); err == nil {
-		t.Fatal("candidate out of range accepted")
+	if _, err := r.Score(testContext(), []int{2000}); !errors.Is(err, ErrInvalidCandidate) {
+		t.Fatalf("candidate out of range: err = %v, want ErrInvalidCandidate", err)
+	}
+	if _, err := r.Score(testContext(), []int{1}); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
 	}
 }
 
@@ -162,8 +166,11 @@ func TestTopKOrderingAndCompleteness(t *testing.T) {
 func TestTopKEdgeCases(t *testing.T) {
 	m := serveModel(t)
 	r, _ := NewRanker(m, 1, 32)
-	if _, err := r.TopK(testContext(), []int{1, 2}, 0); err == nil {
-		t.Fatal("k=0 accepted")
+	if _, err := r.TopK(testContext(), []int{1, 2}, 0); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("k=0: err = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := r.TopK(testContext(), []int{1, -2}, 1); !errors.Is(err, ErrInvalidCandidate) {
+		t.Fatalf("bad candidate through TopK: err = %v, want ErrInvalidCandidate", err)
 	}
 	// k larger than candidates: all returned, ranked.
 	top, err := r.TopK(testContext(), []int{3, 9}, 10)
