@@ -1,0 +1,190 @@
+// Package analysis is a self-contained static-analysis framework plus the
+// five project-specific analyzers (nopanic, determinism, locksafe, gospawn,
+// errcmp) that machine-check the invariants PR 1 established: panic-free
+// library code, deterministic numeric paths, lock-guarded shared state,
+// panic-converting goroutine spawns and errors.Is-based sentinel handling.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the suite can migrate to the upstream framework —
+// and its multichecker/unitchecker drivers — without touching analyzer
+// code. The local implementation exists because this module builds with
+// the standard library only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is the one-paragraph help text.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries everything Run needs to analyze one package: syntax, type
+// information and a diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	// directives caches per-file //elrec: directive positions, lazily built.
+	directives map[*ast.File]map[int][]directive
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directive is one parsed //elrec:<name> <args> comment.
+type directive struct {
+	name string // e.g. "invariant", "orderless", "locked"
+	args string // trailing free text (reason, mutex name, ...)
+}
+
+// DirectivePrefix introduces the project's analyzer escape-hatch comments:
+// //elrec:invariant <reason>, //elrec:orderless <reason>,
+// //elrec:locked <mu> [reason].
+const DirectivePrefix = "elrec:"
+
+// parseDirectives indexes every //elrec: comment of f by the line it ends
+// on, so analyzers can ask whether a node is annotated (same line or the
+// line immediately above — both the trailing-comment and the
+// preceding-comment styles).
+func parseDirectives(fset *token.FileSet, f *ast.File) map[int][]directive {
+	out := map[int][]directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, DirectivePrefix) {
+				continue
+			}
+			text = strings.TrimPrefix(text, DirectivePrefix)
+			name, args, _ := strings.Cut(text, " ")
+			line := fset.Position(c.End()).Line
+			out[line] = append(out[line], directive{name: name, args: strings.TrimSpace(args)})
+		}
+	}
+	return out
+}
+
+// directiveFor returns the //elrec:<name> directive annotating node, if
+// any: on the node's first line, the line above it, or — so annotations
+// survive gofmt moving them onto an enclosing declaration — any line of
+// the doc comment attached to the enclosing function declaration when
+// decl is non-nil.
+func (p *Pass) directiveFor(file *ast.File, node ast.Node, name string) (directive, bool) {
+	if p.directives == nil {
+		p.directives = map[*ast.File]map[int][]directive{}
+	}
+	byLine, ok := p.directives[file]
+	if !ok {
+		byLine = parseDirectives(p.Fset, file)
+		p.directives[file] = byLine
+	}
+	line := p.Fset.Position(node.Pos()).Line
+	for _, l := range []int{line, line - 1} {
+		for _, d := range byLine[l] {
+			if d.name == name {
+				return d, true
+			}
+		}
+	}
+	return directive{}, false
+}
+
+// fileOf returns the *ast.File of the pass containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcDirective reports whether the function declaration enclosing pos (if
+// any) carries //elrec:<name> in its doc comment, returning its args.
+func (p *Pass) funcDirective(file *ast.File, fn *ast.FuncDecl, name string) (directive, bool) {
+	if fn == nil || fn.Doc == nil {
+		return directive{}, false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if !strings.HasPrefix(text, DirectivePrefix) {
+			continue
+		}
+		dname, args, _ := strings.Cut(strings.TrimPrefix(text, DirectivePrefix), " ")
+		if dname == name {
+			return directive{name: dname, args: strings.TrimSpace(args)}, true
+		}
+	}
+	return directive{}, false
+}
+
+// RunAnalyzers applies every analyzer to every package (subject to each
+// analyzer's package filter, see Suite) and returns the combined
+// diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, applies func(a *Analyzer, pkgPath string) bool) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if applies != nil && !applies(a, pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			out = append(out, pass.diagnostics...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

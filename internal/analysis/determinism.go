@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism guards the numeric result paths whose outputs must be
+// bit-reproducible (the reorder bijection feeds training, and training is
+// verified bit-exact across kill/resume). It reports:
+//
+//   - range statements over maps: Go randomizes iteration order, so any
+//     map-range whose body can leak order into a result (float
+//     accumulation, slice append, min/argmax selection — in practice, any
+//     body at all) silently breaks reproducibility. Loops that only
+//     delete from the ranged map are allowed (order provably cannot
+//     escape), as are loops annotated //elrec:orderless <reason>.
+//   - calls through the global math/rand source (rand.Intn, rand.Float64,
+//     …): numeric paths must draw from an explicitly seeded generator.
+//   - time.Now in numeric code: wall-clock time must never influence a
+//     numeric result. (Pipeline bookkeeping lives outside the packages
+//     this analyzer is applied to.)
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flags map-iteration order, global math/rand and time.Now leaking " +
+		"into deterministic numeric paths",
+	Run: runDeterminism,
+}
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded generator rather than touching the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				pass.checkMapRange(file, n)
+			case *ast.CallExpr:
+				pass.checkNondetCall(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (p *Pass) checkMapRange(file *ast.File, rs *ast.RangeStmt) {
+	tv, ok := p.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if d, ok := p.directiveFor(file, rs, "orderless"); ok {
+		if d.args == "" {
+			p.Reportf(rs.Pos(), "//elrec:orderless annotation requires a reason")
+		}
+		return
+	}
+	if deleteOnlyBody(p.TypesInfo, rs) {
+		return
+	}
+	p.Reportf(rs.Pos(), "map iteration order can leak into results: iterate sorted keys, or annotate //elrec:orderless <reason>")
+}
+
+// deleteOnlyBody reports whether every statement of the range body is a
+// delete(m, k) on the ranged map itself — the one body shape whose effect
+// is provably independent of iteration order.
+func deleteOnlyBody(info *types.Info, rs *ast.RangeStmt) bool {
+	rangedObj := exprObject(info, rs.X)
+	if rangedObj == nil || len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rs.Body.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "delete" {
+			return false
+		}
+		if obj := info.Uses[fn]; obj != nil {
+			if _, builtin := obj.(*types.Builtin); !builtin {
+				return false
+			}
+		}
+		if exprObject(info, call.Args[0]) != rangedObj {
+			return false
+		}
+	}
+	return true
+}
+
+// exprObject resolves an identifier or field selector to its object, the
+// loader's handle for "the same variable".
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func (p *Pass) checkNondetCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := p.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			p.Reportf(call.Pos(), "global math/rand source in a numeric result path: draw from an explicitly seeded generator")
+		}
+	case "time":
+		if sel.Sel.Name == "Now" {
+			p.Reportf(call.Pos(), "time.Now in a numeric result path: wall-clock time must not influence results")
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockSafeGolden(t *testing.T) {
+	analysistest.Run(t, analysis.LockSafe, filepath.Join("testdata", "src", "locksafe"))
+}

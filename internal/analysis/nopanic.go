@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic forbids panic calls in library packages. A panic site survives
+// review only when it is annotated with an //elrec:invariant directive
+// carrying a reason — the project's marker for a contract violation that
+// is a programming error by construction (validated upstream, or
+// unreachable), kept as a panic because an error return would poison a
+// hot numeric kernel's API. Everything else must return a typed error.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "forbids panic( in library packages except at sites annotated " +
+		"//elrec:invariant <reason>",
+	Run: runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := call.Fun.(*ast.Ident)
+			if !ok || ident.Name != "panic" {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[ident]; obj != nil {
+				if _, builtin := obj.(*types.Builtin); !builtin {
+					return true // a local function shadowing panic
+				}
+			}
+			d, ok := pass.directiveFor(file, call, "invariant")
+			if !ok {
+				pass.Reportf(call.Pos(), "panic in library code: return a typed error or annotate the invariant with //elrec:invariant <reason>")
+				return true
+			}
+			if d.args == "" {
+				pass.Reportf(call.Pos(), "//elrec:invariant annotation requires a reason")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import "strings"
+
+// ModulePath is the import-path root of this module.
+const ModulePath = "repro"
+
+// Suite returns the five project analyzers in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{NoPanic, Determinism, LockSafe, GoSpawn, ErrCmp}
+}
+
+// deterministicPackages are the numeric result paths whose outputs must be
+// bit-reproducible: the reorder bijection pipeline (graphx, reorder), the
+// TT embedding kernels (tt) and the system-composition layer that is
+// verified bit-exact across kill/resume (core).
+var deterministicPackages = map[string]bool{
+	ModulePath + "/internal/graphx":  true,
+	ModulePath + "/internal/reorder": true,
+	ModulePath + "/internal/tt":      true,
+	ModulePath + "/internal/core":    true,
+}
+
+// Applies reports whether analyzer a runs on package pkgPath. Library
+// packages are the public facade plus everything under internal/ except
+// internal/bench — the experiment harness is tool code (it renders
+// figures and tables for a human; panic-on-setup-error is its contract),
+// as are cmd/ and examples/ binaries.
+func Applies(a *Analyzer, pkgPath string) bool {
+	if pkgPath != ModulePath && !strings.HasPrefix(pkgPath, ModulePath+"/") {
+		return false
+	}
+	switch a {
+	case NoPanic:
+		return libraryPackage(pkgPath)
+	case Determinism:
+		return deterministicPackages[pkgPath]
+	case GoSpawn:
+		return pkgPath == ModulePath+"/internal/ps"
+	case LockSafe, ErrCmp:
+		return true
+	}
+	return true
+}
+
+// libraryPackage reports whether pkgPath holds library code (as opposed
+// to a binary entry point or the experiment harness).
+func libraryPackage(pkgPath string) bool {
+	if pkgPath == ModulePath {
+		return true
+	}
+	if !strings.HasPrefix(pkgPath, ModulePath+"/internal/") {
+		return false
+	}
+	return !strings.HasPrefix(pkgPath, ModulePath+"/internal/bench")
+}

@@ -1,0 +1,65 @@
+// Package determinism exercises the determinism analyzer: map-range loops
+// (including the key-collection loop of a collect-then-sort pattern, which
+// must carry //elrec:orderless in real code), the global math/rand source
+// and time.Now are violations in numeric result paths; delete-only loops,
+// seeded generators and annotated orderless loops are not.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func sumValues(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "map iteration order can leak into results"
+		s += v
+	}
+	return s
+}
+
+func sumSorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m { // want "map iteration order can leak into results"
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+func clearAll(m map[int]bool) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func count(m map[int]bool) int {
+	n := 0
+	//elrec:orderless the body only counts entries; no order can escape
+	for range m {
+		n++
+	}
+	return n
+}
+
+func globalNoise() float64 {
+	return rand.Float64() // want "global math/rand source"
+}
+
+func seededNoise(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a numeric result path"
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since)
+}

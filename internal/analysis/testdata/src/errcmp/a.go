@@ -1,0 +1,38 @@
+// Package errcmp exercises the errcmp analyzer: sentinel identity must be
+// tested with errors.Is/errors.As, never == / != or message matching.
+package errcmp
+
+import (
+	"errors"
+	"strings"
+)
+
+var errBoom = errors.New("errcmp: boom")
+
+func eqSentinel(err error) bool {
+	return err == errBoom // want "sentinel error compared with =="
+}
+
+func neqSentinel(err error) bool {
+	return err != errBoom // want "sentinel error compared with !="
+}
+
+func eqMessage(err error) bool {
+	return err.Error() == "errcmp: boom" // want "error message compared with =="
+}
+
+func containsMessage(err error) bool {
+	return strings.Contains(err.Error(), "boom") // want "matching on err.Error"
+}
+
+func nilCheck(err error) bool {
+	return err == nil || err != nil
+}
+
+func errorsIs(err error) bool {
+	return errors.Is(err, errBoom)
+}
+
+func plainStrings(a, b string) bool {
+	return strings.Contains(a, b) && a == b
+}

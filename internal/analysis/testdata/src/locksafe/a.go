@@ -1,0 +1,54 @@
+// Package locksafe exercises the locksafe analyzer: a field commented
+// `guarded by <mu>` may only be touched by functions that lock that mutex
+// or declare //elrec:locked <mu> in their doc comment.
+package locksafe
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	// hits counts cache hits.
+	// guarded by mu
+	hits int
+
+	free int // unguarded: no annotation, no enforcement
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.hits++
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want "n is guarded by mu"
+}
+
+func (c *counter) racyWrite(v int) {
+	c.hits = v // want "hits is guarded by mu"
+}
+
+// snapshot reads n without locking.
+//
+//elrec:locked mu caller holds the lock across the call
+func (c *counter) snapshot() int {
+	return c.n
+}
+
+func (c *counter) unguardedOK() int {
+	return c.free
+}
+
+type sharded struct {
+	shardMu []sync.RWMutex
+	vals    []int // guarded by shardMu (per-shard)
+}
+
+func (s *sharded) get(i int) int {
+	s.shardMu[i].RLock()
+	defer s.shardMu[i].RUnlock()
+	return s.vals[i]
+}

@@ -1,0 +1,40 @@
+// Package nopanic exercises the nopanic analyzer: bare panics and
+// reason-less invariant annotations are violations; typed-error returns and
+// annotated invariants are not.
+package nopanic
+
+import "errors"
+
+var errNegative = errors.New("nopanic: negative input")
+
+func bare(x int) {
+	if x < 0 {
+		panic("negative input") // want "panic in library code"
+	}
+}
+
+func reasonless(x int) {
+	if x < 0 {
+		//elrec:invariant
+		panic("negative input") // want "annotation requires a reason"
+	}
+}
+
+func typedError(x int) error {
+	if x < 0 {
+		return errNegative
+	}
+	return nil
+}
+
+func annotated(x int) {
+	if x < 0 {
+		//elrec:invariant callers validate x at the API boundary
+		panic("negative input")
+	}
+}
+
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -22,6 +22,18 @@ func cellFloat(t *testing.T, cell string) float64 {
 	return v
 }
 
+// skipUnderRace skips experiment-harness tests when the race detector is
+// on: they assert wall-clock performance shapes (and run ~10x slower), so
+// under instrumentation they only report the detector's overhead. The
+// concurrency they exercise is raced directly by the library packages'
+// own -race tests.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("timing-shape experiment: meaningless under the race detector")
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	if _, err := Run("nonsense", Quick()); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -57,6 +69,7 @@ func TestResultFormatting(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	skipUnderRace(t)
 	r := Table2(Quick())
 	if len(r.Rows) != 3 {
 		t.Fatalf("Table2 has %d rows", len(r.Rows))
@@ -74,6 +87,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3CompressionAboveOne(t *testing.T) {
+	skipUnderRace(t)
 	r := Table3(Quick())
 	for _, row := range r.Rows {
 		if c := cellFloat(t, row[3]); c <= 1 {
@@ -83,6 +97,7 @@ func TestTable3CompressionAboveOne(t *testing.T) {
 }
 
 func TestFig4aMonotoneToOne(t *testing.T) {
+	skipUnderRace(t)
 	r := Fig4a(Quick())
 	for _, row := range r.Rows {
 		prev := 0.0
@@ -103,6 +118,7 @@ func TestFig4aMonotoneToOne(t *testing.T) {
 }
 
 func TestFig4bUniqueBelowBatch(t *testing.T) {
+	skipUnderRace(t)
 	r := Fig4b(Quick())
 	sizes := []float64{512, 1024, 2048, 4096, 8192}
 	for _, row := range r.Rows {
@@ -121,6 +137,7 @@ func TestFig4bUniqueBelowBatch(t *testing.T) {
 }
 
 func TestFig11ELRecWins(t *testing.T) {
+	skipUnderRace(t)
 	if testing.Short() {
 		t.Skip("end-to-end comparison skipped in -short")
 	}
@@ -149,6 +166,7 @@ func TestFig11ELRecWins(t *testing.T) {
 }
 
 func TestFig13ShapeAndOOM(t *testing.T) {
+	skipUnderRace(t)
 	r := Fig13(Quick())
 	if len(r.Rows) != 3 {
 		t.Fatalf("Fig13 has %d rows", len(r.Rows))
@@ -178,6 +196,7 @@ func TestFig13ShapeAndOOM(t *testing.T) {
 }
 
 func TestFig14AllOptimizationsMatter(t *testing.T) {
+	skipUnderRace(t)
 	r := Fig14(Quick())
 	for _, row := range r.Rows {
 		full := cellFloat(t, row[1])
@@ -201,6 +220,7 @@ func TestFig14AllOptimizationsMatter(t *testing.T) {
 }
 
 func TestFig16PipelineBeatsSequential(t *testing.T) {
+	skipUnderRace(t)
 	r := Fig16(Quick())
 	if len(r.Rows) != 3 {
 		t.Fatalf("Fig16 has %d rows", len(r.Rows))
@@ -216,6 +236,7 @@ func TestFig16PipelineBeatsSequential(t *testing.T) {
 }
 
 func TestFig17ReuseSpeedsUpLookup(t *testing.T) {
+	skipUnderRace(t)
 	r := Fig17(Quick())
 	last := r.Rows[len(r.Rows)-1]
 	if spd := cellFloat(t, last[4]); spd <= 1 {
@@ -233,6 +254,7 @@ func TestFig17ReuseSpeedsUpLookup(t *testing.T) {
 }
 
 func TestFig18AggregationSpeedsUpBackward(t *testing.T) {
+	skipUnderRace(t)
 	r := Fig18(Quick())
 	last := r.Rows[len(r.Rows)-1]
 	naive := cellFloat(t, last[1])
@@ -246,6 +268,7 @@ func TestFig18AggregationSpeedsUpBackward(t *testing.T) {
 }
 
 func TestFig12MultiGPUShape(t *testing.T) {
+	skipUnderRace(t)
 	if testing.Short() {
 		t.Skip("multi-GPU comparison skipped in -short")
 	}
@@ -265,6 +288,7 @@ func TestFig12MultiGPUShape(t *testing.T) {
 }
 
 func TestTable4AccuracyParity(t *testing.T) {
+	skipUnderRace(t)
 	if testing.Short() {
 		t.Skip("accuracy training skipped in -short")
 	}
@@ -282,6 +306,7 @@ func TestTable4AccuracyParity(t *testing.T) {
 }
 
 func TestFig15CurvesCoincide(t *testing.T) {
+	skipUnderRace(t)
 	if testing.Short() {
 		t.Skip("convergence training skipped in -short")
 	}
@@ -301,6 +326,7 @@ func TestFig15CurvesCoincide(t *testing.T) {
 }
 
 func TestExtHotRatioImprovesSharing(t *testing.T) {
+	skipUnderRace(t)
 	r := ExtHotRatio(Quick())
 	if len(r.Rows) < 3 {
 		t.Fatalf("ext-hotratio has %d rows", len(r.Rows))
@@ -314,6 +340,7 @@ func TestExtHotRatioImprovesSharing(t *testing.T) {
 }
 
 func TestExtTTDepthTradeoff(t *testing.T) {
+	skipUnderRace(t)
 	r := ExtTTDepth(Quick())
 	if len(r.Rows) != 3 {
 		t.Fatalf("ext-ttdepth has %d rows", len(r.Rows))
@@ -330,6 +357,7 @@ func TestExtTTDepthTradeoff(t *testing.T) {
 }
 
 func TestExtOptimBothConverge(t *testing.T) {
+	skipUnderRace(t)
 	if testing.Short() {
 		t.Skip("training experiment skipped in -short")
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Mirrors the internal raceenabled constant of the runtime.
+const raceEnabled = true

@@ -318,6 +318,7 @@ func (s *System) TrainContext(ctx context.Context, startIter, steps, batchSize i
 func (s *System) Train(startIter, steps, batchSize int) *metrics.LossCurve {
 	res, err := s.TrainContext(context.Background(), startIter, steps, batchSize)
 	if err != nil {
+		//elrec:invariant documented legacy API: without a fault injector TrainContext cannot fail
 		panic(err)
 	}
 	return res.Curve

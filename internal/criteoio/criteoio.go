@@ -12,6 +12,7 @@ package criteoio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -183,7 +184,7 @@ func CountAccesses(r io.Reader, schema Schema, batchSize int) ([][]int64, int, e
 	samples := 0
 	for {
 		b, err := rd.ReadBatch(batchSize)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return counts, samples, nil
 		}
 		if err != nil {

@@ -61,6 +61,7 @@ func (b *Batch) Size() int { return len(b.Labels) }
 // Batch deterministically generates batch number iter with the given size.
 func (d *Dataset) Batch(iter, size int) *Batch {
 	if size <= 0 {
+		//elrec:invariant batch size is validated at every config entry point
 		panic("data: non-positive batch size")
 	}
 	spec := d.Spec

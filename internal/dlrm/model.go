@@ -106,6 +106,7 @@ func (m *Model) checkBatch(b *data.Batch) error {
 // Forward computes logits (batch×1) for a batch.
 func (m *Model) Forward(b *data.Batch) *tensor.Matrix {
 	if err := m.checkBatch(b); err != nil {
+		//elrec:invariant batch/model agreement; the pipeline recover boundary converts this to ErrWorkerFault
 		panic(err)
 	}
 	z0 := m.Bottom.Forward(b.Dense)

@@ -78,6 +78,7 @@ func NewDataParallel(n int, cfg Config, tables []Table) (*DataParallel, error) {
 // broadcast. Returns the mean loss across workers.
 func (dp *DataParallel) Step(batches []*data.Batch) float32 {
 	if len(batches) != len(dp.Models) {
+		//elrec:invariant harness wiring: one batch per worker by construction
 		panic(fmt.Sprintf("dlrm: %d batches for %d workers", len(batches), len(dp.Models)))
 	}
 	losses := make([]float32, len(batches))

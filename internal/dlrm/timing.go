@@ -32,6 +32,7 @@ func (m *Model) ResetTiming() { m.timing = Timing{} }
 // into the model's Timing accumulator.
 func (m *Model) TimedTrainStep(b *data.Batch) float32 {
 	if err := m.checkBatch(b); err != nil {
+		//elrec:invariant batch/model agreement; the pipeline recover boundary converts this to ErrWorkerFault
 		panic(err)
 	}
 	start := time.Now()

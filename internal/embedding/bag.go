@@ -24,6 +24,7 @@ type Bag struct {
 // [-√(1/rows), √(1/rows)], mirroring the DLRM reference initialization.
 func NewBag(rows, dim int, rng *tensor.RNG) *Bag {
 	if rows <= 0 || dim <= 0 {
+		//elrec:invariant table shape comes from validated configs
 		panic(fmt.Sprintf("embedding: invalid table shape %dx%d", rows, dim))
 	}
 	b := &Bag{rows: rows, dim: dim, Weights: tensor.New(rows, dim)}
@@ -44,21 +45,26 @@ func (b *Bag) FootprintBytes() int64 { return int64(b.rows) * int64(b.dim) * 4 }
 // validate panics when a batch description is malformed.
 func validate(rows int, indices, offsets []int) {
 	if len(offsets) == 0 {
+		//elrec:invariant bag layout contract: offsets and indices are validated by the data layer
 		panic("embedding: empty offsets")
 	}
 	if offsets[0] != 0 {
+		//elrec:invariant bag layout contract: offsets and indices are validated by the data layer
 		panic(fmt.Sprintf("embedding: offsets[0] = %d want 0", offsets[0]))
 	}
 	for i := 1; i < len(offsets); i++ {
 		if offsets[i] < offsets[i-1] {
+			//elrec:invariant bag layout contract: offsets and indices are validated by the data layer
 			panic(fmt.Sprintf("embedding: offsets not monotone at %d", i))
 		}
 	}
 	if offsets[len(offsets)-1] > len(indices) {
+		//elrec:invariant bag layout contract: offsets and indices are validated by the data layer
 		panic(fmt.Sprintf("embedding: last offset %d exceeds %d indices", offsets[len(offsets)-1], len(indices)))
 	}
 	for i, idx := range indices {
 		if idx < 0 || idx >= rows {
+			//elrec:invariant bag layout contract: offsets and indices are validated by the data layer
 			panic(fmt.Sprintf("embedding: index %d at position %d out of [0,%d)", idx, i, rows))
 		}
 	}
@@ -104,6 +110,7 @@ type SparseGrad struct {
 func (b *Bag) Backward(indices, offsets []int, dOut *tensor.Matrix) *SparseGrad {
 	validate(b.rows, indices, offsets)
 	if dOut.Rows != len(offsets) || dOut.Cols != b.dim {
+		//elrec:invariant bag layout contract: offsets and indices are validated by the data layer
 		panic(fmt.Sprintf("embedding: Backward grad %dx%d want %dx%d", dOut.Rows, dOut.Cols, len(offsets), b.dim))
 	}
 	uniq, inverse := Unique(indices)
@@ -143,6 +150,7 @@ func (b *Bag) GatherRows(rows []int) *tensor.Matrix {
 	out := tensor.New(len(rows), b.dim)
 	for i, r := range rows {
 		if r < 0 || r >= b.rows {
+			//elrec:invariant bag layout contract: offsets and indices are validated by the data layer
 			panic(fmt.Sprintf("embedding: GatherRows index %d out of range", r))
 		}
 		copy(out.Row(i), b.Weights.Row(r))
@@ -154,6 +162,7 @@ func (b *Bag) GatherRows(rows []int) *tensor.Matrix {
 // the parameter server to apply pushed gradients (delta is already −lr·g).
 func (b *Bag) ScatterAdd(rows []int, delta *tensor.Matrix) {
 	if delta.Rows != len(rows) || delta.Cols != b.dim {
+		//elrec:invariant bag layout contract: offsets and indices are validated by the data layer
 		panic("embedding: ScatterAdd shape mismatch")
 	}
 	for i, r := range rows {

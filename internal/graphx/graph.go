@@ -4,9 +4,14 @@
 package graphx
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrAssignment reports a community assignment that does not match the
+// graph it is evaluated against. Compare with errors.Is.
+var ErrAssignment = errors.New("graphx: bad assignment")
 
 // Graph is an undirected weighted graph over nodes 0..N-1 with support for
 // accumulating parallel edges (repeated AddEdge calls sum their weights).
@@ -21,6 +26,7 @@ type Graph struct {
 // NewGraph returns an empty graph with n nodes.
 func NewGraph(n int) *Graph {
 	if n < 0 {
+		//elrec:invariant construction contract: node counts derive from validated table sizes
 		panic(fmt.Sprintf("graphx: negative node count %d", n))
 	}
 	return &Graph{
@@ -42,9 +48,11 @@ func (g *Graph) TotalWeight() float64 { return g.m }
 // self loop. Weights must be positive.
 func (g *Graph) AddEdge(u, v int, w float64) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		//elrec:invariant hot-path bounds contract: reorder.Build validates every index before graph construction
 		panic(fmt.Sprintf("graphx: edge (%d,%d) outside %d nodes", u, v, g.n))
 	}
 	if w <= 0 {
+		//elrec:invariant co-occurrence weights are positive by construction
 		panic(fmt.Sprintf("graphx: non-positive edge weight %v", w))
 	}
 	if u == v {
@@ -88,6 +96,7 @@ func (g *Graph) Degree(u int) float64 { return g.deg[u] }
 // ascending node order, so graph traversals are deterministic.
 func (g *Graph) Neighbors(u int, fn func(v int, w float64)) {
 	vs := make([]int, 0, len(g.adj[u]))
+	//elrec:orderless keys are sorted before any order-sensitive use
 	for v := range g.adj[u] {
 		vs = append(vs, v)
 	}
@@ -117,29 +126,37 @@ func (g *Graph) NumEdges() int {
 //
 // where in_c is twice the intra-community undirected weight (plus twice the
 // self loops) and tot_c the summed degrees.
-func Modularity(g *Graph, comm []int) float64 {
+// Every accumulation visits nodes, neighbors and communities in a fixed
+// order (ascending node id via Neighbors, communities in first-appearance
+// order), so identical inputs give bit-identical Q — map iteration never
+// reaches a float sum.
+func Modularity(g *Graph, comm []int) (float64, error) {
 	if len(comm) != g.n {
-		panic(fmt.Sprintf("graphx: assignment length %d != %d nodes", len(comm), g.n))
+		return 0, fmt.Errorf("%w: assignment length %d != %d nodes", ErrAssignment, len(comm), g.n)
 	}
 	if g.m == 0 {
-		return 0
+		return 0, nil
 	}
 	in := map[int]float64{}
 	tot := map[int]float64{}
+	var order []int // communities in first-appearance order
 	for u := 0; u < g.n; u++ {
 		cu := comm[u]
+		if _, seen := tot[cu]; !seen {
+			order = append(order, cu)
+		}
 		tot[cu] += g.Degree(u)
 		in[cu] += 2 * g.loops[u]
-		for v, w := range g.adj[u] {
+		g.Neighbors(u, func(v int, w float64) {
 			if comm[v] == cu {
 				in[cu] += w // each intra edge visited from both ends
 			}
-		}
+		})
 	}
 	m2 := 2 * g.m
 	var q float64
-	for c, inC := range in {
-		q += inC/m2 - (tot[c]/m2)*(tot[c]/m2)
+	for _, c := range order {
+		q += in[c]/m2 - (tot[c]/m2)*(tot[c]/m2)
 	}
-	return q
+	return q, nil
 }

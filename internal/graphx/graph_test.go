@@ -1,12 +1,23 @@
 package graphx
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/tensor"
 )
+
+// mustQ evaluates Modularity, failing the test on an assignment error.
+func mustQ(t *testing.T, g *Graph, comm []int) float64 {
+	t.Helper()
+	q, err := Modularity(g, comm)
+	if err != nil {
+		t.Fatalf("Modularity: %v", err)
+	}
+	return q
+}
 
 func TestAddEdgeAccumulates(t *testing.T) {
 	g := NewGraph(3)
@@ -80,7 +91,7 @@ func TestModularityAllOneCommunityIsZero(t *testing.T) {
 	g.AddEdge(0, 1, 1)
 	g.AddEdge(2, 3, 1)
 	comm := []int{0, 0, 0, 0}
-	if q := Modularity(g, comm); math.Abs(q) > 1e-12 {
+	if q := mustQ(t, g, comm); math.Abs(q) > 1e-12 {
 		t.Fatalf("single community Q = %v want 0", q)
 	}
 }
@@ -92,31 +103,28 @@ func TestModularityPerfectSplit(t *testing.T) {
 		g.AddEdge(e[0], e[1], 1)
 	}
 	comm := []int{0, 0, 0, 1, 1, 1}
-	if q := Modularity(g, comm); math.Abs(q-0.5) > 1e-9 {
+	if q := mustQ(t, g, comm); math.Abs(q-0.5) > 1e-9 {
 		t.Fatalf("perfect split Q = %v want 0.5", q)
 	}
 	// Bad split must be worse.
 	bad := []int{0, 1, 0, 1, 0, 1}
-	if Modularity(g, bad) >= 0.5 {
+	if mustQ(t, g, bad) >= 0.5 {
 		t.Fatal("bad split not worse than perfect split")
 	}
 }
 
 func TestModularityEmptyGraph(t *testing.T) {
 	g := NewGraph(3)
-	if q := Modularity(g, []int{0, 1, 2}); q != 0 {
+	if q := mustQ(t, g, []int{0, 1, 2}); q != 0 {
 		t.Fatalf("empty graph Q = %v", q)
 	}
 }
 
-func TestModularityLengthPanics(t *testing.T) {
+func TestModularityLengthError(t *testing.T) {
 	g := NewGraph(3)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("wrong assignment length did not panic")
-		}
-	}()
-	Modularity(g, []int{0})
+	if _, err := Modularity(g, []int{0}); !errors.Is(err, ErrAssignment) {
+		t.Fatalf("wrong assignment length: got %v, want ErrAssignment", err)
+	}
 }
 
 func TestLouvainTwoCliques(t *testing.T) {
@@ -177,14 +185,14 @@ func TestLouvainImprovesModularity(t *testing.T) {
 		}
 	}
 	comm := Louvain(g)
-	q := Modularity(g, comm)
+	q := mustQ(t, g, comm)
 
 	single := make([]int, n)
 	for i := range single {
 		single[i] = i
 	}
 	one := make([]int, n)
-	if q <= Modularity(g, single) || q <= Modularity(g, one) {
+	if q <= mustQ(t, g, single) || q <= mustQ(t, g, one) {
 		t.Fatalf("Louvain Q=%v no better than trivial assignments", q)
 	}
 	// Should recover (approximately) the planted structure: Q of the true
@@ -193,7 +201,7 @@ func TestLouvainImprovesModularity(t *testing.T) {
 	for i := range truth {
 		truth[i] = i % groups
 	}
-	if qt := Modularity(g, truth); q < 0.8*qt {
+	if qt := mustQ(t, g, truth); q < 0.8*qt {
 		t.Fatalf("Louvain Q=%v far below planted Q=%v", q, qt)
 	}
 }
@@ -250,7 +258,8 @@ func TestQuickLouvainValidPartition(t *testing.T) {
 		if len(seen) != maxC+1 {
 			return false
 		}
-		return Modularity(g, comm) >= -1e-9
+		q, err := Modularity(g, comm)
+		return err == nil && q >= -1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

@@ -76,9 +76,7 @@ func localMoving(g *Graph) (comm []int, improved bool) {
 			// Weights from u into each neighboring community. Candidates
 			// are visited in ascending community id so tie-breaking (and
 			// therefore the final partition) is deterministic.
-			for c := range neighWeight {
-				delete(neighWeight, c)
-			}
+			clear(neighWeight)
 			cands = cands[:0]
 			g.Neighbors(u, func(v int, w float64) {
 				c := comm[v]

@@ -66,6 +66,7 @@ type Link struct {
 // TransferTime returns the modeled time to move the given bytes.
 func (l Link) TransferTime(bytes int64) time.Duration {
 	if bytes < 0 {
+		//elrec:invariant simulator parameter contract: negative quantities are programming errors
 		panic(fmt.Sprintf("hw: negative transfer size %d", bytes))
 	}
 	if bytes == 0 {
@@ -105,6 +106,7 @@ const PSRowLatency = 800 * time.Nanosecond
 // given number of embedding rows through the parameter server.
 func PSAccessTime(rows int64) time.Duration {
 	if rows < 0 {
+		//elrec:invariant simulator parameter contract: negative quantities are programming errors
 		panic("hw: negative row count")
 	}
 	return PSRowLatency * time.Duration(rows)
@@ -128,6 +130,7 @@ const CollectiveLaunch = 50 * time.Microsecond
 // CollectiveOverhead returns the fixed cost of count collective operators.
 func CollectiveOverhead(count int) time.Duration {
 	if count < 0 {
+		//elrec:invariant simulator parameter contract: negative quantities are programming errors
 		panic("hw: negative collective count")
 	}
 	return CollectiveLaunch * time.Duration(count)
@@ -153,6 +156,7 @@ type SimClock struct {
 // Add charges d of simulated time.
 func (c *SimClock) Add(d time.Duration) {
 	if d < 0 {
+		//elrec:invariant simulator parameter contract: negative quantities are programming errors
 		panic("hw: negative simulated time")
 	}
 	c.mu.Lock()
@@ -189,6 +193,7 @@ type Meter struct {
 // NewMeter returns a meter for the given device.
 func NewMeter(dev Device) *Meter {
 	if dev.ComputeScale <= 0 {
+		//elrec:invariant simulator parameter contract: negative quantities are programming errors
 		panic("hw: device with non-positive compute scale")
 	}
 	return &Meter{Device: dev}
@@ -207,6 +212,7 @@ func (m *Meter) AddCompute(d time.Duration) {
 // AddComm charges simulated serialized communication time.
 func (m *Meter) AddComm(d time.Duration) {
 	if d < 0 {
+		//elrec:invariant simulator parameter contract: negative quantities are programming errors
 		panic("hw: negative comm time")
 	}
 	m.mu.Lock()

@@ -35,7 +35,8 @@ func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward zeroes gradient entries where the forward input was non-positive.
 func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if len(r.mask) != len(dy.Data) {
-		panic("nn: ReLU Backward shape does not match Forward")
+		//elrec:invariant forward/backward pairing: the MLP drives Backward with the tensor Forward produced
+		panic(shapeErr("ReLU Backward shape does not match Forward"))
 	}
 	dx := tensor.New(dy.Rows, dy.Cols)
 	for i, v := range dy.Data {
@@ -70,7 +71,8 @@ func (s *Sigmoid) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward computes dx = dy · y·(1-y).
 func (s *Sigmoid) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if s.y == nil || len(s.y.Data) != len(dy.Data) {
-		panic("nn: Sigmoid Backward shape does not match Forward")
+		//elrec:invariant forward/backward pairing: the MLP drives Backward with the tensor Forward produced
+		panic(shapeErr("Sigmoid Backward shape does not match Forward"))
 	}
 	dx := tensor.New(dy.Rows, dy.Cols)
 	for i, v := range dy.Data {

@@ -42,7 +42,8 @@ func (a *Adagrad) Accum(p *Param) []float32 { return a.state[p] }
 // SetAccum restores a checkpointed accumulator.
 func (a *Adagrad) SetAccum(p *Param, acc []float32) {
 	if len(acc) != len(p.Value.Data) {
-		panic("nn: Adagrad accumulator length mismatch")
+		//elrec:invariant optimizer state is sized with its parameters at construction
+		panic(shapeErr("Adagrad accumulator length mismatch"))
 	}
 	a.state[p] = acc
 }

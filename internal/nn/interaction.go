@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"fmt"
-
 	"repro/internal/tensor"
 )
 
@@ -36,15 +34,18 @@ func (it *Interaction) OutputDim() int {
 // matrix per table (each batch×dim) and returns the interaction features.
 func (it *Interaction) Forward(dense *tensor.Matrix, embs []*tensor.Matrix) *tensor.Matrix {
 	if len(embs) != it.NumTables {
-		panic(fmt.Sprintf("nn: Interaction expected %d embedding tables, got %d", it.NumTables, len(embs)))
+		//elrec:invariant the model gathers one embedding per table it was built with
+		panic(shapeErr("Interaction expected %d embedding tables, got %d", it.NumTables, len(embs)))
 	}
 	if dense.Cols != it.Dim {
-		panic(fmt.Sprintf("nn: Interaction dense width %d want %d", dense.Cols, it.Dim))
+		//elrec:invariant dense width is fixed by the bottom MLP output size
+		panic(shapeErr("Interaction dense width %d want %d", dense.Cols, it.Dim))
 	}
 	batch := dense.Rows
 	for i, e := range embs {
 		if e.Rows != batch || e.Cols != it.Dim {
-			panic(fmt.Sprintf("nn: Interaction emb[%d] is %dx%d want %dx%d", i, e.Rows, e.Cols, batch, it.Dim))
+			//elrec:invariant embedding lookups are batch x dim by construction
+			panic(shapeErr("Interaction emb[%d] is %dx%d want %dx%d", i, e.Rows, e.Cols, batch, it.Dim))
 		}
 	}
 	it.dense, it.embs = dense, embs
@@ -81,11 +82,13 @@ func (it *Interaction) feature(idx, s int) []float32 {
 // matrix given the gradient of the interaction output.
 func (it *Interaction) Backward(dy *tensor.Matrix) (dDense *tensor.Matrix, dEmbs []*tensor.Matrix) {
 	if it.dense == nil {
-		panic("nn: Interaction Backward before Forward")
+		//elrec:invariant the training step always runs Forward before Backward
+		panic(usageErr("Interaction Backward before Forward"))
 	}
 	batch := it.dense.Rows
 	if dy.Rows != batch || dy.Cols != it.OutputDim() {
-		panic(fmt.Sprintf("nn: Interaction backward grad %dx%d want %dx%d", dy.Rows, dy.Cols, batch, it.OutputDim()))
+		//elrec:invariant the upstream gradient mirrors the Forward output shape
+		panic(shapeErr("Interaction backward grad %dx%d want %dx%d", dy.Rows, dy.Cols, batch, it.OutputDim()))
 	}
 	dDense = tensor.New(batch, it.Dim)
 	dEmbs = make([]*tensor.Matrix, it.NumTables)

@@ -31,7 +31,8 @@ func NewLinear(in, out int, rng *tensor.RNG) *Linear {
 // Forward computes y = x·Wᵀ + b and caches x for Backward.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.In {
-		panic(fmt.Sprintf("nn: Linear forward input width %d want %d", x.Cols, l.In))
+		//elrec:invariant layer widths are chained at MLP construction
+		panic(shapeErr("Linear forward input width %d want %d", x.Cols, l.In))
 	}
 	l.x = x
 	y := tensor.New(x.Rows, l.Out)
@@ -46,10 +47,12 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward accumulates dW += dyᵀ·x and db += Σᵢ dyᵢ, and returns dx = dy·W.
 func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if l.x == nil {
-		panic("nn: Linear Backward before Forward")
+		//elrec:invariant the training step always runs Forward before Backward
+		panic(usageErr("Linear Backward before Forward"))
 	}
 	if dy.Rows != l.x.Rows || dy.Cols != l.Out {
-		panic(fmt.Sprintf("nn: Linear backward grad %dx%d want %dx%d", dy.Rows, dy.Cols, l.x.Rows, l.Out))
+		//elrec:invariant the upstream gradient mirrors the Forward output shape
+		panic(shapeErr("Linear backward grad %dx%d want %dx%d", dy.Rows, dy.Cols, l.x.Rows, l.Out))
 	}
 	tensor.MatMulTransAAdd(l.W.Grad, dy, l.x)
 	db := l.B.Grad.Data

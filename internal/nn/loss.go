@@ -1,7 +1,6 @@
 package nn
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/tensor"
@@ -16,10 +15,12 @@ import (
 //	dz   = (σ(z) − y) / batch
 func BCEWithLogits(logits *tensor.Matrix, labels []float32) (float32, *tensor.Matrix) {
 	if logits.Cols != 1 {
-		panic(fmt.Sprintf("nn: BCEWithLogits expects batch×1 logits, got %dx%d", logits.Rows, logits.Cols))
+		//elrec:invariant the top MLP ends in a single output column
+		panic(shapeErr("BCEWithLogits expects batch×1 logits, got %dx%d", logits.Rows, logits.Cols))
 	}
 	if logits.Rows != len(labels) {
-		panic(fmt.Sprintf("nn: BCEWithLogits %d logits vs %d labels", logits.Rows, len(labels)))
+		//elrec:invariant logits and labels come from the same batch
+		panic(shapeErr("BCEWithLogits %d logits vs %d labels", logits.Rows, len(labels)))
 	}
 	n := logits.Rows
 	if n == 0 {
@@ -43,10 +44,12 @@ func BCEWithLogits(logits *tensor.Matrix, labels []float32) (float32, *tensor.Ma
 // loss and gradient w.r.t. p. Used when a model ends in an explicit Sigmoid.
 func BCE(probs *tensor.Matrix, labels []float32) (float32, *tensor.Matrix) {
 	if probs.Cols != 1 {
-		panic(fmt.Sprintf("nn: BCE expects batch×1 probs, got %dx%d", probs.Rows, probs.Cols))
+		//elrec:invariant the top MLP ends in a single output column
+		panic(shapeErr("BCE expects batch×1 probs, got %dx%d", probs.Rows, probs.Cols))
 	}
 	if probs.Rows != len(labels) {
-		panic(fmt.Sprintf("nn: BCE %d probs vs %d labels", probs.Rows, len(labels)))
+		//elrec:invariant probs and labels come from the same batch
+		panic(shapeErr("BCE %d probs vs %d labels", probs.Rows, len(labels)))
 	}
 	n := probs.Rows
 	if n == 0 {

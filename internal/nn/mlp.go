@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"fmt"
-
 	"repro/internal/tensor"
 )
 
@@ -20,7 +18,8 @@ type MLP struct {
 // the last Linear; hidden layers always use ReLU.
 func NewMLP(sizes []int, sigmoidOut bool, rng *tensor.RNG) *MLP {
 	if len(sizes) < 2 {
-		panic(fmt.Sprintf("nn: MLP needs at least 2 sizes, got %v", sizes))
+		//elrec:invariant model construction: layer sizes are fixed in the DLRM config
+		panic(usageErr("MLP needs at least 2 sizes, got %v", sizes))
 	}
 	m := &MLP{Sizes: append([]int(nil), sizes...)}
 	for i := 0; i+1 < len(sizes); i++ {
@@ -81,7 +80,8 @@ func (m *MLP) CloneArchitecture(sigmoidOut bool, rng *tensor.RNG) *MLP {
 func (m *MLP) CopyParamsFrom(src *MLP) {
 	sp, dp := src.Params(), m.Params()
 	if len(sp) != len(dp) {
-		panic("nn: CopyParamsFrom architecture mismatch")
+		//elrec:invariant parameter copies only run between identically configured models
+		panic(usageErr("CopyParamsFrom architecture mismatch"))
 	}
 	for i := range sp {
 		dp[i].Value.CopyFrom(sp[i].Value)

@@ -29,10 +29,10 @@ type Cache struct {
 	capacity int // LC value assigned on publish (max queue length)
 
 	mu      sync.Mutex
-	entries map[int]*cacheEntry
+	entries map[int]*cacheEntry // guarded by mu
 
 	// statistics
-	syncs, hits, evictions int64
+	syncs, hits, evictions int64 // guarded by mu
 }
 
 type cacheEntry struct {
@@ -51,6 +51,7 @@ type cacheEntry struct {
 // row the moment a gathered batch shows the host has caught up.
 func NewCache(dim, lifecycle int) *Cache {
 	if dim <= 0 || lifecycle <= 0 {
+		//elrec:invariant cache wiring: dim and lifecycle are fixed by NewPipeline
 		panic(fmt.Sprintf("ps: invalid cache dim=%d lifecycle=%d", dim, lifecycle))
 	}
 	return &Cache{dim: dim, capacity: lifecycle, entries: make(map[int]*cacheEntry)}
@@ -61,6 +62,7 @@ func NewCache(dim, lifecycle int) *Cache {
 // Returns the number of patched rows.
 func (c *Cache) Sync(ids []int, values [][]float32) int {
 	if len(ids) != len(values) {
+		//elrec:invariant ids and rows are built pairwise by the gather/update paths
 		panic(fmt.Sprintf("ps: Sync %d ids vs %d rows", len(ids), len(values)))
 	}
 	c.mu.Lock()
@@ -94,12 +96,14 @@ const neverVisible = int(^uint(0) >> 1) // max int
 // and their push tag advanced.
 func (c *Cache) PublishAt(ids []int, values [][]float32, pushIter int) {
 	if len(ids) != len(values) {
+		//elrec:invariant ids and rows are built pairwise by the gather/update paths
 		panic(fmt.Sprintf("ps: Publish %d ids vs %d rows", len(ids), len(values)))
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i, id := range ids {
 		if len(values[i]) != c.dim {
+			//elrec:invariant ids and rows are built pairwise by the gather/update paths
 			panic(fmt.Sprintf("ps: Publish row %d has dim %d want %d", i, len(values[i]), c.dim))
 		}
 		e, ok := c.entries[id]
@@ -129,6 +133,7 @@ func (c *Cache) PublishAt(ids []int, values [][]float32, pushIter int) {
 // bit-identical values.
 func (c *Cache) SyncAt(applied int, ids []int, values [][]float32) int {
 	if len(ids) != len(values) {
+		//elrec:invariant ids and rows are built pairwise by the gather/update paths
 		panic(fmt.Sprintf("ps: Sync %d ids vs %d rows", len(ids), len(values)))
 	}
 	c.mu.Lock()

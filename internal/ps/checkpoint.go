@@ -9,6 +9,8 @@ import (
 // bags they front, so the checkpoint package serializes the actual
 // parameters instead of rejecting the wrapper type. Device tables pass
 // through unchanged.
+//
+//elrec:locked hostMu callers (Save/LoadCheckpoint) hold every host-table lock across the call
 func (p *Pipeline) resolveTable(i int, t dlrm.Table) dlrm.Table {
 	if ad, ok := t.(*hostAdapter); ok {
 		return p.hostBags[ad.slot]

@@ -38,6 +38,11 @@ var (
 
 	// ErrCheckpointFailed reports a periodic checkpoint write failure.
 	ErrCheckpointFailed = errors.New("ps: checkpoint failed")
+
+	// ErrPipelineFault reports a panic recovered at the root of a pipeline
+	// goroutine — outside the per-operation recover boundaries of
+	// gatherBatch/applyPush/trainOne. State is not resumable in place.
+	ErrPipelineFault = errors.New("ps: pipeline goroutine fault")
 )
 
 // PanicError carries a panic recovered in a pipeline goroutine, converted

@@ -193,9 +193,9 @@ type Pipeline struct {
 	model  *dlrm.Model
 	caches []*Cache
 
-	hostBags []*embedding.Bag // parameter-server state
-	hostMu   []sync.RWMutex   // guards each host bag
-	hostIdx  []int            // host table order -> model table position
+	hostBags []*embedding.Bag // parameter-server state; guarded by hostMu (per-table)
+	hostMu   []sync.RWMutex
+	hostIdx  []int // host table order -> model table position
 	adapters []*hostAdapter
 
 	// applied counts gradient pushes fully scattered into the host tables.
@@ -208,8 +208,10 @@ type Pipeline struct {
 	// across Train calls and checkpoint restores.
 	trained atomic.Int64
 
-	stats   Stats
-	statsMu sync.Mutex // guards every stats field; writers span three goroutines
+	// stats writers span three goroutines; every access goes through
+	// statsUpd or Stats.
+	stats   Stats // guarded by statsMu
+	statsMu sync.Mutex
 }
 
 // statsUpd applies one mutation to the counters under the stats lock. Every
@@ -223,6 +225,8 @@ func (p *Pipeline) statsUpd(f func(*Stats)) {
 
 // NewPipeline builds the trainer. locs must list every embedding table in
 // dataset order.
+//
+//elrec:locked hostMu construction: the pipeline is unpublished until NewPipeline returns
 func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
 	if cfg.QueueDepth <= 0 {
 		return nil, fmt.Errorf("%w: queue depth %d must be positive", ErrInvalidConfig, cfg.QueueDepth)
@@ -285,9 +289,13 @@ func (p *Pipeline) Stats() Stats {
 }
 
 // NumHostTables returns how many tables live in host memory.
+//
+//elrec:locked hostMu placement is immutable after NewPipeline; only the slice length is read
 func (p *Pipeline) NumHostTables() int { return len(p.hostBags) }
 
-// HostBag exposes host table i (for tests).
+// HostBag exposes host table i (for tests and post-training inspection).
+//
+//elrec:locked hostMu caller synchronizes: test/evaluation hook, never raced against Train
 func (p *Pipeline) HostBag(i int) *embedding.Bag { return p.hostBags[i] }
 
 // injectFault consults the configured injector for one attempt. Stalls are
@@ -464,6 +472,7 @@ func (p *Pipeline) trainOne(hb *hostBatch) (loss float32, push *gradPush, err er
 			// raised here, before any model state is touched, and exercise
 			// the same recover path that protects the queues from a real
 			// worker crash.
+			//elrec:invariant injected fault: deliberately exercises trainOne's recover boundary
 			panic(ferr)
 		}
 	}
@@ -522,8 +531,8 @@ func (p *Pipeline) writeCheckpoint(nextIter int) error {
 // failSlot records the first failure observed by any pipeline goroutine.
 type failSlot struct {
 	mu        sync.Mutex
-	err       error
-	resumable bool
+	err       error // guarded by mu
+	resumable bool  // guarded by mu
 }
 
 func (f *failSlot) set(err error, resumable bool) {
@@ -538,6 +547,26 @@ func (f *failSlot) get() (error, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.err, f.resumable
+}
+
+// spawn starts one named pipeline stage on a new goroutine, registered on
+// wg. Every goroutine in this package must be born here — the gospawn
+// analyzer rejects bare go statements — so that a panic escaping a stage's
+// own recover boundaries is converted into a recorded, non-resumable
+// failure instead of killing the process and stranding the queues. fn's
+// own defers (queue closes, drain barriers) run before the recovery, so
+// cleanup survives even a panicking stage.
+func (p *Pipeline) spawn(wg *sync.WaitGroup, fail *failSlot, stage string, fn func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				fail.set(fmt.Errorf("%w: %s: %w", ErrPipelineFault, stage, recoveredErr(r)), false)
+			}
+		}()
+		fn()
+	}()
 }
 
 // Train runs steps batches of the given size from the dataset through the
@@ -610,10 +639,8 @@ func (p *Pipeline) Train(ctx context.Context, d BatchSource, startIter, steps, b
 	stop := make(chan struct{})
 	var async failSlot
 	var wg sync.WaitGroup
-	wg.Add(2)
 
-	go func() { // pre-fetcher (server pull side)
-		defer wg.Done()
+	p.spawn(&wg, &async, "prefetch", func() { // pre-fetcher (server pull side)
 		defer close(prefetchQ)
 		for it := 0; it < steps; it++ {
 			if ctx.Err() != nil {
@@ -637,10 +664,9 @@ func (p *Pipeline) Train(ctx context.Context, d BatchSource, startIter, steps, b
 				return
 			}
 		}
-	}()
+	})
 
-	go func() { // server apply side: drains even after cancel or failure
-		defer wg.Done()
+	p.spawn(&wg, &async, "apply", func() { // server apply side: drains even after cancel or failure
 		broken := false
 		for g := range gradQ {
 			if broken {
@@ -652,7 +678,7 @@ func (p *Pipeline) Train(ctx context.Context, d BatchSource, startIter, steps, b
 				broken = true
 			}
 		}
-	}()
+	})
 
 worker:
 	for {
@@ -771,6 +797,7 @@ func (a *hostAdapter) Lookup(indices, offsets []int) *tensor.Matrix {
 func (a *hostAdapter) Update(indices, offsets []int, dOut *tensor.Matrix, lr float32) {
 	cur := a.current
 	if cur == nil {
+		//elrec:invariant typed ErrAdapterMisuse panic: the pipeline recover boundary converts it to an error
 		panic(fmt.Errorf("%w: host table %d updated outside a pipeline step", ErrAdapterMisuse, a.slot))
 	}
 	start := time.Now()

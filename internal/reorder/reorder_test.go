@@ -238,3 +238,54 @@ func TestReorderingImprovesPrefixSharing(t *testing.T) {
 	t.Logf("unique prefixes per 20 batches: %d -> %d (%.1f%% reduction)",
 		before, after, 100*(1-float64(after)/float64(before)))
 }
+
+// TestBuildIsDeterministic locks in the determinism contract the analyzer
+// suite enforces statically: on a fixed input — large enough to exercise
+// the hot prefix, the co-occurrence graph, Louvain aggregation and the
+// cold tail — 20 repeated Build runs must produce the identical bijection.
+// Before graphx sorted its neighbor traversals and accumulated modularity
+// in first-appearance order, map iteration order leaked into tie-breaking
+// and this test flaked.
+func TestBuildIsDeterministic(t *testing.T) {
+	const rows = 500
+	counts := make([]int64, rows)
+	for i := range counts {
+		// Zipf-ish skew with deterministic arithmetic: no RNG involved.
+		counts[i] = int64(1 + (rows-i)*(rows-i)/64)
+	}
+	var batches [][]int
+	for b := 0; b < 200; b++ {
+		batch := make([]int, 0, 8)
+		for j := 0; j < 8; j++ {
+			batch = append(batch, (b*37+j*j*13)%rows)
+		}
+		batches = append(batches, batch)
+	}
+	cfg := Config{HotRatio: 0.05, MaxPairsPerBatch: 32}
+
+	first, err := Build(counts, batches, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run < 20; run++ {
+		b, err := Build(counts, batches, cfg)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		for i := range first.Forward {
+			if b.Forward[i] != first.Forward[i] {
+				t.Fatalf("run %d: Forward[%d] = %d, run 0 had %d — bijection is not deterministic",
+					run, i, b.Forward[i], first.Forward[i])
+			}
+		}
+		for i := range first.Inverse {
+			if b.Inverse[i] != first.Inverse[i] {
+				t.Fatalf("run %d: Inverse[%d] = %d, run 0 had %d — bijection is not deterministic",
+					run, i, b.Inverse[i], first.Inverse[i])
+			}
+		}
+	}
+}

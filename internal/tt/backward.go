@@ -22,9 +22,11 @@ import (
 // (batch×Dim).
 func (t *Table) Backward(cache *ForwardCache, dOut *tensor.Matrix, lr float32) {
 	if cache == nil {
+		//elrec:invariant Table protocol: Update mirrors the preceding Lookup
 		panic("tt: Backward with nil cache")
 	}
 	if dOut.Rows != len(cache.Offsets) || dOut.Cols != t.Shape.Dim {
+		//elrec:invariant Table protocol: Update mirrors the preceding Lookup
 		panic(fmt.Sprintf("tt: Backward grad %dx%d want %dx%d", dOut.Rows, dOut.Cols, len(cache.Offsets), t.Shape.Dim))
 	}
 
@@ -133,6 +135,7 @@ func (t *Table) slotsFor(cache *ForwardCache, workIdx []int) []int {
 	for w, idx := range workIdx {
 		slot, ok := byPrefix[t.Shape.Prefix(idx)]
 		if !ok {
+			//elrec:invariant Table protocol: Update mirrors the preceding Lookup
 			panic(fmt.Sprintf("tt: prefix of index %d missing from forward cache", idx))
 		}
 		slots[w] = slot
