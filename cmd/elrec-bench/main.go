@@ -8,18 +8,42 @@
 //	elrec-bench -exp fig14 -dataset-scale 0.02 -batch 4096 -rank 32
 //
 // Every experiment prints the same rows/series the paper reports plus notes
-// recording the parameters and the paper's reference numbers.
+// recording the parameters and the paper's reference numbers. Alongside the
+// stdout tables, each experiment writes a machine-readable BENCH_<id>.json
+// artifact into -json-dir (config, rows, elapsed time, and a metrics
+// snapshot of the systems the experiment built) so perf trajectories can
+// accumulate across commits; an empty -json-dir disables the artifacts.
+// -debug-addr serves /metrics, /trace and pprof while the sweep runs; the
+// registry is reset at the start of each experiment, so the endpoint and
+// the artifact both report the experiment in progress.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
+
+// artifact is the BENCH_<id>.json schema: everything the stdout table
+// shows, machine-readable, plus the scale and the instruments of the
+// systems the experiment built.
+type artifact struct {
+	ID        string       `json:"id"`
+	Title     string       `json:"title"`
+	Scale     bench.Scale  `json:"scale"`
+	Header    []string     `json:"header"`
+	Rows      [][]string   `json:"rows"`
+	Notes     []string     `json:"notes"`
+	ElapsedMS int64        `json:"elapsed_ms"`
+	Metrics   obs.Snapshot `json:"metrics"`
+}
 
 func main() {
 	var (
@@ -31,6 +55,8 @@ func main() {
 		dim          = flag.Int("dim", 0, "override: embedding dimension")
 		rank         = flag.Int("rank", 0, "override: TT rank")
 		trainSteps   = flag.Int("train-steps", 0, "override: steps for accuracy/convergence experiments")
+		jsonDir      = flag.String("json-dir", ".", "directory for BENCH_<id>.json artifacts ('' disables)")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics and pprof on this address while the sweep runs")
 	)
 	flag.Parse()
 
@@ -63,19 +89,62 @@ func main() {
 		sc.TrainSteps = *trainSteps
 	}
 
+	reg := obs.NewRegistry()
+	sc.Metrics = reg
+	if *debugAddr != "" {
+		dbg, err := obs.Serve(*debugAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint up on %s\n", dbg.Addr())
+	}
+
 	ids := bench.List()
 	if *exps != "all" {
 		ids = strings.Split(*exps, ",")
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
+		reg.Reset()
 		start := time.Now()
 		res, err := bench.Run(id, sc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		res.Fprint(os.Stdout)
-		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v)\n\n", id, elapsed.Round(time.Millisecond))
+		if *jsonDir != "" {
+			if err := writeArtifact(*jsonDir, res, sc, elapsed, reg.Snapshot()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeArtifact serializes one experiment's result as BENCH_<id>.json.
+func writeArtifact(dir string, res *bench.Result, sc bench.Scale, elapsed time.Duration, snap obs.Snapshot) error {
+	a := artifact{
+		ID:        res.ID,
+		Title:     res.Title,
+		Scale:     sc,
+		Header:    res.Header,
+		Rows:      res.Rows,
+		Notes:     res.Notes,
+		ElapsedMS: elapsed.Milliseconds(),
+		Metrics:   snap,
+	}
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench artifact %s: %w", res.ID, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+res.ID+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench artifact: %w", err)
+	}
+	return nil
 }

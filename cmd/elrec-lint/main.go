@@ -1,7 +1,7 @@
 // Command elrec-lint is the project's static-analysis multichecker: it
 // loads the packages matching the given go-list patterns and applies the
-// five invariant analyzers (nopanic, determinism, locksafe, gospawn,
-// errcmp) from internal/analysis. Diagnostics print one per line as
+// six invariant analyzers (nopanic, determinism, locksafe, gospawn,
+// errcmp, obsclock) from internal/analysis. Diagnostics print one per line as
 // file:line:col: message [analyzer]; the exit status is 1 when any
 // diagnostic is reported, 2 on a load or internal failure.
 //

@@ -1,12 +1,24 @@
 // Command elrec-train trains a full EL-Rec system end to end on one of the
 // synthetic datasets and reports the loss curve, held-out accuracy/AUC, and
-// the placement/compression summary.
+// the placement/compression summary as structured key=value log lines.
 //
 // Usage:
 //
 //	elrec-train -dataset terabyte -dataset-scale 0.005 -steps 2000
 //	elrec-train -dataset kaggle -no-reorder -naive-tt   # TT-Rec ablation
 //	elrec-train -dataset avazu -tt-threshold -1         # uncompressed DLRM
+//
+// Observability: every run keeps a metrics registry (pipeline ps_*, TT
+// tt_* instruments). -debug-addr exposes it over HTTP while training:
+//
+//	elrec-train -steps 5000 -debug-addr localhost:6060 &
+//	curl localhost:6060/metrics      # JSON snapshot of all instruments
+//	curl localhost:6060/trace        # Chrome trace-event JSON (Perfetto)
+//	go tool pprof localhost:6060/debug/pprof/profile
+//
+// -trace writes the pipeline stage spans (gather/train/apply on separate
+// tracks) to a Chrome trace-event file on exit; open it in
+// https://ui.perfetto.dev to see the stage overlap.
 //
 // Fault tolerance: training runs under a context cancelled by Ctrl-C
 // (SIGINT/SIGTERM), so an interrupted run drains the pipeline gracefully and
@@ -28,12 +40,20 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	elrec "repro"
+	"repro/internal/obs"
 	"repro/internal/tt"
 )
 
 func main() {
+	// Exit via a return code so deferred cleanup (trace export, debug
+	// endpoint shutdown) runs before the process ends.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		dataset      = flag.String("dataset", "terabyte", "dataset: avazu, kaggle or terabyte")
 		datasetScale = flag.Float64("dataset-scale", 0.002, "dataset cardinality multiplier")
@@ -48,7 +68,11 @@ func main() {
 		adagrad      = flag.Bool("adagrad", false, "use Adagrad for embedding tables instead of SGD")
 		naiveTT      = flag.Bool("naive-tt", false, "use the TT-Rec baseline table instead of Eff-TT")
 		evalBatches  = flag.Int("eval", 10, "held-out evaluation batches")
-		logEvery     = flag.Int("log-every", 100, "loss print interval")
+		logEvery     = flag.Int("log-every", 100, "progress-line interval in steps")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /trace and pprof on this address while training")
+		tracePath    = flag.String("trace", "", "write Chrome trace-event JSON of the pipeline stages to this path on exit")
+		hbmGB        = flag.Float64("hbm-gb", -1, "override the device HBM capacity in GiB (<0: device default); small values force host placement and the pipelined trainer")
 		savePath     = flag.String("save", "", "save the trained model (weights only) to this path")
 		ckptPath     = flag.String("checkpoint", "", "write crash-consistent training checkpoints to this path")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint interval in steps (requires -checkpoint)")
@@ -56,10 +80,17 @@ func main() {
 	)
 	flag.Parse()
 
-	spec, err := specFor(*dataset, *datasetScale)
+	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+	log := obs.NewLogger(os.Stderr, level, nil)
+
+	spec, err := specFor(*dataset, *datasetScale)
+	if err != nil {
+		log.Error("invalid flags", "err", err)
+		return 2
 	}
 
 	cfg := elrec.DefaultSystemConfig(spec)
@@ -75,29 +106,66 @@ func main() {
 	}
 	cfg.CheckpointPath = *ckptPath
 	cfg.CheckpointEvery = *ckptEvery
+	if *hbmGB >= 0 {
+		cfg.Device.HBMBytes = int64(*hbmGB * float64(1<<30))
+		cfg.HBMReserve = 0
+	}
+
+	// Every run carries the registry — the instruments are near-free and
+	// feed both the progress line and the debug endpoint. The tracer is
+	// only worth its ring buffer when something will read it.
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	var tracer *obs.Tracer
+	if *tracePath != "" || *debugAddr != "" {
+		tracer = obs.NewTracer(nil)
+		cfg.Trace = tracer
+	}
 
 	sys, err := elrec.BuildSystem(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Error("build failed", "err", err)
+		return 1
 	}
 
-	fmt.Printf("dataset %s (scale %g): %d tables, %d dense features\n",
-		spec.Name, *datasetScale, spec.NumTables(), spec.NumDense)
-	for i, p := range sys.Placements {
-		fmt.Printf("  table %2d: %9d rows -> %s\n", i, spec.TableRows[i], p)
+	if *debugAddr != "" {
+		dbg, srvErr := obs.Serve(*debugAddr, reg, tracer)
+		if srvErr != nil {
+			log.Error("debug endpoint failed", "err", srvErr)
+			return 1
+		}
+		defer dbg.Close()
+		log.Info("debug endpoint up", "addr", dbg.Addr())
 	}
-	fmt.Printf("embedding parameters: %.2f MB on device, %.2f MB on host (compression %.1fx)\n",
-		float64(sys.DeviceBytes)/1e6, float64(sys.HostBytes)/1e6, sys.CompressionRatio())
+	if *tracePath != "" {
+		defer func() {
+			if wErr := tracer.WriteChromeTraceFile(*tracePath); wErr != nil {
+				log.Error("trace export failed", "err", wErr)
+			} else {
+				log.Info("trace written", "path", *tracePath, "spans", len(tracer.Spans()))
+			}
+		}()
+	}
+
+	log.Info("dataset", "name", spec.Name, "scale", *datasetScale,
+		"tables", spec.NumTables(), "dense_features", spec.NumDense)
+	for i, p := range sys.Placements {
+		log.Debug("placement", "table", i, "rows", spec.TableRows[i], "where", p)
+	}
+	log.Info("embedding parameters",
+		"device_mb", float64(sys.DeviceBytes)/1e6,
+		"host_mb", float64(sys.HostBytes)/1e6,
+		"compression", sys.CompressionRatio(),
+		"pipelined", sys.Pipeline != nil)
 
 	start := 0
 	if *resumePath != "" {
 		start, err = sys.ResumeFrom(*resumePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Error("resume failed", "err", err)
+			return 1
 		}
-		fmt.Printf("resumed from %s at iteration %d\n", *resumePath, start)
+		log.Info("resumed", "path", *resumePath, "iteration", start)
 	}
 
 	// Ctrl-C cancels the training context; the pipeline drains in-flight
@@ -106,59 +174,91 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("\ntraining %d steps, batch %d:\n", *steps-start, *batch)
+	log.Info("training", "steps", *steps-start, "batch", *batch)
 	done := start
 	for done < *steps {
 		chunk := *logEvery
 		if done+chunk > *steps {
 			chunk = *steps - done
 		}
+		chunkStart := time.Now()
 		res, trainErr := sys.TrainContext(ctx, done, chunk, *batch)
 		done += res.Completed
 		if res.Completed > 0 {
-			fmt.Printf("  iter %5d  loss %.4f\n", done, res.Curve.Final(res.Completed))
+			kv := []any{
+				"step", done,
+				"loss", res.Curve.Final(res.Completed),
+				"steps_per_sec", rate(res.Completed, time.Since(chunkStart)),
+			}
+			if sys.Pipeline != nil {
+				kv = append(kv, "cache_hit_rate", cacheHitRate(reg))
+			}
+			log.Info("progress", kv...)
 		}
 		if trainErr != nil {
 			if errors.Is(trainErr, context.Canceled) {
-				fmt.Fprintf(os.Stderr, "interrupted after %d iterations\n", done)
+				log.Warn("interrupted", "iterations", done)
 			} else {
-				fmt.Fprintln(os.Stderr, trainErr)
+				log.Error("training failed", "err", trainErr)
 			}
 			if res.Resumable && *ckptPath != "" {
 				if err := sys.SaveCheckpoint(*ckptPath, res.NextIter); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					log.Error("checkpoint at drain point failed", "err", err)
+					return 1
 				}
-				fmt.Fprintf(os.Stderr, "state saved; resume with -resume %s\n", *ckptPath)
+				log.Info("state saved", "path", *ckptPath, "resume_iteration", res.NextIter)
 			} else if res.Resumable {
-				fmt.Fprintf(os.Stderr, "resumable from iteration %d (rerun with -checkpoint to persist state)\n", res.NextIter)
+				log.Info("resumable (rerun with -checkpoint to persist state)", "resume_iteration", res.NextIter)
 			}
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	acc, auc := sys.Evaluate(*steps+1, *evalBatches, *batch)
-	fmt.Printf("\nheld-out accuracy %.2f%%, AUC %.4f over %d batches\n", acc*100, auc, *evalBatches)
+	log.Info("held-out eval", "accuracy", acc, "auc", auc, "batches", *evalBatches)
 	if *savePath != "" {
 		if sys.Pipeline != nil {
-			fmt.Fprintln(os.Stderr, "-save stores model weights only and requires a fully device-resident model; use -checkpoint for pipelined training state")
-			os.Exit(1)
+			log.Error("-save stores model weights only and requires a fully device-resident model; use -checkpoint for pipelined training state")
+			return 1
 		}
 		if err := elrec.SaveModel(*savePath, sys.Model()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Error("save failed", "err", err)
+			return 1
 		}
-		fmt.Printf("checkpoint written to %s\n", *savePath)
+		log.Info("model saved", "path", *savePath)
 	}
 	if sys.Pipeline != nil {
 		st := sys.Pipeline.Stats()
-		fmt.Printf("pipeline: %d steps, %.2f MB prefetched, %.2f MB gradients pushed, %d cache hits, %d evictions\n",
-			st.Steps, float64(st.BytesPrefetched)/1e6, float64(st.BytesPushed)/1e6, st.CacheHits, st.CacheEvictions)
+		log.Info("pipeline totals",
+			"steps", st.Steps,
+			"prefetched_mb", float64(st.BytesPrefetched)/1e6,
+			"pushed_mb", float64(st.BytesPushed)/1e6,
+			"cache_hit_rate", cacheHitRate(reg),
+			"cache_evictions", st.CacheEvictions)
 		if st.Retries > 0 || st.Checkpoints > 0 {
-			fmt.Printf("pipeline: %d retries (%s backoff), %d checkpoints written\n",
-				st.Retries, st.BackoffTime, st.Checkpoints)
+			log.Info("pipeline faults",
+				"retries", st.Retries, "backoff", st.BackoffTime, "checkpoints", st.Checkpoints)
 		}
 	}
+	return 0
+}
+
+// rate converts a completed-step count and wall time into steps/second.
+func rate(completed int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(completed) / elapsed.Seconds()
+}
+
+// cacheHitRate derives the cumulative LC-cache hit rate from the registry.
+func cacheHitRate(reg *obs.Registry) float64 {
+	snap := reg.Snapshot()
+	hits, misses := snap.Counter("ps_cache_hits"), snap.Counter("ps_cache_misses")
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 func specFor(name string, scale float64) (elrec.DatasetSpec, error) {

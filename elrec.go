@@ -35,6 +35,7 @@ import (
 	"repro/internal/dlrm"
 	"repro/internal/embedding"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/ps"
 	"repro/internal/reorder"
 	"repro/internal/serve"
@@ -233,3 +234,30 @@ func NewSeededFaults(cfg FaultConfig) FaultInjector { return faults.NewSeeded(cf
 // IsInjected reports whether err originates from a fault injector rather
 // than a genuine failure.
 func IsInjected(err error) bool { return faults.IsInjected(err) }
+
+// Observability surface. Set SystemConfig.Metrics to a registry and every
+// component the build wires up exports its instruments into it: the
+// parameter-server pipeline (ps_* counters, cache hits/misses, stage-latency
+// histograms) and the Eff-TT tables (tt_* reuse and aggregation counters
+// with derived ratio gauges). Set SystemConfig.Trace to a tracer and the
+// pipeline records per-stage spans exportable as Chrome trace-event JSON.
+
+// MetricsRegistry collects named counters, gauges and histograms from a
+// training system; snapshot it with Snapshot for a JSON-marshalable view.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry ready to hang off
+// SystemConfig.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsSnapshot is a point-in-time copy of a registry's instruments,
+// JSON-marshalable under lowercase counters/gauges/histograms keys.
+type MetricsSnapshot = obs.Snapshot
+
+// Tracer records named spans from the pipeline stages; export them with
+// WriteChromeTrace for chrome://tracing or Perfetto.
+type Tracer = obs.Tracer
+
+// NewTracer returns a tracer on the system clock, ready to hang off
+// SystemConfig.Trace.
+func NewTracer() *Tracer { return obs.NewTracer(nil) }

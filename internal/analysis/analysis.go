@@ -1,8 +1,9 @@
 // Package analysis is a self-contained static-analysis framework plus the
-// five project-specific analyzers (nopanic, determinism, locksafe, gospawn,
-// errcmp) that machine-check the invariants PR 1 established: panic-free
-// library code, deterministic numeric paths, lock-guarded shared state,
-// panic-converting goroutine spawns and errors.Is-based sentinel handling.
+// six project-specific analyzers (nopanic, determinism, locksafe, gospawn,
+// errcmp, obsclock) that machine-check the invariants PR 1 established:
+// panic-free library code, deterministic numeric paths, lock-guarded shared
+// state, panic-converting goroutine spawns, errors.Is-based sentinel
+// handling and wall-clock reads funnelled through the injected obs.Clock.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
 // Pass, Diagnostic) so the suite can migrate to the upstream framework —

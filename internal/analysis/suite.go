@@ -5,9 +5,9 @@ import "strings"
 // ModulePath is the import-path root of this module.
 const ModulePath = "repro"
 
-// Suite returns the five project analyzers in reporting order.
+// Suite returns the six project analyzers in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{NoPanic, Determinism, LockSafe, GoSpawn, ErrCmp}
+	return []*Analyzer{NoPanic, Determinism, LockSafe, GoSpawn, ErrCmp, ObsClock}
 }
 
 // deterministicPackages are the numeric result paths whose outputs must be
@@ -37,8 +37,26 @@ func Applies(a *Analyzer, pkgPath string) bool {
 		return deterministicPackages[pkgPath]
 	case GoSpawn:
 		return pkgPath == ModulePath+"/internal/ps"
+	case ObsClock:
+		return clockFunnelPackage(pkgPath)
 	case LockSafe, ErrCmp:
 		return true
+	}
+	return true
+}
+
+// clockFunnelPackage reports whether pkgPath must route wall-clock reads
+// through obs.Clock: everything except the clock's home (internal/obs) and
+// the binary entry points (cmd/, examples/), where raw wall time for
+// progress reporting and CLI timing is fine.
+func clockFunnelPackage(pkgPath string) bool {
+	switch {
+	case pkgPath == ModulePath+"/internal/obs":
+		return false
+	case strings.HasPrefix(pkgPath, ModulePath+"/cmd/"):
+		return false
+	case strings.HasPrefix(pkgPath, ModulePath+"/examples/"):
+		return false
 	}
 	return true
 }

@@ -1,0 +1,40 @@
+// Package obsclock exercises the obsclock analyzer: direct time.Now and
+// time.Since calls are violations (the clock must be injected through
+// obs.Clock); other time-package calls, method calls named Now on other
+// types, and //elrec:wallclock-annotated sites are not.
+package obsclock
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "direct time.Now outside internal/obs"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "direct time.Since outside internal/obs"
+}
+
+func annotated() time.Time {
+	//elrec:wallclock CLI-style progress timestamp, precision is irrelevant
+	return time.Now()
+}
+
+func annotatedWithoutReason() time.Time {
+	//elrec:wallclock
+	return time.Now() // want "annotation requires a reason"
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() time.Time { return time.Time{} }
+
+func viaClock(c fakeClock) time.Time {
+	return c.Now() // a method named Now on a non-time type is fine
+}
+
+func otherTimeCalls(d time.Duration) {
+	t := time.NewTimer(d) // timers and sleeps are not clock reads
+	t.Stop()
+	time.Sleep(0)
+	_ = time.Unix(0, 0)
+}

@@ -36,6 +36,7 @@ func ExtOptim(sc Scale) *Result {
 		cfg.TTThreshold = sc.TTThresholdRows
 		cfg.Adagrad = adagrad
 		cfg.ProfileBatches, cfg.ProfileBatchSize = 8, 512
+		cfg.Metrics = sc.Metrics
 		sys, err := core.BuildWithDataset(cfg, d)
 		if err != nil {
 			panic(err)

@@ -122,6 +122,7 @@ func timeDLRMHost(spec data.Spec, d *data.Dataset, sc Scale, dev hw.Device) time
 	cfg.QueueDepth = 1
 	cfg.Device = hw.Device{Name: dev.Name, HBMBytes: 0, ComputeScale: dev.ComputeScale}
 	cfg.HBMReserve = 0
+	cfg.Metrics = sc.Metrics
 	sys, err := core.BuildWithDataset(cfg, d)
 	if err != nil {
 		panic(err)
@@ -183,6 +184,7 @@ func timeOnDevice(spec data.Spec, d *data.Dataset, sc Scale, dev hw.Device, rank
 	cfg.Reorder = reorderOn
 	cfg.ProfileBatches, cfg.ProfileBatchSize = 8, 512
 	cfg.Device = dev
+	cfg.Metrics = sc.Metrics
 	sys, err := core.BuildWithDataset(cfg, d)
 	if err != nil {
 		panic(err)
@@ -341,6 +343,7 @@ func Fig15(sc Scale) *Result {
 		cfg.Opts = opts
 		cfg.Reorder = reorderOn
 		cfg.ProfileBatches, cfg.ProfileBatchSize = 8, 512
+		cfg.Metrics = sc.Metrics
 		sys, err := core.BuildWithDataset(cfg, d)
 		if err != nil {
 			panic(err)
@@ -391,7 +394,8 @@ func Fig16(sc Scale) *Result {
 				locs[i] = ps.TableLoc{HostRows: rows}
 			}
 		}
-		p, err := ps.NewPipeline(ps.Config{Model: modelConfig(spec, sc), QueueDepth: queueDepth, Seed: 3}, locs)
+		p, err := ps.NewPipeline(ps.Config{Model: modelConfig(spec, sc), QueueDepth: queueDepth, Seed: 3,
+			Metrics: sc.Metrics}, locs)
 		if err != nil {
 			panic(err)
 		}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/dlrm"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -31,6 +32,11 @@ type Scale struct {
 	TTThresholdRows int
 	// TrainSteps is the step count for accuracy/convergence experiments.
 	TrainSteps int
+	// Metrics, when non-nil, receives the instruments of every system the
+	// experiments build (pipeline ps_*, TT tt_* counters); cmd/elrec-bench
+	// snapshots it into the BENCH_<id>.json artifacts. Excluded from the
+	// artifact's own scale record.
+	Metrics *obs.Registry `json:"-"`
 }
 
 // Quick returns the smallest useful scale (used by unit-style bench tests).
@@ -84,11 +90,14 @@ func datasets(sc Scale) []data.Spec {
 	}
 }
 
-// timeIt measures fn's wall time.
+// timeIt measures fn's wall time against the system clock (benchmarks run
+// against real time by definition; the obs funnel still applies so the
+// call is auditable).
 func timeIt(fn func()) time.Duration {
-	start := time.Now()
+	clock := obs.System()
+	start := clock.Now()
 	fn()
-	return time.Since(start)
+	return obs.Since(clock, start)
 }
 
 // singleTableSpec builds a one-table dataset used by the standalone

@@ -100,6 +100,7 @@ func Table4(sc Scale) *Result {
 			cfg.Opts = opts
 			cfg.Reorder = reorderOn
 			cfg.ProfileBatches, cfg.ProfileBatchSize = 8, 512
+			cfg.Metrics = sc.Metrics
 			sys, err := core.BuildWithDataset(cfg, d)
 			if err != nil {
 				panic(err)

@@ -244,7 +244,8 @@ func readTable(br *bufio.Reader, i int, table dlrm.Table) error {
 // temp file that is fsynced before an atomic rename, so a crash leaves
 // either the old checkpoint or the new one, never a torn file.
 func SaveFile(path string, m *dlrm.Model) error {
-	return writeFileAtomic(path, func(f *os.File) error { return SaveModel(f, m) })
+	_, err := writeFileAtomic(path, func(f *os.File) error { return SaveModel(f, m) })
+	return err
 }
 
 // LoadFile restores a model from path.
@@ -258,8 +259,9 @@ func LoadFile(path string, m *dlrm.Model) error {
 }
 
 // SaveTrainingFile writes a training-state checkpoint to path with the same
-// crash-consistency guarantee as SaveFile.
-func SaveTrainingFile(path string, m *dlrm.Model, resolve TableResolver, st TrainState) error {
+// crash-consistency guarantee as SaveFile, returning the checkpoint size in
+// bytes so callers can account for checkpoint I/O.
+func SaveTrainingFile(path string, m *dlrm.Model, resolve TableResolver, st TrainState) (int64, error) {
 	return writeFileAtomic(path, func(f *os.File) error { return SaveTraining(f, m, resolve, st) })
 }
 
@@ -274,32 +276,36 @@ func LoadTrainingFile(path string, m *dlrm.Model, resolve TableResolver) (TrainS
 }
 
 // writeFileAtomic runs write against path+".tmp", fsyncs, and renames over
-// path. The temp file is removed on any failure.
-func writeFileAtomic(path string, write func(*os.File) error) error {
+// path, returning the bytes written. The temp file is removed on any failure.
+func writeFileAtomic(path string, write func(*os.File) error) (int64, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
+	}
+	var size int64
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	return nil
+	return size, nil
 }
 
 // --- TT section ------------------------------------------------------------

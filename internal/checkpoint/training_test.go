@@ -39,8 +39,12 @@ func TestTrainingRoundTripRestoresStateAndIter(t *testing.T) {
 func TestTrainingFileAtomicRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "train.ckpt")
 	src := buildModel(t, 32)
-	if err := SaveTrainingFile(path, src, nil, TrainState{NextIter: 120}); err != nil {
+	n, err := SaveTrainingFile(path, src, nil, TrainState{NextIter: 120})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != n {
+		t.Fatalf("SaveTrainingFile reported %d bytes, file has %v (%v)", n, fi, err)
 	}
 	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
 		t.Fatal("temp file left behind")
@@ -53,7 +57,7 @@ func TestTrainingFileAtomicRoundTrip(t *testing.T) {
 	if st.NextIter != 120 {
 		t.Fatalf("NextIter = %d want 120", st.NextIter)
 	}
-	if err := SaveTrainingFile(filepath.Join(t.TempDir(), "no", "dir", "x.ckpt"), src, nil, TrainState{}); err == nil {
+	if _, err := SaveTrainingFile(filepath.Join(t.TempDir(), "no", "dir", "x.ckpt"), src, nil, TrainState{}); err == nil {
 		t.Fatal("save to bad path succeeded")
 	}
 }

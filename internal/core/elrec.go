@@ -19,6 +19,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ps"
 	"repro/internal/reorder"
 	"repro/internal/tensor"
@@ -83,6 +84,19 @@ type Config struct {
 	HBMReserve int64
 
 	Seed uint64
+
+	// Metrics, when non-nil, receives the system's instruments: the
+	// pipeline's ps_* counters and the TT tables' tt_* counters/gauges.
+	// Nil disables export at near-zero cost.
+	Metrics *obs.Registry
+
+	// Trace, when non-nil, records pipeline stage spans for Chrome trace
+	// export (chrome://tracing / Perfetto).
+	Trace *obs.Tracer
+
+	// Clock supplies timestamps for stage timing; nil uses the system
+	// clock. It never influences numeric results — only measurements.
+	Clock obs.Clock
 }
 
 // DefaultConfig returns a ready-to-train configuration for a dataset spec.
@@ -201,6 +215,9 @@ func BuildWithDataset(cfg Config, d *data.Dataset) (*System, error) {
 			if cfg.Adagrad {
 				tbl.EnableAdagrad()
 			}
+			if cfg.Metrics != nil {
+				tbl.AttachMetrics(cfg.Metrics)
+			}
 			locs[i] = ps.TableLoc{Device: tbl}
 			s.Placements[i] = PlaceTTDevice
 			budget -= tbl.FootprintBytes()
@@ -233,14 +250,26 @@ func BuildWithDataset(cfg Config, d *data.Dataset) (*System, error) {
 		}
 	}
 
-	pipe, err := ps.NewPipeline(ps.Config{
+	pcfg := ps.Config{
 		Model:      cfg.Model,
 		QueueDepth: cfg.QueueDepth,
 		Seed:       cfg.Seed,
 		Faults:     cfg.Faults,
 		Retry:      cfg.Retry,
 		Checkpoint: ps.CheckpointConfig{Path: cfg.CheckpointPath, Every: cfg.CheckpointEvery},
-	}, locs)
+		Metrics:    cfg.Metrics,
+		Trace:      cfg.Trace,
+		Clock:      cfg.Clock,
+	}
+	if !anyHost {
+		// Fully device-resident systems train through the sequential loop in
+		// TrainContext, not the pipeline; registering the idle pipeline's
+		// instruments would shadow a live pipeline sharing the registry with
+		// permanently zero ps_* readings.
+		pcfg.Metrics = nil
+		pcfg.Trace = nil
+	}
+	pipe, err := ps.NewPipeline(pcfg, locs)
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +278,7 @@ func BuildWithDataset(cfg Config, d *data.Dataset) (*System, error) {
 	}
 	s.pipe = pipe
 	s.model = pipe.Model()
+	s.model.SetClock(cfg.Clock)
 	s.source = &remappedSource{d: d, bijections: s.Bijections}
 	return s, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -58,7 +59,13 @@ type Model struct {
 
 	opt    *nn.SGD
 	timing Timing
+	clock  obs.Clock // timestamp source for TimedTrainStep; never nil
 }
+
+// SetClock replaces the timestamp source TimedTrainStep measures against
+// (nil restores the system clock). Tests inject a manual clock to make the
+// embed/dense timing split deterministic.
+func (m *Model) SetClock(c obs.Clock) { m.clock = obs.OrSystem(c) }
 
 // NewModel builds a model over the given embedding tables, which must all
 // share Cfg.EmbDim.
@@ -88,6 +95,7 @@ func NewModel(cfg Config, tables []Table) (*Model, error) {
 		Interaction: it,
 		Tables:      tables,
 		opt:         nn.NewSGD(cfg.LR),
+		clock:       obs.System(),
 	}
 	return m, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -29,41 +30,43 @@ func (m *Model) Timing() Timing { return m.timing }
 func (m *Model) ResetTiming() { m.timing = Timing{} }
 
 // TimedTrainStep is TrainStep with the embed/dense wall-time split recorded
-// into the model's Timing accumulator.
+// into the model's Timing accumulator, measured against the model's clock
+// (see SetClock).
 func (m *Model) TimedTrainStep(b *data.Batch) float32 {
 	if err := m.checkBatch(b); err != nil {
 		//elrec:invariant batch/model agreement; the pipeline recover boundary converts this to ErrWorkerFault
 		panic(err)
 	}
-	start := time.Now()
+	clock := obs.OrSystem(m.clock)
+	start := clock.Now()
 	z0 := m.Bottom.Forward(b.Dense)
-	denseMark := time.Since(start)
+	denseMark := obs.Since(clock, start)
 
-	embStart := time.Now()
+	embStart := clock.Now()
 	embs := make([]*tensor.Matrix, len(m.Tables))
 	for t, tbl := range m.Tables {
 		embs[t] = tbl.Lookup(b.Sparse[t], b.Offsets)
 	}
-	embedFwd := time.Since(embStart)
+	embedFwd := obs.Since(clock, embStart)
 
-	denseStart := time.Now()
+	denseStart := clock.Now()
 	x := m.Interaction.Forward(z0, embs)
 	logits := m.Top.Forward(x)
 	loss, dLogits := nn.BCEWithLogits(logits, b.Labels)
 	dx := m.Top.Backward(dLogits)
 	dDense, dEmbs := m.Interaction.Backward(dx)
 	m.Bottom.Backward(dDense)
-	denseBody := time.Since(denseStart)
+	denseBody := obs.Since(clock, denseStart)
 
-	embStart = time.Now()
+	embStart = clock.Now()
 	for t, tbl := range m.Tables {
 		tbl.Update(b.Sparse[t], b.Offsets, dEmbs[t], m.Cfg.LR)
 	}
-	embedBwd := time.Since(embStart)
+	embedBwd := obs.Since(clock, embStart)
 
-	denseStart = time.Now()
+	denseStart = clock.Now()
 	m.ApplyStep()
-	denseTail := time.Since(denseStart)
+	denseTail := obs.Since(clock, denseStart)
 
 	m.timing.Embed += embedFwd + embedBwd
 	m.timing.Dense += denseMark + denseBody + denseTail

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Device describes one compute location. ComputeScale is its throughput
@@ -184,6 +186,9 @@ func (c *SimClock) Reset() {
 // amount exceeding the concurrent compute window.
 type Meter struct {
 	Device Device
+	// Clock is the timestamp source Measure reads; nil uses the system
+	// clock. Tests inject a manual clock for deterministic measurements.
+	Clock obs.Clock
 
 	mu      sync.Mutex
 	compute time.Duration
@@ -260,7 +265,8 @@ func (m *Meter) Throughput(samples int) float64 {
 
 // Measure runs fn, charging its wall time as compute.
 func (m *Meter) Measure(fn func()) {
-	start := time.Now()
+	clock := obs.OrSystem(m.Clock)
+	start := clock.Now()
 	fn()
-	m.AddCompute(time.Since(start))
+	m.AddCompute(obs.Since(clock, start))
 }

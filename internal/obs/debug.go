@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the debug endpoint's HTTP handler:
+//
+//	/metrics       JSON snapshot of the registry (Snapshot shape)
+//	/trace         Chrome trace-event JSON of the tracer (load in Perfetto)
+//	/debug/pprof/  the standard runtime profiles
+//	/              a plain-text index of the above
+//
+// reg and tr may be nil; the corresponding endpoints then serve empty
+// documents, so a partially wired binary still exposes pprof.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// The connection is gone on encode failure; nothing to report to.
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="elrec-trace.json"`)
+		_ = tr.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "elrec debug endpoint")
+		fmt.Fprintln(w, "  /metrics       metrics registry snapshot (JSON)")
+		fmt.Fprintln(w, "  /trace         Chrome trace-event JSON (open in ui.perfetto.dev)")
+		fmt.Fprintln(w, "  /debug/pprof/  runtime profiles")
+	})
+	return mux
+}
+
+// DebugServer is a running debug endpoint.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound address (useful with a ":0" listen request).
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close stops the server, waiting briefly for in-flight requests.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
+
+// Serve binds addr and serves the debug endpoint on a background
+// goroutine until Close.
+func Serve(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed after Close is the expected shutdown path; any
+		// other serve error has no caller left to report to.
+		_ = srv.Serve(ln)
+	}()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}

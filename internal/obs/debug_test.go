@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestDebugEndpointServesMetricsAndTrace(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ps_steps").Add(42)
+	reg.Histogram("serve_score_ns").Observe(1000)
+	clk := NewManual(time.Unix(0, 0))
+	tr := NewTracer(clk)
+	h := tr.Begin("train", "ps", 2)
+	clk.Advance(time.Millisecond)
+	h.End()
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v", err)
+	}
+	if snap.Counter("ps_steps") != 42 {
+		t.Fatalf("/metrics ps_steps = %d, want 42", snap.Counter("ps_steps"))
+	}
+	if snap.Histograms["serve_score_ns"].Count != 1 {
+		t.Fatalf("/metrics histogram missing: %+v", snap.Histograms)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get("/trace"), &doc); err != nil {
+		t.Fatalf("/trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/trace has no events")
+	}
+
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+	if body := get("/"); len(body) == 0 {
+		t.Fatal("index empty")
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var nilSrv *DebugServer
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Fatal("nil DebugServer must be inert")
+	}
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds span retention so a long training run cannot grow the
+// trace without limit; spans past the cap are counted and dropped.
+const maxSpans = 1 << 18
+
+// Span is one completed interval on a logical thread (a pipeline stage).
+// Start is relative to the tracer's epoch (its creation instant).
+type Span struct {
+	Name  string
+	Cat   string
+	TID   int
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Tracer records spans and instant events against an injected clock and
+// exports them as Chrome trace-event JSON (chrome://tracing / Perfetto).
+// All methods are safe for concurrent use and no-ops on a nil *Tracer.
+type Tracer struct {
+	clock Clock
+	epoch time.Time
+
+	mu      sync.Mutex
+	spans   []Span         // guarded by mu
+	inst    []instant      // guarded by mu
+	threads map[int]string // guarded by mu
+	dropped int64          // guarded by mu
+}
+
+// instant is one zero-duration marker event (a retry, an injected fault).
+type instant struct {
+	name string
+	cat  string
+	tid  int
+	at   time.Duration
+}
+
+// NewTracer returns a tracer whose epoch is the clock's current reading
+// (nil clock: the system clock).
+func NewTracer(clock Clock) *Tracer {
+	clock = OrSystem(clock)
+	t := &Tracer{clock: clock, epoch: clock.Now()}
+	t.mu.Lock()
+	t.threads = map[int]string{}
+	t.mu.Unlock()
+	return t
+}
+
+// SetThreadName labels a logical thread id in the exported trace.
+func (t *Tracer) SetThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threads[tid] = name
+	t.mu.Unlock()
+}
+
+// SpanHandle is an open span returned by Begin; End closes it.
+type SpanHandle struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+}
+
+// Begin opens a span. On a nil tracer the returned handle's End is a no-op.
+func (t *Tracer) Begin(name, cat string, tid int) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, name: name, cat: cat, tid: tid, start: t.clock.Now()}
+}
+
+// End closes the span and records it.
+func (s SpanHandle) End() {
+	if s.t == nil {
+		return
+	}
+	now := s.t.clock.Now()
+	s.t.add(Span{
+		Name:  s.name,
+		Cat:   s.cat,
+		TID:   s.tid,
+		Start: s.start.Sub(s.t.epoch),
+		Dur:   now.Sub(s.start),
+	})
+}
+
+// add records one completed span, honouring the retention cap.
+func (t *Tracer) add(sp Span) {
+	t.mu.Lock()
+	if len(t.spans) < maxSpans {
+		t.spans = append(t.spans, sp)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Instant records a zero-duration marker event at the current instant.
+func (t *Tracer) Instant(name, cat string, tid int) {
+	if t == nil {
+		return
+	}
+	at := t.clock.Now().Sub(t.epoch)
+	t.mu.Lock()
+	if len(t.inst) < maxSpans {
+		t.inst = append(t.inst, instant{name: name, cat: cat, tid: tid, at: at})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Dropped reports how many events were discarded past the retention cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// traceEvent is one Chrome trace-event JSON object. Timestamps and
+// durations are microseconds; ph X is a complete span, i an instant event,
+// M metadata (thread names).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the recorded events as a Chrome trace-event JSON
+// object ({"traceEvents": [...]}), loadable by chrome://tracing and
+// ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	insts := append([]instant(nil), t.inst...)
+	tids := make([]int, 0, len(t.threads))
+	//elrec:orderless keys are sorted immediately below
+	for tid := range t.threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	names := make(map[int]string, len(tids))
+	for _, tid := range tids {
+		names[tid] = t.threads[tid]
+	}
+	t.mu.Unlock()
+
+	events := make([]traceEvent, 0, len(spans)+len(insts)+len(tids))
+	for _, tid := range tids {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": names[tid]},
+		})
+	}
+	for _, sp := range spans {
+		events = append(events, traceEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "X", PID: 1, TID: sp.TID,
+			TS:  float64(sp.Start) / float64(time.Microsecond),
+			Dur: float64(sp.Dur) / float64(time.Microsecond),
+		})
+	}
+	for _, in := range insts {
+		events = append(events, traceEvent{
+			Name: in.name, Cat: in.cat, Ph: "i", PID: 1, TID: in.tid, S: "t",
+			TS: float64(in.at) / float64(time.Microsecond),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// WriteChromeTraceFile writes the trace to a file at path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing trace to %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsSpansOnManualClock(t *testing.T) {
+	clk := NewManual(time.Unix(100, 0))
+	tr := NewTracer(clk)
+	tr.SetThreadName(1, "prefetch")
+	tr.SetThreadName(2, "worker")
+
+	h := tr.Begin("gather", "ps", 1)
+	clk.Advance(3 * time.Millisecond)
+	h.End()
+
+	clk.Advance(time.Millisecond)
+	h2 := tr.Begin("train", "ps", 2)
+	clk.Advance(5 * time.Millisecond)
+	h2.End()
+	tr.Instant("retry", "ps", 1)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "gather" || spans[0].TID != 1 || spans[0].Start != 0 || spans[0].Dur != 3*time.Millisecond {
+		t.Fatalf("gather span wrong: %+v", spans[0])
+	}
+	if spans[1].Name != "train" || spans[1].Start != 4*time.Millisecond || spans[1].Dur != 5*time.Millisecond {
+		t.Fatalf("train span wrong: %+v", spans[1])
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	clk := NewManual(time.Unix(0, 0))
+	tr := NewTracer(clk)
+	tr.SetThreadName(2, "worker")
+	h := tr.Begin("train", "ps", 2)
+	clk.Advance(1500 * time.Microsecond)
+	h.End()
+	tr.Instant("fault", "ps", 2)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var phases []string
+	for _, ev := range doc.TraceEvents {
+		phases = append(phases, ev["ph"].(string))
+	}
+	wantPhases := map[string]bool{"M": false, "X": false, "i": false}
+	for _, ph := range phases {
+		wantPhases[ph] = true
+	}
+	for ph, seen := range wantPhases {
+		if !seen {
+			t.Fatalf("missing phase %q in %v", ph, phases)
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			if ev["name"] != "train" || ev["dur"].(float64) != 1500 {
+				t.Fatalf("complete event wrong: %v", ev)
+			}
+		}
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	h := tr.Begin("x", "y", 1)
+	h.End()
+	tr.Instant("x", "y", 1)
+	tr.SetThreadName(1, "a")
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must read empty")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer write: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer must still emit valid JSON: %v", err)
+	}
+}

@@ -9,6 +9,8 @@ package ps
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Cache is the GPU-side embedding cache of §V-B. It keeps the most recent
@@ -32,7 +34,24 @@ type Cache struct {
 	entries map[int]*cacheEntry // guarded by mu
 
 	// statistics
-	syncs, hits, evictions int64 // guarded by mu
+	syncs, hits, misses, evictions int64 // guarded by mu
+
+	// shared mirrors the local statistics into pipeline-owned aggregate
+	// counters (summed across all caches of one pipeline); each field is a
+	// nil-safe obs instrument, so a standalone cache pays only nil checks.
+	shared struct {
+		syncs, hits, misses, evictions *obs.Counter
+	}
+}
+
+// attachCounters mirrors this cache's statistics into externally owned
+// aggregate counters (nil counters are no-ops). The pipeline attaches the
+// same four instruments to every one of its caches, so the registry view is
+// the cross-table sum — exactly what Stats() reports.
+func (c *Cache) attachCounters(syncs, hits, misses, evictions *obs.Counter) {
+	c.mu.Lock()
+	c.shared.syncs, c.shared.hits, c.shared.misses, c.shared.evictions = syncs, hits, misses, evictions
+	c.mu.Unlock()
 }
 
 type cacheEntry struct {
@@ -73,10 +92,21 @@ func (c *Cache) Sync(ids []int, values [][]float32) int {
 			copy(values[i], e.value)
 			patched++
 			c.hits++
+		} else {
+			c.misses++
 		}
 	}
 	c.syncs++
+	c.mirrorSync(patched, len(ids)-patched)
 	return patched
+}
+
+// mirrorSync forwards one sync's hit/miss split to the shared aggregate
+// counters. Callers hold mu (the shared pointers are written under it).
+func (c *Cache) mirrorSync(hits, misses int) {
+	c.shared.syncs.Inc()
+	c.shared.hits.Add(int64(hits))
+	c.shared.misses.Add(int64(misses))
 }
 
 // Publish stores the post-update values of the rows just trained, assigning
@@ -138,10 +168,12 @@ func (c *Cache) SyncAt(applied int, ids []int, values [][]float32) int {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	evicted := 0
 	for id, e := range c.entries {
 		if e.push < applied {
 			delete(c.entries, id)
 			c.evictions++
+			evicted++
 		}
 	}
 	patched := 0
@@ -150,9 +182,13 @@ func (c *Cache) SyncAt(applied int, ids []int, values [][]float32) int {
 			copy(values[i], e.value)
 			patched++
 			c.hits++
+		} else {
+			c.misses++
 		}
 	}
 	c.syncs++
+	c.mirrorSync(patched, len(ids)-patched)
+	c.shared.evictions.Add(int64(evicted))
 	return patched
 }
 
@@ -166,6 +202,7 @@ func (c *Cache) Tick() {
 		if e.lc <= 0 {
 			delete(c.entries, id)
 			c.evictions++
+			c.shared.evictions.Inc()
 		}
 	}
 }
@@ -185,6 +222,7 @@ func (c *Cache) Decrement(ids []int) {
 		if e.lc <= 0 {
 			delete(c.entries, id)
 			c.evictions++
+			c.shared.evictions.Inc()
 		}
 	}
 }
@@ -209,9 +247,15 @@ func (c *Cache) Lookup(id int) ([]float32, bool) {
 	return out, true
 }
 
-// Stats returns (sync calls, patched rows, evictions).
-func (c *Cache) Stats() (syncs, hits, evictions int64) {
+// CacheStats is one cache's counter snapshot: sync calls, patched rows
+// (hits), unpatched rows (misses) and evicted entries.
+type CacheStats struct {
+	Syncs, Hits, Misses, Evictions int64
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.syncs, c.hits, c.evictions
+	return CacheStats{Syncs: c.syncs, Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
 }

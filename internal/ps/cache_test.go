@@ -41,9 +41,9 @@ func TestCacheSyncPatchesOnlyCached(t *testing.T) {
 	if vals[1][0] != 2 {
 		t.Fatal("uncached row modified")
 	}
-	syncs, hits, _ := c.Stats()
-	if syncs != 1 || hits != 1 {
-		t.Fatalf("stats syncs=%d hits=%d", syncs, hits)
+	st := c.Stats()
+	if st.Syncs != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats syncs=%d hits=%d misses=%d", st.Syncs, st.Hits, st.Misses)
 	}
 }
 
@@ -58,8 +58,7 @@ func TestCacheTickEvicts(t *testing.T) {
 	if c.Len() != 0 {
 		t.Fatal("not evicted at LC=0")
 	}
-	_, _, ev := c.Stats()
-	if ev != 1 {
+	if ev := c.Stats().Evictions; ev != 1 {
 		t.Fatalf("evictions = %d", ev)
 	}
 }

@@ -3,6 +3,7 @@ package ps
 import (
 	"repro/internal/checkpoint"
 	"repro/internal/dlrm"
+	"repro/internal/obs"
 )
 
 // resolveTable maps the pipeline's parameter-server adapters to the host
@@ -37,7 +38,14 @@ func (p *Pipeline) SaveCheckpoint(path string, nextIter int) error {
 			p.hostMu[h].RUnlock()
 		}
 	}()
-	return checkpoint.SaveTrainingFile(path, p.model, p.resolveTable, checkpoint.TrainState{NextIter: nextIter})
+	start := p.clock.Now()
+	n, err := checkpoint.SaveTrainingFile(path, p.model, p.resolveTable, checkpoint.TrainState{NextIter: nextIter})
+	p.m.checkpointWriteNS.Add(int64(obs.Since(p.clock, start)))
+	if err != nil {
+		return err
+	}
+	p.m.checkpointBytes.Add(n)
+	return nil
 }
 
 // LoadCheckpoint restores training state saved by SaveCheckpoint into this

@@ -13,7 +13,17 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tensor"
+)
+
+// Logical trace-thread ids for the three pipeline stages (Figure 9). The
+// exported Chrome trace shows each stage on its own track, so the
+// gather/train/apply overlap is visible at a glance.
+const (
+	tidPrefetch = 1
+	tidWorker   = 2
+	tidApply    = 3
 )
 
 // BatchSource produces training batches; data.Dataset satisfies it, and the
@@ -104,6 +114,21 @@ type Config struct {
 
 	// Checkpoint enables periodic crash-consistent checkpoints.
 	Checkpoint CheckpointConfig
+
+	// Metrics, when non-nil, exposes the pipeline's counters under ps_*
+	// names (the pipeline owns the instruments; the registry adopts them,
+	// so Stats() and a /metrics snapshot read the same values). Nil skips
+	// registration; Stats() works either way.
+	Metrics *obs.Registry
+
+	// Trace, when non-nil, records gather/train/apply/push/checkpoint
+	// stage spans plus stall/backoff intervals and retry markers for
+	// Chrome trace export. Nil disables tracing at near-zero cost.
+	Trace *obs.Tracer
+
+	// Clock supplies timestamps for all stage timing; nil uses the system
+	// clock. Tests inject a manual clock to make timing deterministic.
+	Clock obs.Clock
 }
 
 // Stats aggregates pipeline counters for the experiment harness: the byte
@@ -114,6 +139,7 @@ type Stats struct {
 	BytesPushed     int64 // device → host gradients
 	CacheSyncs      int64
 	CacheHits       int64
+	CacheMisses     int64
 	CacheEvictions  int64
 
 	// Wall-time split for the hw cost model: GatherTime and ApplyTime are
@@ -208,19 +234,65 @@ type Pipeline struct {
 	// across Train calls and checkpoint restores.
 	trained atomic.Int64
 
-	// stats writers span three goroutines; every access goes through
-	// statsUpd or Stats.
-	stats   Stats // guarded by statsMu
-	statsMu sync.Mutex
+	clock  obs.Clock   // timestamp source for all stage timing; never nil
+	tracer *obs.Tracer // stage-span recorder; nil disables tracing
+
+	// m holds the pipeline-owned instruments behind Stats(). Counter
+	// updates are atomic, so writers on three goroutines need no lock and
+	// Stats() is safe to call while Train runs.
+	m pipelineMetrics
 }
 
-// statsUpd applies one mutation to the counters under the stats lock. Every
-// counter write in the package goes through here so Stats() is safe to call
-// while Train runs.
-func (p *Pipeline) statsUpd(f func(*Stats)) {
-	p.statsMu.Lock()
-	f(&p.stats)
-	p.statsMu.Unlock()
+// pipelineMetrics are the instruments behind Stats(), owned by the pipeline
+// and (when Config.Metrics is set) adopted by the registry under the ps_*
+// names in registerMetrics. Durations accumulate as nanoseconds.
+type pipelineMetrics struct {
+	steps           obs.Counter
+	bytesPrefetched obs.Counter
+	bytesPushed     obs.Counter
+
+	gatherNS  obs.Counter
+	applyNS   obs.Counter
+	trainNS   obs.Counter
+	adapterNS obs.Counter
+
+	injectedFaults obs.Counter
+	retries        obs.Counter
+	backoffNS      obs.Counter
+	stallNS        obs.Counter
+
+	checkpoints       obs.Counter
+	checkpointWriteNS obs.Counter
+	checkpointBytes   obs.Counter
+
+	cacheSyncs     obs.Counter
+	cacheHits      obs.Counter
+	cacheMisses    obs.Counter
+	cacheEvictions obs.Counter
+}
+
+// registerMetrics adopts the pipeline's instruments into r (no-op when r is
+// nil), so a /metrics snapshot and Stats() read identical values without
+// double counting.
+func (p *Pipeline) registerMetrics(r *obs.Registry) {
+	r.RegisterCounter("ps_steps", &p.m.steps)
+	r.RegisterCounter("ps_bytes_prefetched", &p.m.bytesPrefetched)
+	r.RegisterCounter("ps_bytes_pushed", &p.m.bytesPushed)
+	r.RegisterCounter("ps_gather_ns", &p.m.gatherNS)
+	r.RegisterCounter("ps_apply_ns", &p.m.applyNS)
+	r.RegisterCounter("ps_train_ns", &p.m.trainNS)
+	r.RegisterCounter("ps_adapter_ns", &p.m.adapterNS)
+	r.RegisterCounter("ps_injected_faults", &p.m.injectedFaults)
+	r.RegisterCounter("ps_retries", &p.m.retries)
+	r.RegisterCounter("ps_backoff_ns", &p.m.backoffNS)
+	r.RegisterCounter("ps_stall_ns", &p.m.stallNS)
+	r.RegisterCounter("ps_checkpoints", &p.m.checkpoints)
+	r.RegisterCounter("ps_checkpoint_write_ns", &p.m.checkpointWriteNS)
+	r.RegisterCounter("ps_checkpoint_bytes", &p.m.checkpointBytes)
+	r.RegisterCounter("ps_cache_syncs", &p.m.cacheSyncs)
+	r.RegisterCounter("ps_cache_hits", &p.m.cacheHits)
+	r.RegisterCounter("ps_cache_misses", &p.m.cacheMisses)
+	r.RegisterCounter("ps_cache_evictions", &p.m.cacheEvictions)
 }
 
 // NewPipeline builds the trainer. locs must list every embedding table in
@@ -240,7 +312,8 @@ func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
 	if cfg.Checkpoint.Every < 0 || (cfg.Checkpoint.Every > 0 && cfg.Checkpoint.Path == "") {
 		return nil, fmt.Errorf("%w: checkpoint interval %d without a path", ErrInvalidConfig, cfg.Checkpoint.Every)
 	}
-	p := &Pipeline{cfg: cfg, retry: cfg.Retry.withDefaults()}
+	p := &Pipeline{cfg: cfg, retry: cfg.Retry.withDefaults(), clock: obs.OrSystem(cfg.Clock), tracer: cfg.Trace}
+	p.registerMetrics(cfg.Metrics)
 	tables := make([]dlrm.Table, len(locs))
 	for i, loc := range locs {
 		switch {
@@ -251,6 +324,7 @@ func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
 		case loc.HostRows > 0:
 			bag := embedding.NewBag(loc.HostRows, cfg.Model.EmbDim, tensor.NewRNG(cfg.Seed+uint64(i)*104729))
 			cache := NewCache(cfg.Model.EmbDim, 2*cfg.QueueDepth+2)
+			cache.attachCounters(&p.m.cacheSyncs, &p.m.cacheHits, &p.m.cacheMisses, &p.m.cacheEvictions)
 			ad := &hostAdapter{pipeline: p, slot: len(p.hostBags), rows: loc.HostRows, dim: cfg.Model.EmbDim, lr: cfg.Model.LR}
 			p.hostBags = append(p.hostBags, bag)
 			p.caches = append(p.caches, cache)
@@ -273,19 +347,28 @@ func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
 // Model exposes the underlying model (for evaluation).
 func (p *Pipeline) Model() *dlrm.Model { return p.model }
 
-// Stats returns a consistent snapshot of the accumulated counters (cache
-// counters summed over tables). Safe to call concurrently with Train.
+// Stats returns a snapshot of the accumulated counters (cache counters
+// summed over tables). Safe to call concurrently with Train: each counter
+// is read atomically, though the set is not a global atomic cut.
 func (p *Pipeline) Stats() Stats {
-	p.statsMu.Lock()
-	s := p.stats
-	p.statsMu.Unlock()
-	for _, c := range p.caches {
-		syncs, hits, ev := c.Stats()
-		s.CacheSyncs += syncs
-		s.CacheHits += hits
-		s.CacheEvictions += ev
+	return Stats{
+		Steps:           int(p.m.steps.Value()),
+		BytesPrefetched: p.m.bytesPrefetched.Value(),
+		BytesPushed:     p.m.bytesPushed.Value(),
+		CacheSyncs:      p.m.cacheSyncs.Value(),
+		CacheHits:       p.m.cacheHits.Value(),
+		CacheMisses:     p.m.cacheMisses.Value(),
+		CacheEvictions:  p.m.cacheEvictions.Value(),
+		GatherTime:      time.Duration(p.m.gatherNS.Value()),
+		ApplyTime:       time.Duration(p.m.applyNS.Value()),
+		TrainTime:       time.Duration(p.m.trainNS.Value()),
+		AdapterTime:     time.Duration(p.m.adapterNS.Value()),
+		InjectedFaults:  p.m.injectedFaults.Value(),
+		Retries:         p.m.retries.Value(),
+		BackoffTime:     time.Duration(p.m.backoffNS.Value()),
+		StallTime:       time.Duration(p.m.stallNS.Value()),
+		Checkpoints:     p.m.checkpoints.Value(),
 	}
-	return s
 }
 
 // NumHostTables returns how many tables live in host memory.
@@ -297,6 +380,18 @@ func (p *Pipeline) NumHostTables() int { return len(p.hostBags) }
 //
 //elrec:locked hostMu caller synchronizes: test/evaluation hook, never raced against Train
 func (p *Pipeline) HostBag(i int) *embedding.Bag { return p.hostBags[i] }
+
+// tidForOp maps a fault-injection site to the trace thread of the pipeline
+// stage it runs on.
+func tidForOp(op faults.Op) int {
+	switch op {
+	case faults.OpGather:
+		return tidPrefetch
+	case faults.OpApply:
+		return tidApply
+	}
+	return tidWorker
+}
 
 // injectFault consults the configured injector for one attempt. Stalls are
 // served in place (the operation proceeds after the delay); transient
@@ -311,11 +406,14 @@ func (p *Pipeline) injectFault(op faults.Op, iter, attempt int) error {
 	}
 	var stall *faults.Stall
 	if errors.As(err, &stall) {
-		p.statsUpd(func(s *Stats) { s.StallTime += stall.D })
+		p.m.stallNS.Add(int64(stall.D))
+		sp := p.tracer.Begin("stall", "fault", tidForOp(op))
 		p.sleep(stall.D)
+		sp.End()
 		return nil
 	}
-	p.statsUpd(func(s *Stats) { s.InjectedFaults++ })
+	p.m.injectedFaults.Inc()
+	p.tracer.Instant("fault", "fault", tidForOp(op))
 	return err
 }
 
@@ -328,13 +426,17 @@ func (p *Pipeline) sleep(d time.Duration) {
 	time.Sleep(d)
 }
 
-// backoff records and serves the delay before retry `attempt`. A non-nil
-// ctx aborts the wait on cancellation (used on the gather side; the apply
-// side passes nil because pending gradients must land even during a
-// cancelled drain).
-func (p *Pipeline) backoff(ctx context.Context, attempt int) error {
+// backoff records and serves the delay before retry `attempt`, traced as a
+// backoff span on stage thread tid. A non-nil ctx aborts the wait on
+// cancellation (used on the gather side; the apply side passes nil because
+// pending gradients must land even during a cancelled drain).
+func (p *Pipeline) backoff(ctx context.Context, tid, attempt int) error {
 	d := p.retry.delay(attempt)
-	p.statsUpd(func(s *Stats) { s.Retries++; s.BackoffTime += d })
+	p.m.retries.Inc()
+	p.m.backoffNS.Add(int64(d))
+	p.tracer.Instant("retry", "fault", tid)
+	sp := p.tracer.Begin("backoff", "fault", tid)
+	defer sp.End()
 	if p.retry.Sleep != nil {
 		p.retry.Sleep(d)
 	} else if ctx == nil {
@@ -358,10 +460,11 @@ func (p *Pipeline) backoff(ctx context.Context, attempt int) error {
 // every host table, read under the table lock (the server-side embedding
 // lookup of the PS architecture).
 func (p *Pipeline) gather(iter int, b *data.Batch) *hostBatch {
-	start := time.Now()
+	start := p.clock.Now()
+	sp := p.tracer.Begin("gather", "ps", tidPrefetch)
 	defer func() {
-		d := time.Since(start)
-		p.statsUpd(func(s *Stats) { s.GatherTime += d })
+		sp.End()
+		p.m.gatherNS.Add(int64(obs.Since(p.clock, start)))
 	}()
 	hb := &hostBatch{iter: iter, batch: b, rows: make([]hostRows, len(p.hostBags)), gathered: p.applied.Load()}
 	for h, pos := range p.hostIdx {
@@ -393,7 +496,7 @@ func (p *Pipeline) gatherBatch(ctx context.Context, d BatchSource, iter, batchSi
 		if attempt >= p.retry.MaxRetries {
 			return nil, fmt.Errorf("%w: iter %d after %d attempts: %w", ErrGatherFailed, iter, attempt+1, ferr)
 		}
-		if berr := p.backoff(ctx, attempt); berr != nil {
+		if berr := p.backoff(ctx, tidPrefetch, attempt); berr != nil {
 			return nil, fmt.Errorf("%w: iter %d: %w", ErrGatherFailed, iter, berr)
 		}
 	}
@@ -404,10 +507,11 @@ func (p *Pipeline) gatherBatch(ctx context.Context, d BatchSource, iter, batchSi
 // entries (their life cycle ends once the host copy is provably visible to
 // gathers).
 func (p *Pipeline) apply(g *gradPush) {
-	start := time.Now()
+	start := p.clock.Now()
+	sp := p.tracer.Begin("apply", "ps", tidApply)
 	defer func() {
-		d := time.Since(start)
-		p.statsUpd(func(s *Stats) { s.ApplyTime += d })
+		sp.End()
+		p.m.applyNS.Add(int64(obs.Since(p.clock, start)))
 	}()
 	for h, gr := range g.rows {
 		if len(gr.uniq) == 0 {
@@ -444,7 +548,7 @@ func (p *Pipeline) applyPush(g *gradPush) (err error) {
 		if attempt >= p.retry.MaxRetries {
 			return fmt.Errorf("%w: iter %d after %d attempts: %w", ErrApplyFailed, g.iter, attempt+1, ferr)
 		}
-		p.backoff(nil, attempt)
+		p.backoff(nil, tidApply, attempt)
 	}
 }
 
@@ -467,7 +571,8 @@ func (p *Pipeline) trainOne(hb *hostBatch) (loss float32, push *gradPush, err er
 	}()
 	if p.cfg.Faults != nil {
 		if ferr := p.cfg.Faults.Fault(faults.OpWorker, hb.iter, 0); ferr != nil {
-			p.statsUpd(func(s *Stats) { s.InjectedFaults++ })
+			p.m.injectedFaults.Inc()
+			p.tracer.Instant("fault", "fault", tidWorker)
 			// Injected worker faults travel as panics on purpose: they are
 			// raised here, before any model state is touched, and exercise
 			// the same recover path that protects the queues from a real
@@ -476,10 +581,11 @@ func (p *Pipeline) trainOne(hb *hostBatch) (loss float32, push *gradPush, err er
 			panic(ferr)
 		}
 	}
-	start := time.Now()
+	start := p.clock.Now()
+	sp := p.tracer.Begin("train", "ps", tidWorker)
 	defer func() {
-		d := time.Since(start)
-		p.statsUpd(func(s *Stats) { s.TrainTime += d })
+		sp.End()
+		p.m.trainNS.Add(int64(obs.Since(p.clock, start)))
 	}()
 	var prefetched int64
 	for h := range hb.rows {
@@ -490,7 +596,7 @@ func (p *Pipeline) trainOne(hb *hostBatch) (loss float32, push *gradPush, err er
 		p.caches[h].SyncAt(int(hb.gathered), hb.rows[h].uniq, rows)
 		prefetched += int64(len(rows)) * int64(p.cfg.Model.EmbDim) * 4
 	}
-	p.statsUpd(func(s *Stats) { s.BytesPrefetched += prefetched })
+	p.m.bytesPrefetched.Add(prefetched)
 	for h, ad := range p.adapters {
 		ad.current = &hb.rows[h]
 		ad.pending = nil
@@ -506,7 +612,7 @@ func (p *Pipeline) trainOne(hb *hostBatch) (loss float32, push *gradPush, err er
 		pushed += int64(len(ad.pending.uniq)) * int64(p.cfg.Model.EmbDim) * 4
 		ad.current, ad.pending = nil, nil
 	}
-	p.statsUpd(func(s *Stats) { s.BytesPushed += pushed })
+	p.m.bytesPushed.Add(pushed)
 	p.trained.Add(1)
 	return loss, push, nil
 }
@@ -521,10 +627,13 @@ func (p *Pipeline) checkpointDue(nextIter int) bool {
 // Callers must hold the drain invariant: no batch in flight, every pushed
 // gradient applied.
 func (p *Pipeline) writeCheckpoint(nextIter int) error {
-	if err := p.SaveCheckpoint(p.cfg.Checkpoint.Path, nextIter); err != nil {
+	sp := p.tracer.Begin("checkpoint", "ps", tidWorker)
+	err := p.SaveCheckpoint(p.cfg.Checkpoint.Path, nextIter)
+	sp.End()
+	if err != nil {
 		return fmt.Errorf("%w: %w", ErrCheckpointFailed, err)
 	}
-	p.statsUpd(func(s *Stats) { s.Checkpoints++ })
+	p.m.checkpoints.Inc()
 	return nil
 }
 
@@ -591,6 +700,9 @@ func (p *Pipeline) Train(ctx context.Context, d BatchSource, startIter, steps, b
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	p.tracer.SetThreadName(tidPrefetch, "prefetch")
+	p.tracer.SetThreadName(tidWorker, "worker")
+	p.tracer.SetThreadName(tidApply, "apply")
 	curve := &metrics.LossCurve{}
 	res := &TrainResult{Curve: curve, NextIter: startIter, Resumable: true}
 	fail := func(res *TrainResult, err error, resumable bool) (*TrainResult, error) {
@@ -622,7 +734,7 @@ func (p *Pipeline) Train(ctx context.Context, d BatchSource, startIter, steps, b
 			if err := p.applyPush(push); err != nil {
 				return fail(res, err, false)
 			}
-			p.statsUpd(func(s *Stats) { s.Steps++ })
+			p.m.steps.Inc()
 			res.Completed++
 			res.NextIter = iter + 1
 			if p.checkpointDue(res.NextIter) {
@@ -704,8 +816,10 @@ worker:
 			break
 		}
 		curve.Add(hb.iter, float64(loss))
+		psp := p.tracer.Begin("push", "ps", tidWorker)
 		gradQ <- push
-		p.statsUpd(func(s *Stats) { s.Steps++ })
+		psp.End()
+		p.m.steps.Inc()
 		res.Completed++
 		res.NextIter = hb.iter + 1
 		if p.checkpointDue(res.NextIter) {
@@ -769,10 +883,9 @@ func (a *hostAdapter) Lookup(indices, offsets []int) *tensor.Matrix {
 		a.pipeline.hostMu[a.slot].RUnlock()
 		cur = &hostRows{uniq: uniq, inverse: inverse, values: values}
 	} else {
-		start := time.Now()
+		start := a.pipeline.clock.Now()
 		defer func() {
-			d := time.Since(start)
-			a.pipeline.statsUpd(func(s *Stats) { s.AdapterTime += d })
+			a.pipeline.m.adapterNS.Add(int64(obs.Since(a.pipeline.clock, start)))
 		}()
 	}
 	out := tensor.New(len(offsets), a.dim)
@@ -800,10 +913,9 @@ func (a *hostAdapter) Update(indices, offsets []int, dOut *tensor.Matrix, lr flo
 		//elrec:invariant typed ErrAdapterMisuse panic: the pipeline recover boundary converts it to an error
 		panic(fmt.Errorf("%w: host table %d updated outside a pipeline step", ErrAdapterMisuse, a.slot))
 	}
-	start := time.Now()
+	start := a.pipeline.clock.Now()
 	defer func() {
-		d := time.Since(start)
-		a.pipeline.statsUpd(func(s *Stats) { s.AdapterTime += d })
+		a.pipeline.m.adapterNS.Add(int64(obs.Since(a.pipeline.clock, start)))
 	}()
 	grads := tensor.New(len(cur.uniq), a.dim)
 	for s := range offsets {

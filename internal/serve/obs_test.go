@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestScoreManyNamesOffendingBatchIndex checks the regression the batch API
+// used to have: an invalid context inside a batch must name which batch
+// index failed, and the wrapped sentinel must survive for errors.Is.
+func TestScoreManyNamesOffendingBatchIndex(t *testing.T) {
+	m := serveModel(t)
+	r, err := NewRanker(m, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testContext()
+	bad := Context{Dense: []float32{1}, Sparse: []int{0, 0}} // wrong dense width
+
+	_, err = r.ScoreMany([]Context{good, good, bad}, []int{1, 2})
+	if !errors.Is(err, ErrInvalidContext) {
+		t.Fatalf("err = %v, want ErrInvalidContext", err)
+	}
+	if !strings.Contains(err.Error(), "batch context 2") {
+		t.Fatalf("error %q does not name the offending batch index 2", err)
+	}
+
+	// Same for a bad candidate: the error carries both the candidate's
+	// position and, through ScoreMany, the batch index.
+	_, err = r.ScoreMany([]Context{good}, []int{1, 5000})
+	if !errors.Is(err, ErrInvalidCandidate) {
+		t.Fatalf("err = %v, want ErrInvalidCandidate", err)
+	}
+	if !strings.Contains(err.Error(), "candidate 1") || !strings.Contains(err.Error(), "batch context 0") {
+		t.Fatalf("error %q does not name the candidate position and batch index", err)
+	}
+
+	// A clean batch scores every context.
+	out, err := r.ScoreMany([]Context{good, good}, []int{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(out[0]) != 3 {
+		t.Fatalf("result shape %dx%d want 2x3", len(out), len(out[0]))
+	}
+}
+
+// TestServeMetrics checks the request/error counters and the latency and
+// batch-size histograms against a manual clock.
+func TestServeMetrics(t *testing.T) {
+	m := serveModel(t)
+	r, err := NewRanker(m, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	clock := obs.NewManual(time.Unix(0, 0))
+	r.AttachMetrics(reg, clock)
+
+	if _, err := r.Score(testContext(), []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Score(Context{}, []int{1}); err == nil {
+		t.Fatal("invalid context accepted")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("serve_requests"); got != 2 {
+		t.Fatalf("serve_requests = %d want 2", got)
+	}
+	if got := snap.Counter("serve_errors"); got != 1 {
+		t.Fatalf("serve_errors = %d want 1", got)
+	}
+	if got := snap.Counter("serve_candidates"); got != 4 {
+		t.Fatalf("serve_candidates = %d want 4", got)
+	}
+	bs := snap.Histograms["serve_batch_size"]
+	if bs.Count != 2 || bs.Max != 3 || bs.Min != 1 {
+		t.Fatalf("serve_batch_size summary %+v want count=2 min=1 max=3", bs)
+	}
+	if lat := snap.Histograms["serve_score_latency_ns"]; lat.Count != 2 {
+		t.Fatalf("serve_score_latency_ns count = %d want 2", lat.Count)
+	}
+
+	// Detach restores the zero-cost path.
+	r.AttachMetrics(nil, nil)
+	if _, err := r.Score(testContext(), []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counter("serve_requests"); got != 2 {
+		t.Fatalf("detached ranker still recorded: serve_requests = %d", got)
+	}
+}

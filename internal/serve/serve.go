@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/dlrm"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -40,6 +41,38 @@ type Ranker struct {
 	itemFeature int
 	// batch is the scoring batch size.
 	batch int
+
+	// met holds the serving instruments; the zero value (not attached) makes
+	// every record path a no-op.
+	met serveMetrics
+}
+
+// serveMetrics instruments the scoring path: request/error counts, the
+// per-request latency distribution and the candidate-set size distribution.
+type serveMetrics struct {
+	attached bool
+	clock    obs.Clock
+
+	requests   *obs.Counter
+	errors     *obs.Counter
+	candidates *obs.Counter
+	latencyNS  *obs.Histogram // per-Score latency, nanoseconds
+	batchSize  *obs.Histogram // candidates per Score call
+}
+
+// AttachMetrics wires the ranker's instruments to reg under serve_* names,
+// measuring latency against clock (nil: the system clock). A nil registry
+// detaches, returning the ranker to the zero-cost path.
+func (r *Ranker) AttachMetrics(reg *obs.Registry, clock obs.Clock) {
+	r.met = serveMetrics{
+		attached:   reg != nil,
+		clock:      obs.OrSystem(clock),
+		requests:   reg.Counter("serve_requests"),
+		errors:     reg.Counter("serve_errors"),
+		candidates: reg.Counter("serve_candidates"),
+		latencyNS:  reg.Histogram("serve_score_latency_ns"),
+		batchSize:  reg.Histogram("serve_batch_size"),
+	}
 }
 
 // NewRanker wraps a trained model. itemFeature selects which sparse feature
@@ -82,14 +115,26 @@ func (r *Ranker) validate(ctx Context) error {
 
 // Score returns the CTR probability of each candidate item for the context,
 // in candidate order.
-func (r *Ranker) Score(ctx Context, candidates []int) ([]float32, error) {
+func (r *Ranker) Score(ctx Context, candidates []int) (scores []float32, err error) {
+	if r.met.attached {
+		start := r.met.clock.Now()
+		r.met.requests.Inc()
+		r.met.candidates.Add(int64(len(candidates)))
+		r.met.batchSize.Observe(float64(len(candidates)))
+		defer func() {
+			r.met.latencyNS.Observe(float64(obs.Since(r.met.clock, start)))
+			if err != nil {
+				r.met.errors.Inc()
+			}
+		}()
+	}
 	if err := r.validate(ctx); err != nil {
 		return nil, err
 	}
 	itemRows := r.model.Tables[r.itemFeature].NumRows()
-	for _, c := range candidates {
+	for i, c := range candidates {
 		if c < 0 || c >= itemRows {
-			return nil, fmt.Errorf("%w: item %d outside item table of %d rows", ErrInvalidCandidate, c, itemRows)
+			return nil, fmt.Errorf("%w: candidate %d: item %d outside item table of %d rows", ErrInvalidCandidate, i, c, itemRows)
 		}
 	}
 	out := make([]float32, 0, len(candidates))
@@ -99,6 +144,24 @@ func (r *Ranker) Score(ctx Context, candidates []int) ([]float32, error) {
 			end = len(candidates)
 		}
 		out = append(out, r.model.Predict(r.buildBatch(ctx, candidates[start:end]))...)
+	}
+	return out, nil
+}
+
+// ScoreMany scores the same candidate set for a batch of request contexts
+// (the ranking-stage pattern: one model replica serves many concurrent
+// requests). Row i of the result holds Score(ctxs[i], candidates). On a bad
+// context the error wraps ErrInvalidContext (or ErrInvalidCandidate) and
+// names the offending batch index, so a serving layer can reject exactly
+// the bad request instead of guessing which one failed.
+func (r *Ranker) ScoreMany(ctxs []Context, candidates []int) ([][]float32, error) {
+	out := make([][]float32, len(ctxs))
+	for i, ctx := range ctxs {
+		scores, err := r.Score(ctx, candidates)
+		if err != nil {
+			return nil, fmt.Errorf("batch context %d: %w", i, err)
+		}
+		out[i] = scores
 	}
 	return out, nil
 }

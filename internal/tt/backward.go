@@ -37,6 +37,7 @@ func (t *Table) Backward(cache *ForwardCache, dOut *tensor.Matrix, lr float32) {
 	} else {
 		workIdx, workGrad = t.perOccurrenceGrads(cache, dOut)
 	}
+	t.met.recordBackward(len(cache.Indices), len(workIdx))
 
 	var gradBufs [Dims]*tensor.Matrix
 	if !t.Opts.FusedUpdate {

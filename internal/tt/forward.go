@@ -80,6 +80,7 @@ func (t *Table) Forward(indices, offsets []int) (*tensor.Matrix, *ForwardCache) 
 			c.WorkOf[p] = p
 		}
 	}
+	t.met.recordForward(len(indices), len(c.WorkIdx))
 
 	if t.Opts.ReusePrefix {
 		t.fillPrefixBuffer(c)
@@ -171,6 +172,7 @@ func (t *Table) fillPrefixBuffer(c *ForwardCache) {
 	}
 	n := t.Shape.ColFactors
 	tensor.BatchedMatMul(n[0], t.Shape.R1, n[1]*t.Shape.R2, batch)
+	t.met.recordPrefix(len(c.WorkIdx), len(prefixes))
 }
 
 // parallelItems runs body over [0,n) in parallel unless the table is in

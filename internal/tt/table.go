@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -67,6 +68,100 @@ type Table struct {
 
 	// lastCache retains the most recent Lookup's forward cache for Update.
 	lastCache *ForwardCache
+
+	// met holds the forward-path instruments (see AttachMetrics). The zero
+	// value's nil counters make every record a no-op, so an unattached
+	// table pays only nil checks on the hot path.
+	met tableMetrics
+}
+
+// tableMetrics instruments the two-level reuse of the forward pass: how
+// many index occurrences collapse into work items (deduplication) and how
+// many work items share a reuse-buffer prefix (Algorithm 1), plus the
+// batched-GEMM launches that evaluate the buffer. All counters aggregate
+// across every table attached to the same registry, so the exported ratios
+// describe the whole embedding layer.
+type tableMetrics struct {
+	attached bool
+
+	indices        *obs.Counter // index occurrences entering Forward
+	workItems      *obs.Counter // rows actually computed (unique under dedup)
+	prefixWork     *obs.Counter // work items entering the prefix stage
+	uniquePrefixes *obs.Counter // distinct prefixes materialized per batch
+	gemmLaunches   *obs.Counter // batched-GEMM kernel launches
+	gemmOps        *obs.Counter // individual GEMMs inside those launches
+
+	backwardRows *obs.Counter // gradient occurrences entering Backward
+	backwardWork *obs.Counter // gradient rows after in-advance aggregation
+
+	dedupRatio    *obs.Gauge // cumulative indices / work items (≥ 1)
+	prefixHitRate *obs.Gauge // cumulative share of prefix work served by the buffer
+	backwardAgg   *obs.Gauge // cumulative backward rows / aggregated rows (≥ 1)
+}
+
+// AttachMetrics wires the table's forward-path counters to r under tt_*
+// names. Multiple tables attached to one registry share the instruments
+// (the registry is get-or-create by name), so the counts and ratios are
+// embedding-layer-wide. A nil registry detaches nothing and costs nothing:
+// the returned nil instruments keep every record path a no-op.
+func (t *Table) AttachMetrics(r *obs.Registry) {
+	t.met = tableMetrics{
+		attached:       r != nil,
+		indices:        r.Counter("tt_indices"),
+		workItems:      r.Counter("tt_work_items"),
+		prefixWork:     r.Counter("tt_prefix_work"),
+		uniquePrefixes: r.Counter("tt_unique_prefixes"),
+		gemmLaunches:   r.Counter("tt_batched_gemm_launches"),
+		gemmOps:        r.Counter("tt_batched_gemm_ops"),
+		backwardRows:   r.Counter("tt_backward_rows"),
+		backwardWork:   r.Counter("tt_backward_work"),
+		dedupRatio:     r.Gauge("tt_dedup_ratio"),
+		prefixHitRate:  r.Gauge("tt_prefix_hit_rate"),
+		backwardAgg:    r.Gauge("tt_backward_agg_ratio"),
+	}
+}
+
+// recordForward accumulates one Forward call's dedup split and refreshes
+// the cumulative dedup-ratio gauge.
+func (m *tableMetrics) recordForward(indices, workItems int) {
+	if !m.attached {
+		return
+	}
+	m.indices.Add(int64(indices))
+	m.workItems.Add(int64(workItems))
+	if w := m.workItems.Value(); w > 0 {
+		m.dedupRatio.Set(float64(m.indices.Value()) / float64(w))
+	}
+}
+
+// recordPrefix accumulates one reuse-buffer fill and refreshes the
+// cumulative prefix-hit-rate gauge: the share of prefix-stage work items
+// whose first-two-core product was already in the buffer.
+func (m *tableMetrics) recordPrefix(workItems, uniquePrefixes int) {
+	if !m.attached {
+		return
+	}
+	m.prefixWork.Add(int64(workItems))
+	m.uniquePrefixes.Add(int64(uniquePrefixes))
+	m.gemmLaunches.Inc()
+	m.gemmOps.Add(int64(uniquePrefixes))
+	if w := m.prefixWork.Value(); w > 0 {
+		m.prefixHitRate.Set(1 - float64(m.uniquePrefixes.Value())/float64(w))
+	}
+}
+
+// recordBackward accumulates one Backward call's gradient-row split and
+// refreshes the in-advance-aggregation ratio gauge (§III-B): occurrences
+// per core-multiplication chain actually run.
+func (m *tableMetrics) recordBackward(rows, workRows int) {
+	if !m.attached {
+		return
+	}
+	m.backwardRows.Add(int64(rows))
+	m.backwardWork.Add(int64(workRows))
+	if w := m.backwardWork.Value(); w > 0 {
+		m.backwardAgg.Set(float64(m.backwardRows.Value()) / float64(w))
+	}
 }
 
 // NewTable allocates a table for the given shape with Eff-TT options and
