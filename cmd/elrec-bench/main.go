@@ -22,12 +22,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/hw"
 	"repro/internal/obs"
 )
 
@@ -57,8 +60,25 @@ func main() {
 		trainSteps   = flag.Int("train-steps", 0, "override: steps for accuracy/convergence experiments")
 		jsonDir      = flag.String("json-dir", ".", "directory for BENCH_<id>.json artifacts ('' disables)")
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics and pprof on this address while the sweep runs")
+		workers      = flag.Int("workers", 0, "bound host-side kernel parallelism (0 keeps GOMAXPROCS)")
+		compare      = flag.Bool("compare", false, "compare two BENCH_<id>.json artifacts: elrec-bench -compare old.json new.json")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: elrec-bench -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareArtifacts(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workers > 0 {
+		hw.SetHostWorkers(*workers)
+	}
 
 	var sc bench.Scale
 	switch *scaleName {
@@ -124,6 +144,83 @@ func main() {
 			}
 		}
 	}
+}
+
+// readArtifact loads one BENCH_<id>.json file.
+func readArtifact(path string) (*artifact, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench compare: %w", err)
+	}
+	var a artifact
+	if err := json.Unmarshal(buf, &a); err != nil {
+		return nil, fmt.Errorf("bench compare %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// compareArtifacts prints per-metric deltas between two artifacts of the
+// same experiment. Rows are matched by their first cell (the metric name);
+// numeric cells get old/new/delta columns, and rows present in only one
+// artifact are reported as added/removed.
+func compareArtifacts(w io.Writer, oldPath, newPath string) error {
+	oldA, err := readArtifact(oldPath)
+	if err != nil {
+		return err
+	}
+	newA, err := readArtifact(newPath)
+	if err != nil {
+		return err
+	}
+	if oldA.ID != newA.ID {
+		fmt.Fprintf(w, "warning: comparing different experiments (%s vs %s)\n", oldA.ID, newA.ID)
+	}
+	fmt.Fprintf(w, "== compare %s: %s -> %s ==\n", oldA.ID, oldPath, newPath)
+	oldRows := make(map[string][]string, len(oldA.Rows))
+	matched := make(map[string]bool, len(oldA.Rows))
+	for _, r := range oldA.Rows {
+		if len(r) > 0 {
+			oldRows[r[0]] = r
+		}
+	}
+	for _, nr := range newA.Rows {
+		if len(nr) == 0 {
+			continue
+		}
+		or, ok := oldRows[nr[0]]
+		if !ok {
+			fmt.Fprintf(w, "%-24s (added)\n", nr[0])
+			continue
+		}
+		matched[nr[0]] = true
+		fmt.Fprintf(w, "%-24s", nr[0])
+		for col := 1; col < len(nr) && col < len(or); col++ {
+			ov, oerr := strconv.ParseFloat(or[col], 64)
+			nv, nerr := strconv.ParseFloat(nr[col], 64)
+			name := fmt.Sprintf("col%d", col)
+			if col < len(newA.Header) {
+				name = newA.Header[col]
+			}
+			if oerr != nil || nerr != nil {
+				if or[col] != nr[col] {
+					fmt.Fprintf(w, "  %s: %s -> %s", name, or[col], nr[col])
+				}
+				continue
+			}
+			pct := 0.0
+			if ov != 0 {
+				pct = (nv - ov) / ov * 100
+			}
+			fmt.Fprintf(w, "  %s: %.2f -> %.2f (%+.1f%%)", name, ov, nv, pct)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, r := range oldA.Rows {
+		if len(r) > 0 && !matched[r[0]] {
+			fmt.Fprintf(w, "%-24s (removed)\n", r[0])
+		}
+	}
+	return nil
 }
 
 // writeArtifact serializes one experiment's result as BENCH_<id>.json.

@@ -26,6 +26,7 @@ var registry = map[string]Runner{
 	"fig16":        Fig16,
 	"fig17":        Fig17,
 	"fig18":        Fig18,
+	"ttcore":       TTCore,
 	"ext-ttdepth":  ExtTTDepth,
 	"ext-optim":    ExtOptim,
 	"ext-hotratio": ExtHotRatio,

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/dlrm"
+	"repro/internal/tensor"
+	"repro/internal/tt"
+)
+
+// TTCore measures the compute-core hot paths directly, one row per path, so
+// kernel-level changes show up as per-row deltas between two BENCH_ttcore
+// artifacts (elrec-bench -compare). Unlike the figure experiments it is not
+// a paper artifact: it exists to record before/after trajectories of the
+// blocked GEMM kernels, the zero-allocation TT step and the cross-batch
+// prefix cache.
+func TTCore(sc Scale) *Result {
+	rows := scaledRows(5_000_000, sc, 20_000)
+	r := &Result{
+		ID:     "ttcore",
+		Title:  "compute-core hot paths (µs/op)",
+		Header: []string{"path", "us/op", "ops/s"},
+	}
+
+	addRow := func(name string, perOp time.Duration) {
+		us := float64(perOp.Nanoseconds()) / 1e3
+		opsPerSec := 0.0
+		if perOp > 0 {
+			opsPerSec = float64(time.Second) / float64(perOp)
+		}
+		r.AddRow(name, fmt.Sprintf("%.2f", us), fmt.Sprintf("%.0f", opsPerSec))
+	}
+
+	// Raw GEMM kernels at an MLP-tower-like and a square shape.
+	gemmReps := 200
+	timeGemm := func(m, k, n int) time.Duration {
+		a, b := tensor.New(m, k), tensor.New(k, n)
+		dst := tensor.New(m, n)
+		rng := tensor.NewRNG(11)
+		rng.FillUniform(a.Data, 1)
+		rng.FillUniform(b.Data, 1)
+		return minOf(3, func() time.Duration {
+			return timeIt(func() {
+				for i := 0; i < gemmReps; i++ {
+					tensor.MatMul(dst, a, b)
+				}
+			})
+		}) / time.Duration(gemmReps)
+	}
+	addRow("gemm-128x128x128", timeGemm(128, 128, 128))
+	addRow(fmt.Sprintf("gemm-%dx64x64", sc.Batch), timeGemm(sc.Batch, 64, 64))
+
+	timeGemmTB := func(m, k, n int) time.Duration {
+		a, b := tensor.New(m, k), tensor.New(n, k)
+		dst := tensor.New(m, n)
+		rng := tensor.NewRNG(12)
+		rng.FillUniform(a.Data, 1)
+		rng.FillUniform(b.Data, 1)
+		return minOf(3, func() time.Duration {
+			return timeIt(func() {
+				for i := 0; i < gemmReps; i++ {
+					tensor.MatMulTransB(dst, a, b)
+				}
+			})
+		}) / time.Duration(gemmReps)
+	}
+	addRow(fmt.Sprintf("gemmTB-%dx64x64", sc.Batch), timeGemmTB(sc.Batch, 64, 64))
+
+	// TT table paths over the standard single-table workload.
+	w := newTableWorkload(rows, sc.Steps, sc.Batch, 1004)
+	dOut := gradFor(sc.Batch, sc.EmbDim, 7)
+	perBatch := func(total time.Duration) time.Duration {
+		return total / time.Duration(len(w.raw))
+	}
+
+	naive := w.newTT(sc.EmbDim, sc.Rank, tt.NaiveOptions())
+	addRow("tt-forward-naive", perBatch(measureLookup(naive, w.raw, w.offsets, sc.WarmSteps)))
+
+	eff := w.newTT(sc.EmbDim, sc.Rank, tt.EffOptions())
+	addRow("tt-forward-eff", perBatch(measureLookup(eff, w.raw, w.offsets, sc.WarmSteps)))
+	addRow("tt-backward-eff", perBatch(measureBackward(eff, w.raw, w.offsets, dOut, sc.WarmSteps)))
+
+	// One-table DLRM training step: the end-to-end steps/sec consumers see.
+	stepTime := func() time.Duration {
+		spec := singleTableSpec(rows, 1005)
+		d, err := data.New(spec)
+		if err != nil {
+			panic(err)
+		}
+		tables, _, err := dlrm.BuildTables([]int{rows}, dlrm.TableSpec{
+			Dim: sc.EmbDim, Rank: sc.Rank, TTThreshold: 0, Opts: tt.EffOptions(), Seed: 3,
+		})
+		if err != nil {
+			panic(err)
+		}
+		model, err := dlrm.NewModel(modelConfig(spec, sc), tables)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < sc.WarmSteps; i++ {
+			model.TrainStep(d.Batch(i, sc.Batch))
+		}
+		return minOf(3, func() time.Duration {
+			return timeIt(func() {
+				for it := 0; it < sc.Steps; it++ {
+					model.TrainStep(d.Batch(sc.WarmSteps+it, sc.Batch))
+				}
+			})
+		}) / time.Duration(sc.Steps)
+	}
+	addRow("dlrm-train-step", stepTime())
+
+	r.AddNote("table %d rows, dim %d, rank %d, batch %d; ops/s is per-path calls per second", rows, sc.EmbDim, sc.Rank, sc.Batch)
+	return r
+}

@@ -59,7 +59,8 @@ type Model struct {
 
 	opt    *nn.SGD
 	timing Timing
-	clock  obs.Clock // timestamp source for TimedTrainStep; never nil
+	clock  obs.Clock        // timestamp source for TimedTrainStep; never nil
+	embs   []*tensor.Matrix // per-step lookup results, slice reused across steps
 }
 
 // SetClock replaces the timestamp source TimedTrainStep measures against
@@ -118,11 +119,13 @@ func (m *Model) Forward(b *data.Batch) *tensor.Matrix {
 		panic(err)
 	}
 	z0 := m.Bottom.Forward(b.Dense)
-	embs := make([]*tensor.Matrix, len(m.Tables))
-	for t, tbl := range m.Tables {
-		embs[t] = tbl.Lookup(b.Sparse[t], b.Offsets)
+	if m.embs == nil {
+		m.embs = make([]*tensor.Matrix, len(m.Tables))
 	}
-	x := m.Interaction.Forward(z0, embs)
+	for t, tbl := range m.Tables {
+		m.embs[t] = tbl.Lookup(b.Sparse[t], b.Offsets)
+	}
+	x := m.Interaction.Forward(z0, m.embs)
 	return m.Top.Forward(x)
 }
 

@@ -24,7 +24,13 @@ var _ Table = (*lockedTable)(nil)
 func (l *lockedTable) Lookup(indices, offsets []int) *tensor.Matrix {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.inner.Lookup(indices, offsets)
+	// The table's Lookup returns an arena-owned matrix that the next
+	// (serialized) Lookup overwrites; each worker needs its own copy to
+	// carry past the lock.
+	out := l.inner.Lookup(indices, offsets)
+	cp := tensor.New(out.Rows, out.Cols)
+	cp.CopyFrom(out)
+	return cp
 }
 
 func (l *lockedTable) Update(indices, offsets []int, dOut *tensor.Matrix, lr float32) {

@@ -43,7 +43,10 @@ func (m *Model) TimedTrainStep(b *data.Batch) float32 {
 	denseMark := obs.Since(clock, start)
 
 	embStart := clock.Now()
-	embs := make([]*tensor.Matrix, len(m.Tables))
+	if m.embs == nil {
+		m.embs = make([]*tensor.Matrix, len(m.Tables))
+	}
+	embs := m.embs
 	for t, tbl := range m.Tables {
 		embs[t] = tbl.Lookup(b.Sparse[t], b.Offsets)
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tensor"
 )
 
 // Device describes one compute location. ComputeScale is its throughput
@@ -56,6 +57,20 @@ func TeslaT4() Device {
 // gathers and parameter-server updates are charged at measured time.
 func HostCPU() Device {
 	return Device{Name: "host CPU", HBMBytes: 192 << 30, ComputeScale: 1}
+}
+
+// SetHostWorkers bounds the parallelism of the measured host-side kernels
+// (the tensor worker pool). Benchmarks pin this to 1 for stable,
+// reproducible numbers, or raise it to emulate a wider host; it funnels
+// through the tensor package's race-safe setter so it can be flipped while
+// kernels are running.
+func SetHostWorkers(n int) {
+	tensor.SetMaxWorkers(n)
+}
+
+// HostWorkers reports the current host-side kernel parallelism bound.
+func HostWorkers() int {
+	return tensor.Workers()
 }
 
 // Link models an interconnect with a latency + bandwidth cost.

@@ -8,15 +8,18 @@ import (
 
 // ReLU is the rectified linear activation layer.
 type ReLU struct {
-	mask []bool // true where the input was positive
+	mask  []bool         // true where the input was positive
+	y, dx *tensor.Matrix // layer-owned buffers, reused per step
 }
 
 // NewReLU returns a ReLU layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward computes max(0, x) element-wise.
+// Forward computes max(0, x) element-wise. The returned matrix is
+// layer-owned and overwritten by the next Forward.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
-	y := tensor.New(x.Rows, x.Cols)
+	r.y = tensor.Reuse(r.y, x.Rows, x.Cols)
+	y := r.y
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
 	}
@@ -26,6 +29,7 @@ func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 			y.Data[i] = v
 			r.mask[i] = true
 		} else {
+			y.Data[i] = 0
 			r.mask[i] = false
 		}
 	}
@@ -38,10 +42,13 @@ func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
 		//elrec:invariant forward/backward pairing: the MLP drives Backward with the tensor Forward produced
 		panic(shapeErr("ReLU Backward shape does not match Forward"))
 	}
-	dx := tensor.New(dy.Rows, dy.Cols)
+	r.dx = tensor.Reuse(r.dx, dy.Rows, dy.Cols)
+	dx := r.dx
 	for i, v := range dy.Data {
 		if r.mask[i] {
 			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx
@@ -52,19 +59,21 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Sigmoid is the logistic activation layer.
 type Sigmoid struct {
-	y *tensor.Matrix // cached output
+	y  *tensor.Matrix // cached output (layer-owned, reused per step)
+	dx *tensor.Matrix
 }
 
 // NewSigmoid returns a Sigmoid layer.
 func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
-// Forward computes 1/(1+exp(-x)) element-wise.
+// Forward computes 1/(1+exp(-x)) element-wise. The returned matrix is
+// layer-owned and overwritten by the next Forward.
 func (s *Sigmoid) Forward(x *tensor.Matrix) *tensor.Matrix {
-	y := tensor.New(x.Rows, x.Cols)
+	s.y = tensor.Reuse(s.y, x.Rows, x.Cols)
+	y := s.y
 	for i, v := range x.Data {
 		y.Data[i] = sigmoid(v)
 	}
-	s.y = y
 	return y
 }
 
@@ -74,7 +83,8 @@ func (s *Sigmoid) Backward(dy *tensor.Matrix) *tensor.Matrix {
 		//elrec:invariant forward/backward pairing: the MLP drives Backward with the tensor Forward produced
 		panic(shapeErr("Sigmoid Backward shape does not match Forward"))
 	}
-	dx := tensor.New(dy.Rows, dy.Cols)
+	s.dx = tensor.Reuse(s.dx, dy.Rows, dy.Cols)
+	dx := s.dx
 	for i, v := range dy.Data {
 		yv := s.y.Data[i]
 		dx.Data[i] = v * yv * (1 - yv)

@@ -15,6 +15,11 @@ type Interaction struct {
 
 	dense *tensor.Matrix
 	embs  []*tensor.Matrix
+
+	// Layer-owned buffers, reused per step.
+	out    *tensor.Matrix
+	dDense *tensor.Matrix
+	dEmbs  []*tensor.Matrix
 }
 
 // NewInteraction returns an interaction layer over numTables embeddings of
@@ -50,7 +55,8 @@ func (it *Interaction) Forward(dense *tensor.Matrix, embs []*tensor.Matrix) *ten
 	}
 	it.dense, it.embs = dense, embs
 
-	out := tensor.New(batch, it.OutputDim())
+	it.out = tensor.Reuse(it.out, batch, it.OutputDim())
+	out := it.out // every element is written below; no zeroing needed
 	f := it.NumTables + 1
 	for s := 0; s < batch; s++ {
 		row := out.Row(s)
@@ -79,7 +85,8 @@ func (it *Interaction) feature(idx, s int) []float32 {
 }
 
 // Backward returns gradients for the dense tower output and each embedding
-// matrix given the gradient of the interaction output.
+// matrix given the gradient of the interaction output. The returned
+// matrices are layer-owned and overwritten by the next Backward.
 func (it *Interaction) Backward(dy *tensor.Matrix) (dDense *tensor.Matrix, dEmbs []*tensor.Matrix) {
 	if it.dense == nil {
 		//elrec:invariant the training step always runs Forward before Backward
@@ -90,11 +97,17 @@ func (it *Interaction) Backward(dy *tensor.Matrix) (dDense *tensor.Matrix, dEmbs
 		//elrec:invariant the upstream gradient mirrors the Forward output shape
 		panic(shapeErr("Interaction backward grad %dx%d want %dx%d", dy.Rows, dy.Cols, batch, it.OutputDim()))
 	}
-	dDense = tensor.New(batch, it.Dim)
-	dEmbs = make([]*tensor.Matrix, it.NumTables)
-	for i := range dEmbs {
-		dEmbs[i] = tensor.New(batch, it.Dim)
+	it.dDense = tensor.Reuse(it.dDense, batch, it.Dim)
+	dDense = it.dDense
+	dDense.Zero()
+	if it.dEmbs == nil {
+		it.dEmbs = make([]*tensor.Matrix, it.NumTables)
 	}
+	for i := range it.dEmbs {
+		it.dEmbs[i] = tensor.Reuse(it.dEmbs[i], batch, it.Dim)
+		it.dEmbs[i].Zero()
+	}
+	dEmbs = it.dEmbs
 	grad := func(idx, s int) []float32 {
 		if idx == 0 {
 			return dDense.Row(s)

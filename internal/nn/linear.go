@@ -13,7 +13,8 @@ type Linear struct {
 	W       *Param // Out × In
 	B       *Param // 1 × Out
 
-	x *tensor.Matrix // cached input from Forward
+	x     *tensor.Matrix // cached input from Forward
+	y, dx *tensor.Matrix // layer-owned output/input-grad buffers, reused per step
 }
 
 // NewLinear constructs a Linear layer with Xavier-initialized weights.
@@ -28,14 +29,16 @@ func NewLinear(in, out int, rng *tensor.RNG) *Linear {
 	return l
 }
 
-// Forward computes y = x·Wᵀ + b and caches x for Backward.
+// Forward computes y = x·Wᵀ + b and caches x for Backward. The returned
+// matrix is layer-owned and overwritten by the next Forward.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.In {
 		//elrec:invariant layer widths are chained at MLP construction
 		panic(shapeErr("Linear forward input width %d want %d", x.Cols, l.In))
 	}
 	l.x = x
-	y := tensor.New(x.Rows, l.Out)
+	l.y = tensor.Reuse(l.y, x.Rows, l.Out)
+	y := l.y
 	tensor.MatMulTransB(y, x, l.W.Value)
 	bias := l.B.Value.Data
 	for i := 0; i < y.Rows; i++ {
@@ -59,9 +62,9 @@ func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	for i := 0; i < dy.Rows; i++ {
 		tensor.AddTo(db, dy.Row(i))
 	}
-	dx := tensor.New(dy.Rows, l.In)
-	tensor.MatMul(dx, dy, l.W.Value)
-	return dx
+	l.dx = tensor.Reuse(l.dx, dy.Rows, l.In)
+	tensor.MatMul(l.dx, dy, l.W.Value)
+	return l.dx
 }
 
 // Params returns the weight and bias.

@@ -26,22 +26,29 @@ func BatchedMatMul(m, k, n int, batch []GemmBatch) {
 		}
 	}
 	work := len(batch) * m * k * n
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			gemmInto(m, k, n, batch[i].A, batch[i].B, batch[i].C)
-		}
-	}
-	if work >= parallelThreshold && len(batch) > 1 {
-		ParallelFor(len(batch), body)
+	// The closure only exists on the parallel branch so the serial hot path
+	// (single worker, or small batches) stays allocation-free.
+	if work >= parallelThreshold && len(batch) > 1 && Workers() > 1 {
+		ParallelFor(len(batch), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				gemmInto(m, k, n, batch[i].A, batch[i].B, batch[i].C)
+			}
+		})
 		return
 	}
-	body(0, len(batch))
+	for i := range batch {
+		gemmInto(m, k, n, batch[i].A, batch[i].B, batch[i].C)
+	}
 }
 
 // BatchedMatMulTransA computes C_i = A_iᵀ · B_i for every entry, where every
 // A_i is k×m (so A_iᵀ is m×k), every B_i is k×n and every C_i is m×n. Used by
 // the Eff-TT backward pass to form core gradients in bulk.
 func BatchedMatMulTransA(m, k, n int, batch []GemmBatch) {
+	if m < 0 || k < 0 || n < 0 {
+		//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
+		panic(fmt.Sprintf("tensor: BatchedMatMulTransA negative dims %d,%d,%d", m, k, n))
+	}
 	for idx, e := range batch {
 		if len(e.A) < k*m || len(e.B) < k*n || len(e.C) < m*n {
 			//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
@@ -49,47 +56,30 @@ func BatchedMatMulTransA(m, k, n int, batch []GemmBatch) {
 		}
 	}
 	work := len(batch) * m * k * n
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e := batch[i]
-			for x := 0; x < m*n; x++ {
-				e.C[x] = 0
-			}
-			for kk := 0; kk < k; kk++ {
-				arow := e.A[kk*m : (kk+1)*m]
-				brow := e.B[kk*n : (kk+1)*n]
-				for r, av := range arow {
-					if av == 0 {
-						continue
-					}
-					axpy(av, brow, e.C[r*n:(r+1)*n])
-				}
-			}
-		}
-	}
-	if work >= parallelThreshold && len(batch) > 1 {
-		ParallelFor(len(batch), body)
+	if work >= parallelThreshold && len(batch) > 1 && Workers() > 1 {
+		ParallelFor(len(batch), func(lo, hi int) {
+			batchedTransARange(m, k, n, batch[lo:hi])
+		})
 		return
 	}
-	body(0, len(batch))
+	batchedTransARange(m, k, n, batch)
+}
+
+func batchedTransARange(m, k, n int, batch []GemmBatch) {
+	for i := range batch {
+		e := batch[i]
+		z := e.C[:m*n]
+		for x := range z {
+			z[x] = 0
+		}
+		gemmTransABlocked(m, k, n, e.A, e.B, e.C)
+	}
 }
 
 // gemmInto computes c = a·b for row-major buffers with explicit dimensions,
 // zeroing c first.
 func gemmInto(m, k, n int, a, b, c []float32) {
-	for x := 0; x < m*n; x++ {
-		c[x] = 0
-	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		out := c[i*n : (i+1)*n]
-		for kk, av := range arow {
-			if av == 0 {
-				continue
-			}
-			axpy(av, b[kk*n:(kk+1)*n], out)
-		}
-	}
+	gemmBlocked(m, k, n, a, b, c, false)
 }
 
 // GemmInto exposes the raw-buffer GEMM (c = a·b, shapes m×k · k×n) for
@@ -108,16 +98,7 @@ func GemmAddInto(m, k, n int, a, b, c []float32) {
 		//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
 		panic("tensor: GemmAddInto buffers too small")
 	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		out := c[i*n : (i+1)*n]
-		for kk, av := range arow {
-			if av == 0 {
-				continue
-			}
-			axpy(av, b[kk*n:(kk+1)*n], out)
-		}
-	}
+	gemmBlocked(m, k, n, a, b, c, true)
 }
 
 // GemmTransAAddInto computes c += aᵀ·b where a is k×m row-major (aᵀ is m×k),
@@ -127,16 +108,7 @@ func GemmTransAAddInto(m, k, n int, a, b, c []float32) {
 		//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
 		panic("tensor: GemmTransAAddInto buffers too small")
 	}
-	for kk := 0; kk < k; kk++ {
-		arow := a[kk*m : (kk+1)*m]
-		brow := b[kk*n : (kk+1)*n]
-		for r, av := range arow {
-			if av == 0 {
-				continue
-			}
-			axpy(av, brow, c[r*n:(r+1)*n])
-		}
-	}
+	gemmTransABlocked(m, k, n, a, b, c)
 }
 
 // GemmTransBAddInto computes c += a·bᵀ where a is m×k, b is n×k row-major
@@ -146,11 +118,5 @@ func GemmTransBAddInto(m, k, n int, a, b, c []float32) {
 		//elrec:invariant batched-GEMM buffer contract: pointer lists are built by the TT kernels
 		panic("tensor: GemmTransBAddInto buffers too small")
 	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		out := c[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			out[j] += dot(arow, b[j*k:(j+1)*k])
-		}
-	}
+	gemmTransBBlocked(m, k, n, a, b, c, true)
 }

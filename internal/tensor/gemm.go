@@ -1,0 +1,290 @@
+package tensor
+
+// This file holds the register-blocked, cache-tiled GEMM micro-kernels that
+// every matrix product in the repository funnels through. The shapes split
+// into two regimes: the MLP towers multiply large-ish row-major panels
+// (hundreds × hundreds), where blocking and B-row streaming dominate, and
+// the TT contractions multiply tiny slices (ranks 8–32), where per-call
+// overhead dominates. The kernels therefore keep a single code path with
+// small fixed register tiles (4 A-rows at a time, 2 for the dot-product
+// variant) and a k-panel loop sized so the streamed B panel stays
+// cache-resident; tail loops handle every odd shape exactly.
+//
+// Summation order is fixed by the loop structure, so results are
+// deterministic run-to-run (the determinism contract of the tt/reorder
+// packages); the order differs from a textbook triple loop only in that
+// rows accumulate in k-panel chunks.
+
+import "sync"
+
+// gemmKC is the k-panel height: the B panel streamed per outer iteration is
+// gemmKC×n floats, sized to stay L2-resident for the row widths the MLP
+// towers use (n ≤ 1024 → ≤ 1 MB).
+const gemmKC = 256
+
+// gemmPackMinRows gates the B-transpose packing path in gemmBlocked: the
+// k×n transpose cost is amortized over m output rows, so packing only pays
+// once m is comfortably larger than one register tile. Below the threshold
+// (the tiny TT-contraction regime) the streaming path wins on call overhead.
+const gemmPackMinRows = 16
+
+// packPool recycles Bᵀ packing scratch across gemmBlocked calls so the hot
+// training path stays allocation-free in steady state. Pointers to slices
+// are pooled to avoid the interface-boxing allocation on Put.
+var packPool = sync.Pool{New: func() interface{} { return new([]float32) }}
+
+// packTranspose writes bt = bᵀ where b is k×n row-major and bt is n×k.
+// Blocked over both dimensions so source and destination lines stay live
+// across the inner tile.
+func packTranspose(bt, b []float32, k, n int) {
+	const tile = 32
+	for j0 := 0; j0 < n; j0 += tile {
+		j1 := j0 + tile
+		if j1 > n {
+			j1 = n
+		}
+		for k0 := 0; k0 < k; k0 += tile {
+			k1 := k0 + tile
+			if k1 > k {
+				k1 = k
+			}
+			for kk := k0; kk < k1; kk++ {
+				brow := b[kk*n : kk*n+n]
+				for j := j0; j < j1; j++ {
+					bt[j*k+kk] = brow[j]
+				}
+			}
+		}
+	}
+}
+
+// gemmBlocked computes c = a·b (add=false) or c += a·b (add=true) for
+// row-major buffers: a is m×k, b is k×n, c is m×n. Buffers may be longer
+// than required; c must not alias a or b.
+func gemmBlocked(m, k, n int, a, b, c []float32, add bool) {
+	if !add {
+		z := c[:m*n]
+		for i := range z {
+			z[i] = 0
+		}
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	// Large-m regime: pack Bᵀ once and run the register-accumulator dot
+	// tile, which keeps the C tile in registers instead of doing a
+	// load+store of C per multiply. The pack costs k·n writes against
+	// m·k·n multiplies of work.
+	if m >= gemmPackMinRows {
+		pp := packPool.Get().(*[]float32)
+		bt := *pp
+		if cap(bt) < k*n {
+			bt = make([]float32, k*n)
+		}
+		bt = bt[:k*n]
+		packTranspose(bt, b, k, n)
+		gemmTransBBlocked(m, k, n, a, bt, c, true) // c already zeroed when !add
+		*pp = bt
+		packPool.Put(pp)
+		return
+	}
+	for k0 := 0; k0 < k; k0 += gemmKC {
+		k1 := k0 + gemmKC
+		if k1 > k {
+			k1 = k
+		}
+		i := 0
+		// 4-row register tile: one streamed B row feeds four output rows,
+		// giving four independent FMA chains per element.
+		for ; i+4 <= m; i += 4 {
+			c0 := c[(i+0)*n : (i+0)*n+n]
+			c1 := c[(i+1)*n : (i+1)*n+n]
+			c2 := c[(i+2)*n : (i+2)*n+n]
+			c3 := c[(i+3)*n : (i+3)*n+n]
+			for kk := k0; kk < k1; kk++ {
+				a0 := a[(i+0)*k+kk]
+				a1 := a[(i+1)*k+kk]
+				a2 := a[(i+2)*k+kk]
+				a3 := a[(i+3)*k+kk]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				brow := b[kk*n : kk*n+n]
+				for j, bv := range brow {
+					c0[j] += a0 * bv
+					c1[j] += a1 * bv
+					c2[j] += a2 * bv
+					c3[j] += a3 * bv
+				}
+			}
+		}
+		for ; i+2 <= m; i += 2 {
+			c0 := c[(i+0)*n : (i+0)*n+n]
+			c1 := c[(i+1)*n : (i+1)*n+n]
+			for kk := k0; kk < k1; kk++ {
+				a0 := a[(i+0)*k+kk]
+				a1 := a[(i+1)*k+kk]
+				if a0 == 0 && a1 == 0 {
+					continue
+				}
+				brow := b[kk*n : kk*n+n]
+				for j, bv := range brow {
+					c0[j] += a0 * bv
+					c1[j] += a1 * bv
+				}
+			}
+		}
+		for ; i < m; i++ {
+			c0 := c[i*n : i*n+n]
+			for kk := k0; kk < k1; kk++ {
+				if av := a[i*k+kk]; av != 0 {
+					axpy(av, b[kk*n:kk*n+n], c0)
+				}
+			}
+		}
+	}
+}
+
+// gemmTransABlocked computes c += aᵀ·b where a is k×m row-major (so aᵀ is
+// m×k), b is k×n and c is m×n. Four rows of c accumulate per pass so each
+// streamed B row is read once per four outputs; the k-panel keeps the B
+// panel cache-resident across row tiles.
+func gemmTransABlocked(m, k, n int, a, b, c []float32) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	for k0 := 0; k0 < k; k0 += gemmKC {
+		k1 := k0 + gemmKC
+		if k1 > k {
+			k1 = k
+		}
+		r := 0
+		for ; r+4 <= m; r += 4 {
+			c0 := c[(r+0)*n : (r+0)*n+n]
+			c1 := c[(r+1)*n : (r+1)*n+n]
+			c2 := c[(r+2)*n : (r+2)*n+n]
+			c3 := c[(r+3)*n : (r+3)*n+n]
+			for kk := k0; kk < k1; kk++ {
+				a0 := a[kk*m+r+0]
+				a1 := a[kk*m+r+1]
+				a2 := a[kk*m+r+2]
+				a3 := a[kk*m+r+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				brow := b[kk*n : kk*n+n]
+				for j, bv := range brow {
+					c0[j] += a0 * bv
+					c1[j] += a1 * bv
+					c2[j] += a2 * bv
+					c3[j] += a3 * bv
+				}
+			}
+		}
+		for ; r+2 <= m; r += 2 {
+			c0 := c[(r+0)*n : (r+0)*n+n]
+			c1 := c[(r+1)*n : (r+1)*n+n]
+			for kk := k0; kk < k1; kk++ {
+				a0 := a[kk*m+r+0]
+				a1 := a[kk*m+r+1]
+				if a0 == 0 && a1 == 0 {
+					continue
+				}
+				brow := b[kk*n : kk*n+n]
+				for j, bv := range brow {
+					c0[j] += a0 * bv
+					c1[j] += a1 * bv
+				}
+			}
+		}
+		for ; r < m; r++ {
+			c0 := c[r*n : r*n+n]
+			for kk := k0; kk < k1; kk++ {
+				if av := a[kk*m+r]; av != 0 {
+					axpy(av, b[kk*n:kk*n+n], c0)
+				}
+			}
+		}
+	}
+}
+
+// gemmTransBBlocked computes c = a·bᵀ (add=false) or c += a·bᵀ (add=true)
+// where a is m×k, b is n×k row-major (bᵀ is k×n) and c is m×n. Both operand
+// rows are contiguous, so the kernel is a 2×4 tile of simultaneous dot
+// products: two A rows against four B rows, eight independent accumulators.
+func gemmTransBBlocked(m, k, n int, a, b, c []float32, add bool) {
+	if !add {
+		z := c[:m*n]
+		for i := range z {
+			z[i] = 0
+		}
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	i := 0
+	for ; i+2 <= m; i += 2 {
+		a0 := a[(i+0)*k : (i+0)*k+k]
+		a1 := a[(i+1)*k : (i+1)*k+k]
+		c0 := c[(i+0)*n : (i+0)*n+n]
+		c1 := c[(i+1)*n : (i+1)*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+0)*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			var s00, s01, s02, s03, s10, s11, s12, s13 float32
+			for kk, av0 := range a0 {
+				av1 := a1[kk]
+				bv0, bv1, bv2, bv3 := b0[kk], b1[kk], b2[kk], b3[kk]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s02 += av0 * bv2
+				s03 += av0 * bv3
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+				s12 += av1 * bv2
+				s13 += av1 * bv3
+			}
+			c0[j+0] += s00
+			c0[j+1] += s01
+			c0[j+2] += s02
+			c0[j+3] += s03
+			c1[j+0] += s10
+			c1[j+1] += s11
+			c1[j+2] += s12
+			c1[j+3] += s13
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			c0[j] += dot(a0, brow)
+			c1[j] += dot(a1, brow)
+		}
+	}
+	for ; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		c0 := c[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+0)*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			var s0, s1, s2, s3 float32
+			for kk, av := range arow {
+				s0 += av * b0[kk]
+				s1 += av * b1[kk]
+				s2 += av * b2[kk]
+				s3 += av * b3[kk]
+			}
+			c0[j+0] += s0
+			c0[j+1] += s1
+			c0[j+2] += s2
+			c0[j+3] += s3
+		}
+		for ; j < n; j++ {
+			c0[j] += dot(arow, b[j*k:j*k+k])
+		}
+	}
+}

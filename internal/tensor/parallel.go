@@ -3,24 +3,107 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelThreshold is the approximate multiply-add count below which kernels
-// stay single-threaded; goroutine dispatch costs more than it saves on tiny
+// stay single-threaded; worker dispatch costs more than it saves on tiny
 // problems (the TT slice GEMMs are often only a few thousand FLOPs).
 const parallelThreshold = 1 << 16
 
-// MaxWorkers bounds the number of goroutines ParallelFor spawns. It defaults
-// to GOMAXPROCS and can be lowered (e.g. by the hw package when emulating a
-// weaker device).
-var MaxWorkers = runtime.GOMAXPROCS(0)
+// maxWorkers bounds the number of concurrent executors ParallelFor uses
+// (the caller plus pool workers). Read and written atomically: the hw
+// package lowers it while emulating narrower hosts concurrently with
+// running kernels.
+var maxWorkers atomic.Int64
+
+func init() {
+	maxWorkers.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// Workers returns the current ParallelFor concurrency bound.
+func Workers() int {
+	return int(maxWorkers.Load())
+}
+
+// SetMaxWorkers bounds ParallelFor concurrency to n executors (minimum 1,
+// meaning fully inline). Safe to call concurrently with running kernels:
+// in-flight calls keep the bound they observed.
+func SetMaxWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	maxWorkers.Store(int64(n))
+}
+
+// poolJob is one ParallelFor dispatch. Chunks are claimed by atomic ticket:
+// every executor (pool workers plus the caller) increments ticket to claim
+// the next contiguous chunk until the range is exhausted, so a slow chunk
+// never idles the other executors.
+type poolJob struct {
+	body   func(lo, hi int)
+	n      int
+	chunk  int
+	ticket atomic.Int64   // next unclaimed chunk index
+	wg     sync.WaitGroup // counts unfinished chunks
+}
+
+// run claims and executes chunks until none remain. Safe to call from any
+// number of goroutines; late arrivals (a worker dequeuing a finished job)
+// see no tickets and return immediately.
+func (j *poolJob) run() {
+	for {
+		t := int(j.ticket.Add(1)) - 1
+		lo := t * j.chunk
+		if lo >= j.n {
+			return
+		}
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.body(lo, hi)
+		j.wg.Done()
+	}
+}
+
+// poolJobs feeds the persistent workers. The buffer bounds how many offers
+// a burst of ParallelFor calls can park; stale entries for completed jobs
+// cost one ticket check when dequeued.
+var poolJobs = make(chan *poolJob, 64)
+
+// pool tracks the lazily-started persistent workers that replace the old
+// per-call goroutine spawning.
+var pool struct {
+	mu      sync.Mutex
+	spawned int // persistent workers started so far; guarded by mu
+}
+
+// ensureWorkers lazily tops the pool up to want persistent workers. Workers
+// are never torn down: they block on poolJobs between dispatches, which is
+// free, and keeping them avoids respawn churn when MaxWorkers oscillates.
+func ensureWorkers(want int) {
+	pool.mu.Lock()
+	for pool.spawned < want {
+		pool.spawned++
+		go func() {
+			for j := range poolJobs {
+				j.run()
+			}
+		}()
+	}
+	pool.mu.Unlock()
+}
 
 // ParallelFor splits [0,n) into contiguous chunks and invokes body(lo,hi) on
-// each chunk from its own goroutine, blocking until all chunks complete.
-// body must be safe to run concurrently on disjoint ranges. With n <= 1 or a
-// single worker the call runs inline.
+// each chunk, blocking until all chunks complete. body must be safe to run
+// concurrently on disjoint ranges. With n <= 1 or a single worker the call
+// runs inline. Chunks execute on a persistent worker pool; the caller
+// always participates, so a saturated pool degrades to inline execution
+// rather than queueing behind other dispatches, and nested ParallelFor
+// calls cannot deadlock.
 func ParallelFor(n int, body func(lo, hi int)) {
-	workers := MaxWorkers
+	workers := Workers()
 	if workers > n {
 		workers = n
 	}
@@ -30,18 +113,19 @@ func ParallelFor(n int, body func(lo, hi int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	numChunks := (n + chunk - 1) / chunk
+	j := &poolJob{body: body, n: n, chunk: chunk}
+	j.wg.Add(numChunks)
+	ensureWorkers(workers - 1)
+offer:
+	for i := 1; i < workers; i++ {
+		select {
+		case poolJobs <- j:
+		default:
+			break offer // queue full: every worker is busy, go help instead
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
 	}
-	wg.Wait()
+	j.run()
+	j.wg.Wait()
 }

@@ -1,0 +1,18 @@
+package tensor
+
+// Reuse returns an r×c matrix backed by m's storage when it fits, avoiding
+// the steady-state allocation of the training hot path; a nil or too-small
+// m allocates fresh. Contents are unspecified — callers that need zeroed
+// storage must call Zero. The returned matrix aliases m's buffer.
+func Reuse(m *Matrix, r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		//elrec:invariant matrix shape contract: dimensions are validated upstream
+		panic("tensor: Reuse with negative shape")
+	}
+	if m == nil || cap(m.Data) < r*c {
+		return New(r, c)
+	}
+	m.Rows, m.Cols = r, c
+	m.Data = m.Data[:r*c]
+	return m
+}

@@ -155,34 +155,15 @@ func MatMul(dst, a, b *Matrix) {
 		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	work := a.Rows * a.Cols * b.Cols
-	if work >= parallelThreshold {
+	k, n := a.Cols, b.Cols
+	work := a.Rows * k * n
+	if work >= parallelThreshold && Workers() > 1 {
 		ParallelFor(a.Rows, func(lo, hi int) {
-			matMulRange(dst, a, b, lo, hi)
+			gemmBlocked(hi-lo, k, n, a.Data[lo*k:], b.Data, dst.Data[lo*n:], false)
 		})
 		return
 	}
-	matMulRange(dst, a, b, 0, a.Rows)
-}
-
-// matMulRange computes rows [lo,hi) of dst = a·b with an ikj loop order that
-// streams through b rows sequentially.
-func matMulRange(dst, a, b *Matrix, lo, hi int) {
-	n := b.Cols
-	for i := lo; i < hi; i++ {
-		out := dst.Data[i*n : (i+1)*n]
-		for j := range out {
-			out[j] = 0
-		}
-		arow := a.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : (k+1)*n]
-			axpy(av, brow, out)
-		}
-	}
+	gemmBlocked(a.Rows, k, n, a.Data, b.Data, dst.Data, false)
 }
 
 // MatMulAdd computes dst += a · b (accumulating into dst).
@@ -195,17 +176,7 @@ func MatMulAdd(dst, a, b *Matrix) {
 		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulAdd dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		out := dst.Data[i*n : (i+1)*n]
-		arow := a.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			axpy(av, b.Data[k*n:(k+1)*n], out)
-		}
-	}
+	gemmBlocked(a.Rows, a.Cols, b.Cols, a.Data, b.Data, dst.Data, true)
 }
 
 // MatMulTransA computes dst = aᵀ · b where a is stored untransposed.
@@ -233,17 +204,7 @@ func MatMulTransAAdd(dst, a, b *Matrix) {
 		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransAAdd dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
-	n := b.Cols
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Data[k*n : (k+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			axpy(av, brow, dst.Data[i*n:(i+1)*n])
-		}
-	}
+	gemmTransABlocked(a.Cols, a.Rows, b.Cols, a.Data, b.Data, dst.Data)
 }
 
 // MatMulTransB computes dst = a · bᵀ where b is stored untransposed.
@@ -257,21 +218,15 @@ func MatMulTransB(dst, a, b *Matrix) {
 		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	work := a.Rows * a.Cols * b.Rows
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			out := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				out[j] = dot(arow, b.Row(j))
-			}
-		}
-	}
-	if work >= parallelThreshold {
-		ParallelFor(a.Rows, body)
+	k, n := a.Cols, b.Rows
+	work := a.Rows * k * n
+	if work >= parallelThreshold && Workers() > 1 {
+		ParallelFor(a.Rows, func(lo, hi int) {
+			gemmTransBBlocked(hi-lo, k, n, a.Data[lo*k:], b.Data, dst.Data[lo*n:], false)
+		})
 		return
 	}
-	body(0, a.Rows)
+	gemmTransBBlocked(a.Rows, k, n, a.Data, b.Data, dst.Data, false)
 }
 
 // MatMulTransBAdd computes dst += a · bᵀ.
@@ -284,13 +239,7 @@ func MatMulTransBAdd(dst, a, b *Matrix) {
 		//elrec:invariant kernel shape contract: operands are sized at construction; an error return would poison every hot-path caller
 		panic(fmt.Sprintf("tensor: MatMulTransBAdd dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		out := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			out[j] += dot(arow, b.Row(j))
-		}
-	}
+	gemmTransBBlocked(a.Rows, a.Cols, b.Rows, a.Data, b.Data, dst.Data, true)
 }
 
 // axpy computes y += a*x over equal-length slices; the loop vectorizes well.

@@ -2,6 +2,8 @@ package tensor
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -337,14 +339,61 @@ func TestParallelForCoversRange(t *testing.T) {
 }
 
 func TestParallelForSingleWorker(t *testing.T) {
-	old := MaxWorkers
-	MaxWorkers = 1
-	defer func() { MaxWorkers = old }()
+	old := Workers()
+	SetMaxWorkers(1)
+	defer SetMaxWorkers(old)
 	count := 0
 	ParallelFor(10, func(lo, hi int) { count += hi - lo })
 	if count != 10 {
 		t.Fatalf("single-worker ParallelFor covered %d of 10", count)
 	}
+}
+
+func TestSetMaxWorkersClampsAndRestores(t *testing.T) {
+	old := Workers()
+	defer SetMaxWorkers(old)
+	SetMaxWorkers(0)
+	if Workers() != 1 {
+		t.Fatalf("SetMaxWorkers(0) should clamp to 1, got %d", Workers())
+	}
+	SetMaxWorkers(7)
+	if Workers() != 7 {
+		t.Fatalf("Workers() = %d, want 7", Workers())
+	}
+}
+
+// TestParallelForPoolConcurrentDispatch exercises the persistent pool with
+// overlapping ParallelFor calls from many goroutines (the Forward contract
+// allows concurrent lookups), checking every range index is covered exactly
+// once per call. Run with -race this also vets the ticket/WaitGroup
+// lifecycle.
+func TestParallelForPoolConcurrentDispatch(t *testing.T) {
+	old := Workers()
+	SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				n := 97
+				seen := make([]int32, n)
+				ParallelFor(n, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&seen[i], 1)
+					}
+				})
+				for i := range seen {
+					if seen[i] != 1 {
+						t.Errorf("index %d visited %d times", i, seen[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestEqualToleranceAndShape(t *testing.T) {

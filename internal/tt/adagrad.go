@@ -31,10 +31,16 @@ func (t *Table) AdagradAccum(k int) *tensor.Matrix { return t.adagrad[k] }
 const adagradEps = 1e-8
 
 // applyGradSlice applies grad to core k's slice row under the stripe lock,
-// using Adagrad when enabled and plain SGD otherwise.
+// using Adagrad when enabled and plain SGD otherwise. Rows of the two
+// prefix-source cores bump their version so the cross-batch prefix cache
+// sees the mutation (prefixcache.go); the bump shares the slice write's
+// stripe lock.
 func (t *Table) applyGradSlice(k, row int, grad []float32, lr float32) {
 	mu := t.lockFor(k, row)
 	mu.Lock()
+	if k < 2 && row < len(t.coreVer[k]) {
+		t.coreVer[k][row]++
+	}
 	dst := t.Cores[k].Row(row)
 	if acc := t.adagrad[k]; acc != nil {
 		arow := acc.Row(row)

@@ -6,6 +6,20 @@ import (
 	"repro/internal/tensor"
 )
 
+// bwScratch holds the per-executor intermediates of one backward work item.
+type bwScratch struct {
+	p12, dP12, dG1, dG2, dG3 []float32
+}
+
+func (s *bwScratch) ensure(t *Table) {
+	sz := t.Shape.SliceSizes()
+	s.p12 = growFloats(s.p12, t.Shape.PrefixSize())
+	s.dP12 = growFloats(s.dP12, t.Shape.PrefixSize())
+	s.dG1 = growFloats(s.dG1, sz[0])
+	s.dG2 = growFloats(s.dG2, sz[1])
+	s.dG3 = growFloats(s.dG3, sz[2])
+}
+
 // Backward computes TT-core gradients for the batch described by cache and
 // applies the SGD update with learning rate lr. The executed path follows
 // t.Opts:
@@ -32,6 +46,7 @@ func (t *Table) Backward(cache *ForwardCache, dOut *tensor.Matrix, lr float32) {
 
 	var workIdx []int
 	var workGrad *tensor.Matrix
+	cache.bwSlots = nil
 	if t.Opts.InAdvanceAgg {
 		workIdx, workGrad = t.aggregateGrads(cache, dOut)
 	} else {
@@ -44,69 +59,83 @@ func (t *Table) Backward(cache *ForwardCache, dOut *tensor.Matrix, lr float32) {
 		gradBufs = t.gradBuffers()
 	}
 
-	n := t.Shape.ColFactors
-	r1, r2 := t.Shape.R1, t.Shape.R2
-	sz := t.Shape.SliceSizes()
 	prefixNeeded := cache.PrefixBuf == nil
 	var slots []int
 	if !prefixNeeded {
-		slots = t.slotsFor(cache, workIdx)
+		if cache.bwSlots != nil {
+			slots = cache.bwSlots // built alongside the dense rebuild
+		} else {
+			slots = t.slotsFor(cache, workIdx)
+		}
 	}
 
-	t.parallelItems(len(workIdx), func(lo, hi int) {
-		p12 := make([]float32, t.Shape.PrefixSize())
-		dP12 := make([]float32, t.Shape.PrefixSize())
-		dG1 := make([]float32, sz[0])
-		dG2 := make([]float32, sz[1])
-		dG3 := make([]float32, sz[2])
-		for w := lo; w < hi; w++ {
-			idx := workIdx[w]
-			g := workGrad.Row(w)
-			i1, i2, i3 := t.Shape.FactorIndex(idx)
-
-			// Fetch or recompute the forward intermediate P₁₂.
-			var pref []float32
-			if prefixNeeded {
-				t.computePrefix(i1, i2, p12)
-				pref = p12
-			} else {
-				pref = cache.PrefixBuf.Row(slots[w])
-			}
-
-			// dG₃[i₃] = P₁₂ᵀ · g   (R₂ × n₃), P₁₂ viewed as n₁n₂ × R₂.
-			zero(dG3)
-			tensor.GemmTransAAddInto(r2, n[0]*n[1], n[2], pref, g, dG3)
-			// dP₁₂ = g · G₃[i₃]ᵀ   (n₁n₂ × R₂).
-			zero(dP12)
-			tensor.GemmTransBAddInto(n[0]*n[1], n[2], r2, g, t.Slice3(i3), dP12)
-			// dG₂[i₂] = G₁[i₁]ᵀ · dP₁₂  (R₁ × n₂R₂), dP₁₂ viewed as n₁ × n₂R₂.
-			zero(dG2)
-			tensor.GemmTransAAddInto(r1, n[0], n[1]*r2, t.Slice1(i1), dP12, dG2)
-			// dG₁[i₁] = dP₁₂ · G₂[i₂]ᵀ  (n₁ × R₁).
-			zero(dG1)
-			tensor.GemmTransBAddInto(n[0], n[1]*r2, r1, dP12, t.Slice2(i2), dG1)
-
-			if t.Opts.FusedUpdate {
-				t.applyGradSlice(0, i1, dG1, lr)
-				t.applyGradSlice(1, i2, dG2, lr)
-				t.applyGradSlice(2, i3, dG3, lr)
-			} else {
-				t.accumSlice(gradBufs[0], 0, i1, dG1)
-				t.accumSlice(gradBufs[1], 1, i2, dG2)
-				t.accumSlice(gradBufs[2], 2, i3, dG3)
-			}
-		}
-	})
+	if t.serialItems() {
+		cache.bw.ensure(t)
+		t.backwardRange(cache, workIdx, workGrad, slots, gradBufs, &cache.bw, lr, 0, len(workIdx))
+	} else {
+		tensor.ParallelFor(len(workIdx), func(lo, hi int) {
+			var s bwScratch
+			s.ensure(t)
+			t.backwardRange(cache, workIdx, workGrad, slots, gradBufs, &s, lr, lo, hi)
+		})
+	}
 
 	if !t.Opts.FusedUpdate {
 		// Separate optimizer sweep over the full core buffers: the extra
-		// read-modify-write traffic the fused path avoids.
+		// read-modify-write traffic the fused path avoids. The sweep
+		// rewrites the prefix-source cores wholesale, so every cached
+		// prefix product is invalidated at once.
 		if t.AdagradEnabled() {
 			t.adagradSweep(gradBufs, lr)
 		} else {
 			for k := 0; k < Dims; k++ {
 				tensor.Axpy(-lr, gradBufs[k].Data, t.Cores[k].Data)
 			}
+		}
+		t.bumpAllCoreVersions()
+	}
+}
+
+// backwardRange runs the chain-rule multiplications and the core update for
+// work items [lo,hi). s provides the per-executor scratch.
+func (t *Table) backwardRange(cache *ForwardCache, workIdx []int, workGrad *tensor.Matrix, slots []int, gradBufs [Dims]*tensor.Matrix, s *bwScratch, lr float32, lo, hi int) {
+	n := t.Shape.ColFactors
+	r1, r2 := t.Shape.R1, t.Shape.R2
+	for w := lo; w < hi; w++ {
+		idx := workIdx[w]
+		g := workGrad.Row(w)
+		i1, i2, i3 := t.Shape.FactorIndex(idx)
+
+		// Fetch or recompute the forward intermediate P₁₂.
+		var pref []float32
+		if slots == nil {
+			t.computePrefix(i1, i2, s.p12)
+			pref = s.p12
+		} else {
+			pref = cache.PrefixBuf.Row(slots[w])
+		}
+
+		// dG₃[i₃] = P₁₂ᵀ · g   (R₂ × n₃), P₁₂ viewed as n₁n₂ × R₂.
+		zero(s.dG3)
+		tensor.GemmTransAAddInto(r2, n[0]*n[1], n[2], pref, g, s.dG3)
+		// dP₁₂ = g · G₃[i₃]ᵀ   (n₁n₂ × R₂).
+		zero(s.dP12)
+		tensor.GemmTransBAddInto(n[0]*n[1], n[2], r2, g, t.Slice3(i3), s.dP12)
+		// dG₂[i₂] = G₁[i₁]ᵀ · dP₁₂  (R₁ × n₂R₂), dP₁₂ viewed as n₁ × n₂R₂.
+		zero(s.dG2)
+		tensor.GemmTransAAddInto(r1, n[0], n[1]*r2, t.Slice1(i1), s.dP12, s.dG2)
+		// dG₁[i₁] = dP₁₂ · G₂[i₂]ᵀ  (n₁ × R₁).
+		zero(s.dG1)
+		tensor.GemmTransBAddInto(n[0], n[1]*r2, r1, s.dP12, t.Slice2(i2), s.dG1)
+
+		if t.Opts.FusedUpdate {
+			t.applyGradSlice(0, i1, s.dG1, lr)
+			t.applyGradSlice(1, i2, s.dG2, lr)
+			t.applyGradSlice(2, i3, s.dG3, lr)
+		} else {
+			t.accumSlice(gradBufs[0], 0, i1, s.dG1)
+			t.accumSlice(gradBufs[1], 1, i2, s.dG2)
+			t.accumSlice(gradBufs[2], 2, i3, s.dG3)
 		}
 	}
 }
@@ -147,24 +176,16 @@ func (t *Table) slotsFor(cache *ForwardCache, workIdx []int) []int {
 // aggregateGrads computes one aggregated gradient row per unique index of
 // the batch (in-advance gradient aggregation). When the forward pass already
 // deduplicated, its unique structure is reused; otherwise it is built here.
+// The gradient matrix lives in the cache arena, so steady-state batches
+// reuse its storage.
 func (t *Table) aggregateGrads(cache *ForwardCache, dOut *tensor.Matrix) ([]int, *tensor.Matrix) {
 	workIdx, workOf := cache.WorkIdx, cache.WorkOf
 	if !t.Opts.DedupIndices {
-		// Forward ran per occurrence; build the unique structure now.
-		pos := make(map[int]int, len(cache.Indices))
-		workIdx = workIdx[:0:0]
-		workOf = make([]int, len(cache.Indices))
-		for p, idx := range cache.Indices {
-			u, ok := pos[idx]
-			if !ok {
-				u = len(workIdx)
-				pos[idx] = u
-				workIdx = append(workIdx, idx)
-			}
-			workOf[p] = u
-		}
+		workIdx, workOf = t.rebuildUnique(cache)
 	}
-	grads := tensor.New(len(workIdx), t.Shape.Dim)
+	cache.workGrad = tensor.Reuse(cache.workGrad, len(workIdx), t.Shape.Dim)
+	grads := cache.workGrad
+	grads.Zero()
 	for s := range cache.Offsets {
 		start := cache.Offsets[s]
 		end := len(cache.Indices)
@@ -179,11 +200,61 @@ func (t *Table) aggregateGrads(cache *ForwardCache, dOut *tensor.Matrix) ([]int,
 	return workIdx, grads
 }
 
+// rebuildUnique constructs the unique-index structure in Backward when the
+// forward pass ran per occurrence (DedupIndices off, InAdvanceAgg on). On
+// the arena path it reuses the same stamped dense scratch as dedupRows —
+// and records each unique index's reuse-buffer slot (first occurrence's
+// forward slot) in cache.bwSlots, sparing slotsFor its map fallback — so
+// steady-state batches allocate nothing. Fresh caches and huge tables keep
+// the map-based rebuild.
+func (t *Table) rebuildUnique(c *ForwardCache) ([]int, []int) {
+	if !c.arena || t.Shape.Rows > rowDenseCap {
+		pos := make(map[int]int, len(c.Indices))
+		workIdx := make([]int, 0, len(c.Indices))
+		workOf := make([]int, len(c.Indices))
+		for p, idx := range c.Indices {
+			u, ok := pos[idx]
+			if !ok {
+				u = len(workIdx)
+				pos[idx] = u
+				workIdx = append(workIdx, idx)
+			}
+			workOf[p] = u
+		}
+		return workIdx, workOf
+	}
+	if len(c.rowStamp) < t.Shape.Rows {
+		c.rowStamp = make([]int64, t.Shape.Rows)
+		c.rowSlot = make([]int32, t.Shape.Rows)
+	}
+	c.seq++ // fresh stamp generation; forward's stamps (if any) expire
+	trackSlots := c.PrefixSlots != nil
+	c.workIdxBuf = c.workIdxBuf[:0]
+	c.workOfBuf = growInts(c.workOfBuf, len(c.Indices))
+	c.slotsBuf = c.slotsBuf[:0]
+	for p, idx := range c.Indices {
+		if c.rowStamp[idx] != c.seq {
+			c.rowStamp[idx] = c.seq
+			c.rowSlot[idx] = int32(len(c.workIdxBuf))
+			c.workIdxBuf = append(c.workIdxBuf, idx)
+			if trackSlots {
+				c.slotsBuf = append(c.slotsBuf, c.PrefixSlots[p])
+			}
+		}
+		c.workOfBuf[p] = int(c.rowSlot[idx])
+	}
+	if trackSlots {
+		c.bwSlots = c.slotsBuf
+	}
+	return c.workIdxBuf, c.workOfBuf
+}
+
 // perOccurrenceGrads materializes one gradient row per index occurrence
 // (no aggregation): occurrence p of sample s receives a copy of dOut[s].
 // The copy is the point — TT-Rec stores per-row gradients before reducing.
 func (t *Table) perOccurrenceGrads(cache *ForwardCache, dOut *tensor.Matrix) ([]int, *tensor.Matrix) {
-	grads := tensor.New(len(cache.Indices), t.Shape.Dim)
+	cache.workGrad = tensor.Reuse(cache.workGrad, len(cache.Indices), t.Shape.Dim)
+	grads := cache.workGrad
 	for s := range cache.Offsets {
 		start := cache.Offsets[s]
 		end := len(cache.Indices)
@@ -212,11 +283,18 @@ func zero(x []float32) {
 	}
 }
 
-// Lookup runs Forward and retains the cache for a following Update call,
-// satisfying the embedding-table interface the DLRM model consumes.
+// Lookup runs the forward pass through the table-owned arena cache and
+// retains it for a following Update call, satisfying the embedding-table
+// interface the DLRM model consumes. Unlike Forward, Lookup is serialized
+// by the Table protocol and reuses every intermediate across batches —
+// including the returned matrix, which is only valid until the next Lookup
+// on this table — making steady-state training steps allocation-free.
 func (t *Table) Lookup(indices, offsets []int) *tensor.Matrix {
-	out, cache := t.Forward(indices, offsets)
-	t.lastCache = cache
+	if t.arena == nil {
+		t.arena = &ForwardCache{arena: true}
+	}
+	out := t.forwardInto(t.arena, indices, offsets)
+	t.lastCache = t.arena
 	return out
 }
 

@@ -10,28 +10,76 @@ import (
 // ForwardCache carries the intermediates of one Forward call into the
 // matching Backward call: the batch description, the unique-index structure
 // (when deduplication ran), and the reuse buffer of first-two-core products
-// (when prefix reuse ran).
+// (when prefix reuse ran). A table-owned arena cache (the Lookup/Update
+// path) additionally keeps every scratch buffer alive across batches so
+// steady-state training steps allocate nothing.
 type ForwardCache struct {
 	Indices []int
 	Offsets []int
 
 	// WorkIdx[w] is the embedding index of work item w; WorkOf[p] maps
 	// occurrence p to its work item. With deduplication WorkIdx is the
-	// unique index list, otherwise it is a copy of Indices and WorkOf is
-	// the identity.
+	// unique index list; without it WorkIdx aliases Indices and WorkOf is
+	// nil, meaning the identity mapping (occurrence p is work item p).
 	WorkIdx []int
 	WorkOf  []int
 
 	// PrefixSlots[w] is the reuse-buffer row of work item w; PrefixBuf row
 	// s holds the n₁×(n₂R₂) product for that prefix. Nil when prefix reuse
-	// is disabled.
+	// is disabled. On the arena path PrefixBuf aliases the table's
+	// persistent versioned cache.
 	PrefixSlots []int
 	PrefixBuf   *tensor.Matrix
 
 	// Rows holds the materialized embedding row of each work item
 	// (len(WorkIdx) × Dim).
 	Rows *tensor.Matrix
+
+	// arena marks a table-owned cache reused across batches. Fresh caches
+	// (the concurrent-safe Forward path) leave every scratch field nil and
+	// simply allocate.
+	arena bool
+
+	// seq stamps the dense dedup scratch below: an entry equals seq iff it
+	// was written during the current batch, so the arrays never need a
+	// per-batch reset (or reallocation) once grown.
+	seq      int64
+	rowStamp []int64 // rowStamp[idx] == seq: idx already has a work item
+	rowSlot  []int32 // its work-item position when stamped
+	pfxStamp []int64 // same scheme over prefixes (batch-local buffer path)
+	pfxSlot  []int32
+
+	workIdxBuf []int
+	workOfBuf  []int
+	slotsBuf   []int // backward rebuild: slot per rebuilt work item
+	bwSlots    []int // non-nil when slotsBuf is valid for this backward
+	prefixes   []int
+	batch      []tensor.GemmBatch
+	out        *tensor.Matrix
+	p12        []float32 // serial-path prefix recompute scratch
+	workGrad   *tensor.Matrix
+	bw         bwScratch
 }
+
+// growInts returns buf resized to n, reusing its storage when it fits.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growFloats returns buf resized to n, reusing its storage when it fits.
+func growFloats(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// rowDenseCap bounds the dense index-dedup scratch: two words per logical
+// row. Larger tables fall back to the allocating map-based dedup.
+const rowDenseCap = 1 << 22
 
 // validateBatch panics when a batch description is malformed, mirroring
 // embedding.Bag's validation.
@@ -67,87 +115,168 @@ func (t *Table) validateBatch(indices, offsets []int) {
 // DedupIndices each unique row is computed once; with ReusePrefix the
 // products of the first two cores are computed once per unique prefix via a
 // single batched GEMM over prepared pointer lists (Algorithm 1).
+//
+// Forward is safe for concurrent use: every call gets a fresh cache. The
+// serialized Lookup/Update path reuses a table-owned cache instead (see
+// Lookup) and additionally hits the cross-batch prefix cache.
 func (t *Table) Forward(indices, offsets []int) (*tensor.Matrix, *ForwardCache) {
+	c := &ForwardCache{}
+	out := t.forwardInto(c, indices, offsets)
+	return out, c
+}
+
+// forwardInto runs the forward pass through c, reusing c's scratch when it
+// is an arena cache.
+func (t *Table) forwardInto(c *ForwardCache, indices, offsets []int) *tensor.Matrix {
 	t.validateBatch(indices, offsets)
-	c := &ForwardCache{Indices: indices, Offsets: offsets}
+	c.Indices, c.Offsets = indices, offsets
+	c.seq++
 
 	if t.Opts.DedupIndices {
-		c.WorkIdx, c.WorkOf = embedding.Unique(indices)
+		t.dedupRows(c)
 	} else {
 		c.WorkIdx = indices
-		c.WorkOf = make([]int, len(indices))
-		for p := range indices {
-			c.WorkOf[p] = p
-		}
+		c.WorkOf = nil
 	}
 	t.met.recordForward(len(indices), len(c.WorkIdx))
 
 	if t.Opts.ReusePrefix {
 		t.fillPrefixBuffer(c)
+	} else {
+		c.PrefixSlots, c.PrefixBuf = nil, nil
 	}
 
 	// Materialize one row per work item.
-	c.Rows = tensor.New(len(c.WorkIdx), t.Shape.Dim)
+	c.Rows = tensor.Reuse(c.Rows, len(c.WorkIdx), t.Shape.Dim)
 	prefixScratchSize := 0
 	if c.PrefixBuf == nil {
 		prefixScratchSize = t.Shape.PrefixSize()
 	}
-	t.parallelItems(len(c.WorkIdx), func(lo, hi int) {
-		var scratch []float32
-		if prefixScratchSize > 0 {
-			scratch = make([]float32, prefixScratchSize)
-		}
-		for w := lo; w < hi; w++ {
-			i1, i2, i3 := t.Shape.FactorIndex(c.WorkIdx[w])
-			p12 := scratch
-			if c.PrefixBuf != nil {
-				p12 = c.PrefixBuf.Row(c.PrefixSlots[w])
-			} else {
-				t.computePrefix(i1, i2, p12)
+	if t.serialItems() {
+		c.p12 = growFloats(c.p12, prefixScratchSize)
+		t.materializeRows(c, c.p12, 0, len(c.WorkIdx))
+	} else {
+		tensor.ParallelFor(len(c.WorkIdx), func(lo, hi int) {
+			var scratch []float32
+			if prefixScratchSize > 0 {
+				scratch = make([]float32, prefixScratchSize)
 			}
-			t.rowFromPrefix(p12, i3, c.Rows.Row(w))
-		}
-	})
+			t.materializeRows(c, scratch, lo, hi)
+		})
+	}
 
 	// Pool work-item rows into per-sample embeddings.
-	out := tensor.New(len(offsets), t.Shape.Dim)
-	t.parallelItems(len(offsets), func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			start := offsets[s]
-			end := len(indices)
-			if s+1 < len(offsets) {
-				end = offsets[s+1]
+	c.out = tensor.Reuse(c.out, len(offsets), t.Shape.Dim)
+	c.out.Zero()
+	if t.serialItems() {
+		t.poolRows(c, c.out, 0, len(offsets))
+	} else {
+		tensor.ParallelFor(len(offsets), func(lo, hi int) {
+			t.poolRows(c, c.out, lo, hi)
+		})
+	}
+	return c.out
+}
+
+// serialItems reports whether per-item loops should run inline: forced by
+// Deterministic mode, and chosen whenever the worker pool is down to one
+// executor so the hot path skips closure and dispatch costs entirely.
+func (t *Table) serialItems() bool {
+	return t.Deterministic || tensor.Workers() <= 1
+}
+
+// materializeRows computes embedding rows for work items [lo,hi). scratch
+// holds one prefix product when no reuse buffer is available.
+func (t *Table) materializeRows(c *ForwardCache, scratch []float32, lo, hi int) {
+	for w := lo; w < hi; w++ {
+		i1, i2, i3 := t.Shape.FactorIndex(c.WorkIdx[w])
+		p12 := scratch
+		if c.PrefixBuf != nil {
+			p12 = c.PrefixBuf.Row(c.PrefixSlots[w])
+		} else {
+			t.computePrefix(i1, i2, p12)
+		}
+		t.rowFromPrefix(p12, i3, c.Rows.Row(w))
+	}
+}
+
+// poolRows sum-pools work-item rows into samples [lo,hi) of out.
+func (t *Table) poolRows(c *ForwardCache, out *tensor.Matrix, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		start := c.Offsets[s]
+		end := len(c.Indices)
+		if s+1 < len(c.Offsets) {
+			end = c.Offsets[s+1]
+		}
+		row := out.Row(s)
+		if c.WorkOf == nil {
+			for p := start; p < end; p++ {
+				tensor.AddTo(row, c.Rows.Row(p))
 			}
-			row := out.Row(s)
+		} else {
 			for p := start; p < end; p++ {
 				tensor.AddTo(row, c.Rows.Row(c.WorkOf[p]))
 			}
 		}
-	})
-	return out, c
+	}
+}
+
+// dedupRows builds the unique work-item list for the batch. Arena caches on
+// tables up to rowDenseCap rows use the stamped dense scratch — no per-batch
+// allocation or O(rows) reset; everything else falls back to the allocating
+// embedding.Unique.
+func (t *Table) dedupRows(c *ForwardCache) {
+	if !c.arena || t.Shape.Rows > rowDenseCap {
+		c.WorkIdx, c.WorkOf = embedding.Unique(c.Indices)
+		return
+	}
+	if len(c.rowStamp) < t.Shape.Rows {
+		c.rowStamp = make([]int64, t.Shape.Rows)
+		c.rowSlot = make([]int32, t.Shape.Rows)
+	}
+	c.workIdxBuf = c.workIdxBuf[:0]
+	c.workOfBuf = growInts(c.workOfBuf, len(c.Indices))
+	for p, idx := range c.Indices {
+		if c.rowStamp[idx] != c.seq {
+			c.rowStamp[idx] = c.seq
+			c.rowSlot[idx] = int32(len(c.workIdxBuf))
+			c.workIdxBuf = append(c.workIdxBuf, idx)
+		}
+		c.workOfBuf[p] = int(c.rowSlot[idx])
+	}
+	c.WorkIdx, c.WorkOf = c.workIdxBuf, c.workOfBuf
 }
 
 // fillPrefixBuffer deduplicates the prefixes of the work items, prepares the
 // batched-GEMM pointer lists (Ptr_a/Ptr_b/Ptr_c in Algorithm 1), and runs
-// one batched GEMM to populate the reuse buffer. A dense slot map plays the
-// role of Algorithm 1's Buf_flag when the prefix space is small; otherwise a
-// hash map deduplicates.
+// one batched GEMM to populate the reuse buffer. The arena path persists
+// products across batches through the table's versioned prefix cache; the
+// batch-local path (fresh caches, Deterministic mode) recomputes every
+// unique prefix of the batch.
 func (t *Table) fillPrefixBuffer(c *ForwardCache) {
-	c.PrefixSlots = make([]int, len(c.WorkIdx))
-	var prefixes []int
+	c.PrefixSlots = growInts(c.PrefixSlots, len(c.WorkIdx))
+	if pc := t.prefixCacheFor(c); pc != nil {
+		t.fillFromPrefixCache(c, pc)
+		return
+	}
 
-	if np := t.Shape.NumPrefixes(); np <= 4*len(c.WorkIdx)+1024 {
-		slotOf := make([]int32, np)
-		for i := range slotOf {
-			slotOf[i] = -1
+	c.prefixes = c.prefixes[:0]
+	if np := t.Shape.NumPrefixes(); np <= 4*len(c.WorkIdx)+1024 || (c.arena && np <= prefixDenseCap) {
+		// Dense stamped slot map (Algorithm 1's Buf_flag): arena caches
+		// keep it across batches, so neither reallocation nor the O(np)
+		// reset recurs.
+		if len(c.pfxStamp) < np {
+			c.pfxStamp = make([]int64, np)
+			c.pfxSlot = make([]int32, np)
 		}
 		for w, idx := range c.WorkIdx {
 			pfx := t.Shape.Prefix(idx)
-			if slotOf[pfx] < 0 {
-				slotOf[pfx] = int32(len(prefixes))
-				prefixes = append(prefixes, pfx)
+			if c.pfxStamp[pfx] != c.seq {
+				c.pfxStamp[pfx] = c.seq
+				c.pfxSlot[pfx] = int32(len(c.prefixes))
+				c.prefixes = append(c.prefixes, pfx)
 			}
-			c.PrefixSlots[w] = int(slotOf[pfx])
+			c.PrefixSlots[w] = int(c.pfxSlot[pfx])
 		}
 	} else {
 		slotOf := make(map[int]int, len(c.WorkIdx))
@@ -155,34 +284,25 @@ func (t *Table) fillPrefixBuffer(c *ForwardCache) {
 			pfx := t.Shape.Prefix(idx)
 			slot, ok := slotOf[pfx]
 			if !ok {
-				slot = len(prefixes)
+				slot = len(c.prefixes)
 				slotOf[pfx] = slot
-				prefixes = append(prefixes, pfx)
+				c.prefixes = append(c.prefixes, pfx)
 			}
 			c.PrefixSlots[w] = slot
 		}
 	}
 
-	c.PrefixBuf = tensor.New(len(prefixes), t.Shape.PrefixSize())
-	batch := make([]tensor.GemmBatch, len(prefixes))
+	c.PrefixBuf = tensor.Reuse(c.PrefixBuf, len(c.prefixes), t.Shape.PrefixSize())
+	if cap(c.batch) < len(c.prefixes) {
+		c.batch = make([]tensor.GemmBatch, len(c.prefixes))
+	}
+	c.batch = c.batch[:len(c.prefixes)]
 	m2 := t.Shape.RowFactors[1]
-	for s, pfx := range prefixes {
+	for s, pfx := range c.prefixes {
 		i1, i2 := pfx/m2, pfx%m2
-		batch[s] = tensor.GemmBatch{A: t.Slice1(i1), B: t.Slice2(i2), C: c.PrefixBuf.Row(s)}
+		c.batch[s] = tensor.GemmBatch{A: t.Slice1(i1), B: t.Slice2(i2), C: c.PrefixBuf.Row(s)}
 	}
 	n := t.Shape.ColFactors
-	tensor.BatchedMatMul(n[0], t.Shape.R1, n[1]*t.Shape.R2, batch)
-	t.met.recordPrefix(len(c.WorkIdx), len(prefixes))
-}
-
-// parallelItems runs body over [0,n) in parallel unless the table is in
-// deterministic mode.
-func (t *Table) parallelItems(n int, body func(lo, hi int)) {
-	if t.Deterministic {
-		if n > 0 {
-			body(0, n)
-		}
-		return
-	}
-	tensor.ParallelFor(n, body)
+	tensor.BatchedMatMul(n[0], t.Shape.R1, n[1]*t.Shape.R2, c.batch)
+	t.met.recordPrefix(len(c.WorkIdx), len(c.prefixes))
 }

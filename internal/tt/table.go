@@ -69,6 +69,21 @@ type Table struct {
 	// lastCache retains the most recent Lookup's forward cache for Update.
 	lastCache *ForwardCache
 
+	// arena is the table-owned forward cache the Lookup/Update path reuses
+	// across batches (see ForwardCache), allocated on first Lookup.
+	arena *ForwardCache
+
+	// pcache persists prefix products across batches (see prefixcache.go);
+	// nil until the arena path first runs with ReusePrefix on a
+	// non-Deterministic table.
+	pcache *prefixCache
+
+	// coreVer[k][row] counts mutations of core k's slice row (k < 2, the
+	// prefix sources). The fused backward kernel bumps rows under the same
+	// stripe lock that guards the slice write; all other mutators are
+	// serialized by the Table protocol.
+	coreVer [2][]uint64
+
 	// met holds the forward-path instruments (see AttachMetrics). The zero
 	// value's nil counters make every record a no-op, so an unattached
 	// table pays only nil checks on the hot path.
@@ -94,6 +109,9 @@ type tableMetrics struct {
 	backwardRows *obs.Counter // gradient occurrences entering Backward
 	backwardWork *obs.Counter // gradient rows after in-advance aggregation
 
+	cacheHits   *obs.Counter // unique prefixes served by the cross-batch cache
+	cacheMisses *obs.Counter // unique prefixes recomputed (stale or absent)
+
 	dedupRatio    *obs.Gauge // cumulative indices / work items (≥ 1)
 	prefixHitRate *obs.Gauge // cumulative share of prefix work served by the buffer
 	backwardAgg   *obs.Gauge // cumulative backward rows / aggregated rows (≥ 1)
@@ -115,6 +133,8 @@ func (t *Table) AttachMetrics(r *obs.Registry) {
 		gemmOps:        r.Counter("tt_batched_gemm_ops"),
 		backwardRows:   r.Counter("tt_backward_rows"),
 		backwardWork:   r.Counter("tt_backward_work"),
+		cacheHits:      r.Counter("tt_prefix_cache_hits"),
+		cacheMisses:    r.Counter("tt_prefix_cache_misses"),
 		dedupRatio:     r.Gauge("tt_dedup_ratio"),
 		prefixHitRate:  r.Gauge("tt_prefix_hit_rate"),
 		backwardAgg:    r.Gauge("tt_backward_agg_ratio"),
@@ -148,6 +168,17 @@ func (m *tableMetrics) recordPrefix(workItems, uniquePrefixes int) {
 	if w := m.prefixWork.Value(); w > 0 {
 		m.prefixHitRate.Set(1 - float64(m.uniquePrefixes.Value())/float64(w))
 	}
+}
+
+// recordPrefixCache accumulates one batch's cross-batch cache outcome:
+// hits are unique prefixes whose cached product was still version-valid,
+// misses were recomputed (absent, evicted, or invalidated by an update).
+func (m *tableMetrics) recordPrefixCache(hits, misses int) {
+	if !m.attached {
+		return
+	}
+	m.cacheHits.Add(int64(hits))
+	m.cacheMisses.Add(int64(misses))
 }
 
 // recordBackward accumulates one Backward call's gradient-row split and
