@@ -1,0 +1,211 @@
+// Command elrec-serve runs the EL-Rec serving front end: a replica-pooled,
+// admission-controlled ranking service over a trained DLRM. Compressed
+// Eff-TT tables keep the model small enough to replicate on every node, so
+// the pool clones it -replicas ways and serves concurrent traffic with no
+// shared mutable state.
+//
+// The binary either loads a model saved by `elrec-train -save` (pass -load
+// with the same architecture flags) or, by default, trains a small model on
+// a synthetic dataset at startup — enough for demos, smoke tests and load
+// experiments without a checkpoint lying around.
+//
+// Usage:
+//
+//	elrec-serve -addr localhost:8080 -replicas 4
+//	elrec-serve -load model.bin -dataset kaggle -dim 16 -rank 8
+//
+// Endpoints (JSON):
+//
+//	POST /score   {"dense":[...],"sparse":[...],"candidates":[...]}
+//	              → {"scores":[...]}               calibrated CTR per candidate
+//	POST /topk    same body plus "k"
+//	              → {"items":[{"item":i,"score":s},...]} ranked top-k
+//	GET  /metrics registry snapshot (serve_* queue/shed/latency instruments)
+//	GET  /debug/pprof/  runtime profiles
+//
+// Overload sheds with 503 (queue full), expired requests with 504; send
+// "timeout_ms" in the body to override the default per-request deadline.
+// SIGINT/SIGTERM drains gracefully: admission stops, queued requests finish.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	elrec "repro"
+	"repro/internal/data"
+	"repro/internal/dlrm"
+	"repro/internal/obs"
+	"repro/internal/served"
+	"repro/internal/tt"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "localhost:8080", "listen address (use :0 for an ephemeral port)")
+		replicas  = flag.Int("replicas", 4, "model replicas (concurrent scoring workers)")
+		queue     = flag.Int("queue", 256, "admission queue depth; a full queue sheds with 503")
+		coalesce  = flag.Int("coalesce", 8, "max requests merged into one micro-batch")
+		timeoutMS = flag.Int("timeout-ms", 0, "default per-request deadline in milliseconds (0: none)")
+		itemFeat  = flag.Int("item-feature", -1, "sparse feature carrying the candidate item id (-1: largest table)")
+		scoreBat  = flag.Int("score-batch", 64, "rows per scoring forward pass")
+
+		dataset      = flag.String("dataset", "terabyte", "dataset preset: avazu, kaggle or terabyte")
+		datasetScale = flag.Float64("dataset-scale", 0.002, "dataset cardinality multiplier")
+		steps        = flag.Int("steps", 200, "startup training steps (ignored with -load)")
+		batch        = flag.Int("batch", 256, "startup training batch size")
+		dim          = flag.Int("dim", 16, "embedding dimension")
+		rank         = flag.Int("rank", 8, "TT rank")
+		lr           = flag.Float64("lr", 1.0, "learning rate for startup training")
+		ttThreshold  = flag.Int("tt-threshold", 10_000, "min rows for TT compression (-1 disables)")
+		loadPath     = flag.String("load", "", "load model weights saved by elrec-train -save instead of training")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
+	)
+	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	log := obs.NewLogger(os.Stderr, level, nil)
+
+	spec, err := specFor(*dataset, *datasetScale)
+	if err != nil {
+		log.Error("invalid flags", "err", err)
+		return 2
+	}
+
+	model, err := buildModel(spec, *dim, *rank, *ttThreshold, float32(*lr))
+	if err != nil {
+		log.Error("model build failed", "err", err)
+		return 1
+	}
+	if *loadPath != "" {
+		if err := elrec.LoadModel(*loadPath, model); err != nil {
+			log.Error("load failed", "path", *loadPath, "err", err)
+			return 1
+		}
+		log.Info("model loaded", "path", *loadPath)
+	} else {
+		d, err := data.New(spec)
+		if err != nil {
+			log.Error("dataset failed", "err", err)
+			return 1
+		}
+		start := time.Now()
+		var loss float32
+		for it := 0; it < *steps; it++ {
+			loss = model.TrainStep(d.Batch(it, *batch))
+		}
+		log.Info("startup training done", "steps", *steps, "final_loss", loss,
+			"elapsed", time.Since(start).Round(time.Millisecond))
+	}
+
+	item := *itemFeat
+	if item < 0 {
+		item = largestTable(model)
+	}
+	log.Info("serving model", "dataset", spec.Name, "tables", len(model.Tables),
+		"item_feature", item, "embedding_mb", float64(model.EmbeddingBytes())/1e6)
+
+	reg := obs.NewRegistry()
+	pool, err := served.New(model, item, *scoreBat, served.Options{
+		Replicas:    *replicas,
+		QueueDepth:  *queue,
+		MaxCoalesce: *coalesce,
+		Timeout:     time.Duration(*timeoutMS) * time.Millisecond,
+		Metrics:     reg,
+	})
+	if err != nil {
+		log.Error("pool build failed", "err", err)
+		return 1
+	}
+
+	mux := http.NewServeMux()
+	api := pool.Handler()
+	mux.Handle("/score", api)
+	mux.Handle("/topk", api)
+	mux.Handle("/", obs.Handler(reg, nil))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		return 1
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Info("serving", "addr", ln.Addr().String(), "replicas", pool.Replicas(),
+		"queue", *queue, "coalesce", *coalesce)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Info("draining", "signal", s.String())
+	case err := <-errc:
+		log.Error("server failed", "err", err)
+		pool.Close()
+		return 1
+	}
+	// Stop accepting connections, then drain the pool: queued requests are
+	// still scored before workers exit.
+	_ = srv.Close()
+	pool.Close()
+	snap := reg.Snapshot()
+	log.Info("drained", "requests", snap.Counter("serve_requests"),
+		"errors", snap.Counter("serve_errors"),
+		"shed_overload", snap.Counter("serve_shed_overload"),
+		"shed_deadline", snap.Counter("serve_shed_deadline"))
+	return 0
+}
+
+// buildModel constructs the DLRM skeleton for spec (tables + towers) without
+// training it.
+func buildModel(spec data.Spec, dim, rank, ttThreshold int, lr float32) (*dlrm.Model, error) {
+	tables, _, err := dlrm.BuildTables(spec.TableRows, dlrm.TableSpec{
+		Dim: dim, Rank: rank, TTThreshold: ttThreshold, Opts: tt.EffOptions(), Seed: spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := dlrm.DefaultConfig(spec.NumDense, dim)
+	cfg.LR = lr
+	cfg.Seed = spec.Seed + 1
+	return dlrm.NewModel(cfg, tables)
+}
+
+// largestTable picks the highest-cardinality table as the item feature —
+// the candidate-item table in every preset.
+func largestTable(m *dlrm.Model) int {
+	best := 0
+	for i, t := range m.Tables {
+		if t.NumRows() > m.Tables[best].NumRows() {
+			best = i
+		}
+	}
+	return best
+}
+
+func specFor(name string, scale float64) (data.Spec, error) {
+	switch name {
+	case "avazu":
+		return data.AvazuSpec(scale), nil
+	case "kaggle":
+		return data.KaggleSpec(scale), nil
+	case "terabyte":
+		return data.TerabyteSpec(scale), nil
+	}
+	return data.Spec{}, fmt.Errorf("unknown dataset %q (want avazu, kaggle or terabyte)", name)
+}

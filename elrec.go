@@ -39,6 +39,7 @@ import (
 	"repro/internal/ps"
 	"repro/internal/reorder"
 	"repro/internal/serve"
+	"repro/internal/served"
 	"repro/internal/tensor"
 	"repro/internal/tt"
 )
@@ -181,10 +182,39 @@ type RankContext = serve.Context
 type Scored = serve.Scored
 
 // NewRanker wraps a trained model for candidate ranking; itemFeature is the
-// categorical feature carrying the candidate item id.
+// categorical feature carrying the candidate item id. A Ranker is
+// single-goroutine (its model owns reusable scratch); for concurrent
+// traffic use NewServingPool.
 func NewRanker(m *dlrm.Model, itemFeature, batchSize int) (*Ranker, error) {
 	return serve.NewRanker(m, itemFeature, batchSize)
 }
+
+// ServingPool serves concurrent Score/TopK traffic over N isolated replicas
+// of one trained model: per-replica deep-copied scratch over shared
+// read-only TT cores, micro-batch request coalescing, and bounded-queue
+// admission control with typed shedding. Results are bit-identical to the
+// serial Ranker path. cmd/elrec-serve wraps it in an HTTP front end.
+type ServingPool = served.Pool
+
+// ServingOptions configures a ServingPool (replicas, queue depth, coalesce
+// width, default deadline, clock, metrics registry).
+type ServingOptions = served.Options
+
+// NewServingPool clones model into Options.Replicas serving replicas. The
+// model must not train while the pool serves; train a new version and build
+// a new pool to update.
+func NewServingPool(m *dlrm.Model, itemFeature, batchSize int, opts ServingOptions) (*ServingPool, error) {
+	return served.New(m, itemFeature, batchSize, opts)
+}
+
+// Typed serving-pool shedding errors (match with errors.Is): a full
+// admission queue, a request that out-waited its deadline, and a draining
+// pool.
+var (
+	ErrServingOverloaded = served.ErrOverloaded
+	ErrServingDeadline   = served.ErrDeadline
+	ErrServingShutdown   = served.ErrShutdown
+)
 
 // SaveModel / LoadModel checkpoint a trained model to and from a file,
 // including TT cores and Adagrad state.

@@ -10,7 +10,9 @@ import (
 // converted into a recorded failure instead of killing the process. The
 // fault-tolerance contract — Train returns an error, queues drain, state
 // stays checkpoint-consistent — only holds if no code path can start a
-// bare goroutine. The driver applies this analyzer to internal/ps.
+// bare goroutine. The driver applies this analyzer to the goroutine-owning
+// packages (internal/ps and the internal/served replica pool, whose spawn
+// ties worker lifetime to the drain barrier).
 var GoSpawn = &Analyzer{
 	Name: "gospawn",
 	Doc: "every `go` statement must route through the panic-converting " +

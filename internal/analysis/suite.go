@@ -21,6 +21,16 @@ var deterministicPackages = map[string]bool{
 	ModulePath + "/internal/core":    true,
 }
 
+// goroutineOwnerPackages are the packages that own long-lived goroutines
+// and therefore must route every `go` statement through their
+// panic-converting spawn helper: the pipeline trainer (ps) and the serving
+// replica pool (served), whose callers block on response channels that a
+// crashed bare goroutine would never answer.
+var goroutineOwnerPackages = map[string]bool{
+	ModulePath + "/internal/ps":     true,
+	ModulePath + "/internal/served": true,
+}
+
 // Applies reports whether analyzer a runs on package pkgPath. Library
 // packages are the public facade plus everything under internal/ except
 // internal/bench — the experiment harness is tool code (it renders
@@ -36,7 +46,7 @@ func Applies(a *Analyzer, pkgPath string) bool {
 	case Determinism:
 		return deterministicPackages[pkgPath]
 	case GoSpawn:
-		return pkgPath == ModulePath+"/internal/ps"
+		return goroutineOwnerPackages[pkgPath]
 	case ObsClock:
 		return clockFunnelPackage(pkgPath)
 	case LockSafe, ErrCmp:

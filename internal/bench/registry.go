@@ -27,6 +27,7 @@ var registry = map[string]Runner{
 	"fig17":        Fig17,
 	"fig18":        Fig18,
 	"ttcore":       TTCore,
+	"servecore":    ServeCore,
 	"ext-ttdepth":  ExtTTDepth,
 	"ext-optim":    ExtOptim,
 	"ext-hotratio": ExtHotRatio,

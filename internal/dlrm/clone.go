@@ -1,0 +1,58 @@
+package dlrm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/nn"
+	"repro/internal/tt"
+)
+
+// ErrNotServable reports a table type CloneForServing does not know how to
+// replicate safely for concurrent inference.
+var ErrNotServable = errors.New("dlrm: table not servable")
+
+// CloneForServing returns a read-path replica of the model for concurrent
+// inference. The clone owns every piece of mutable forward state — MLP layer
+// scratch, interaction buffers, the per-step lookup slice, and the Eff-TT
+// arena/prefix caches — while sharing only data that is immutable or
+// self-serialized during serving:
+//
+//   - dense MLP parameters are deep-copied (nn.MLP.Clone), so the clone's
+//     Forward never touches the source's layer buffers;
+//   - *tt.Table becomes an arena-owning replica over shared read-only cores
+//     (tt.Table.CloneForServing);
+//   - *embedding.Bag / *embedding.AdagradBag / *tt.GeneralTable are shared
+//     as-is: their Lookup is read-only and allocates fresh output;
+//   - *lockedTable is shared as-is: it serializes access with its own mutex
+//     and copies rows out under the lock.
+//
+// Any other table type yields ErrNotServable. The sharing contract is
+// read-only: while any clone serves traffic, neither the source model nor any
+// clone may train (Update/Backward). Train a new version and re-clone to
+// update.
+func (m *Model) CloneForServing() (*Model, error) {
+	tables := make([]Table, len(m.Tables))
+	for i, t := range m.Tables {
+		switch tbl := t.(type) {
+		case *tt.Table:
+			tables[i] = tbl.CloneForServing()
+		case *embedding.Bag, *embedding.AdagradBag, *tt.GeneralTable:
+			tables[i] = t
+		case *lockedTable:
+			tables[i] = t
+		default:
+			return nil, fmt.Errorf("%w: table %d is %T", ErrNotServable, i, t)
+		}
+	}
+	return &Model{
+		Cfg:         m.Cfg,
+		Bottom:      m.Bottom.Clone(),
+		Top:         m.Top.Clone(),
+		Interaction: nn.NewInteraction(m.Cfg.EmbDim, len(tables)),
+		Tables:      tables,
+		opt:         nn.NewSGD(m.Cfg.LR),
+		clock:       m.clock,
+	}, nil
+}

@@ -75,6 +75,33 @@ func (m *MLP) CloneArchitecture(sigmoidOut bool, rng *tensor.RNG) *MLP {
 	return NewMLP(m.Sizes, sigmoidOut, rng)
 }
 
+// Clone returns a deep copy of the MLP: same layer stack, copied parameter
+// values, fresh gradient accumulators and fresh layer-owned scratch buffers.
+// Because every mutable buffer is per-clone, a clone's Forward never races
+// with its source's — the property the serving replica pool builds on.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{Sizes: append([]int(nil), m.Sizes...)}
+	for _, l := range m.layers {
+		c.layers = append(c.layers, cloneLayer(l))
+	}
+	return c
+}
+
+// cloneLayer deep-copies one layer's parameters, leaving scratch unshared.
+func cloneLayer(l Layer) Layer {
+	switch v := l.(type) {
+	case *Linear:
+		return &Linear{In: v.In, Out: v.Out, W: v.W.clone(), B: v.B.clone()}
+	case *ReLU:
+		return NewReLU()
+	case *Sigmoid:
+		return NewSigmoid()
+	default:
+		//elrec:invariant NewMLP only stacks Linear/ReLU/Sigmoid layers
+		panic(usageErr("Clone: unknown layer type %T", l))
+	}
+}
+
 // CopyParamsFrom copies parameter values from src (same architecture) into
 // m. Used to replicate MLP towers across data-parallel workers.
 func (m *MLP) CopyParamsFrom(src *MLP) {

@@ -27,6 +27,15 @@ func NewParam(name string, rows, cols int) *Param {
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
+// clone deep-copies the parameter value with a fresh, zeroed gradient.
+func (p *Param) clone() *Param {
+	return &Param{
+		Name:  p.Name,
+		Value: p.Value.Clone(),
+		Grad:  tensor.New(p.Grad.Rows, p.Grad.Cols),
+	}
+}
+
 // Layer is the interface shared by all dense layers.
 type Layer interface {
 	// Forward consumes a batch×in matrix and returns a batch×out matrix.

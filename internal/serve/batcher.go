@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+// Row is one scoring row of a coalesced batch: a request context paired with
+// a single candidate item. A serving front end flattens many concurrent
+// requests into a row list and scores them in one model forward pass.
+type Row struct {
+	Ctx  *Context
+	Item int
+}
+
+// Batcher builds scoring batches into reusable scratch, amortizing the
+// per-chunk allocations of batch construction across calls. A Batcher is
+// owned by one goroutine at a time, and the batch it returns aliases its
+// scratch — valid only until the next Build/BuildRows call.
+type Batcher struct {
+	itemFeature int
+	dense       *tensor.Matrix
+	sparse      [][]int
+	offsets     []int
+	labels      []float32
+	batch       data.Batch
+}
+
+// NewBatcher returns a batch builder bound to the ranker's item feature.
+func (r *Ranker) NewBatcher() *Batcher {
+	return &Batcher{itemFeature: r.itemFeature}
+}
+
+// prepare resizes the scratch to n rows over numDense dense and numTables
+// sparse features, reusing prior capacity.
+func (b *Batcher) prepare(n, numDense, numTables int) *data.Batch {
+	b.dense = tensor.Reuse(b.dense, n, numDense)
+	if cap(b.offsets) < n {
+		b.offsets = make([]int, n)
+		b.labels = make([]float32, n)
+	}
+	b.offsets = b.offsets[:n]
+	b.labels = b.labels[:n]
+	for len(b.sparse) < numTables {
+		b.sparse = append(b.sparse, nil)
+	}
+	b.sparse = b.sparse[:numTables]
+	for t := range b.sparse {
+		if cap(b.sparse[t]) < n {
+			b.sparse[t] = make([]int, n)
+		}
+		b.sparse[t] = b.sparse[t][:n]
+	}
+	for s := 0; s < n; s++ {
+		b.offsets[s] = s
+		b.labels[s] = 0
+	}
+	b.batch = data.Batch{Dense: b.dense, Sparse: b.sparse, Offsets: b.offsets, Labels: b.labels}
+	return &b.batch
+}
+
+// Build replicates ctx across len(candidates) rows, varying the item
+// feature — the single-context chunk path used by Ranker.Score.
+func (b *Batcher) Build(ctx Context, candidates []int) *data.Batch {
+	n := len(candidates)
+	out := b.prepare(n, len(ctx.Dense), len(ctx.Sparse))
+	for s := 0; s < n; s++ {
+		copy(out.Dense.Row(s), ctx.Dense)
+	}
+	for t := range ctx.Sparse {
+		col := out.Sparse[t]
+		if t == b.itemFeature {
+			copy(col, candidates)
+		} else {
+			v := ctx.Sparse[t]
+			for s := 0; s < n; s++ {
+				col[s] = v
+			}
+		}
+	}
+	return out
+}
+
+// BuildRows builds a coalesced batch where every row carries its own
+// context — the micro-batch path that merges concurrent requests. All
+// contexts must already be validated against the same model.
+func (b *Batcher) BuildRows(rows []Row) *data.Batch {
+	if len(rows) == 0 {
+		return b.prepare(0, 0, 0)
+	}
+	out := b.prepare(len(rows), len(rows[0].Ctx.Dense), len(rows[0].Ctx.Sparse))
+	for s, row := range rows {
+		copy(out.Dense.Row(s), row.Ctx.Dense)
+		for t, v := range row.Ctx.Sparse {
+			if t == b.itemFeature {
+				out.Sparse[t][s] = row.Item
+			} else {
+				out.Sparse[t][s] = v
+			}
+		}
+	}
+	return out
+}

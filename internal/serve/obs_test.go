@@ -9,10 +9,12 @@ import (
 	"repro/internal/obs"
 )
 
-// TestScoreManyNamesOffendingBatchIndex checks the regression the batch API
-// used to have: an invalid context inside a batch must name which batch
-// index failed, and the wrapped sentinel must survive for errors.Is.
-func TestScoreManyNamesOffendingBatchIndex(t *testing.T) {
+// TestScoreManyRejectsExactlyTheBadRows is the regression test for the old
+// batch API, which returned nil for every row on the first bad context. Now
+// a bad context fails only its own row: the error list names the offending
+// index (with the sentinel intact for errors.Is) and the good rows still
+// come back scored.
+func TestScoreManyRejectsExactlyTheBadRows(t *testing.T) {
 	m := serveModel(t)
 	r, err := NewRanker(m, 1, 16)
 	if err != nil {
@@ -21,28 +23,55 @@ func TestScoreManyNamesOffendingBatchIndex(t *testing.T) {
 	good := testContext()
 	bad := Context{Dense: []float32{1}, Sparse: []int{0, 0}} // wrong dense width
 
-	_, err = r.ScoreMany([]Context{good, good, bad}, []int{1, 2})
-	if !errors.Is(err, ErrInvalidContext) {
-		t.Fatalf("err = %v, want ErrInvalidContext", err)
-	}
-	if !strings.Contains(err.Error(), "batch context 2") {
-		t.Fatalf("error %q does not name the offending batch index 2", err)
-	}
-
-	// Same for a bad candidate: the error carries both the candidate's
-	// position and, through ScoreMany, the batch index.
-	_, err = r.ScoreMany([]Context{good}, []int{1, 5000})
-	if !errors.Is(err, ErrInvalidCandidate) {
-		t.Fatalf("err = %v, want ErrInvalidCandidate", err)
-	}
-	if !strings.Contains(err.Error(), "candidate 1") || !strings.Contains(err.Error(), "batch context 0") {
-		t.Fatalf("error %q does not name the candidate position and batch index", err)
-	}
-
-	// A clean batch scores every context.
-	out, err := r.ScoreMany([]Context{good, good}, []int{3, 4, 5})
+	want, err := r.Score(good, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
+	}
+	out, errs := r.ScoreMany([]Context{good, bad, good}, []int{1, 2})
+	if errs == nil {
+		t.Fatal("bad context produced no error list")
+	}
+	if !errors.Is(errs[1], ErrInvalidContext) {
+		t.Fatalf("errs[1] = %v, want ErrInvalidContext", errs[1])
+	}
+	if !strings.Contains(errs[1].Error(), "batch context 1") {
+		t.Fatalf("error %q does not name the offending batch index 1", errs[1])
+	}
+	if out[1] != nil {
+		t.Fatal("bad row came back with scores")
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("good row %d rejected: %v", i, errs[i])
+		}
+		if len(out[i]) != 2 {
+			t.Fatalf("good row %d has %d scores, want 2", i, len(out[i]))
+		}
+		for j := range want {
+			if out[i][j] != want[j] {
+				t.Fatalf("row %d score %d: %v want %v", i, j, out[i][j], want[j])
+			}
+		}
+	}
+
+	// A bad candidate set fails every row with the candidate's position.
+	out, errs = r.ScoreMany([]Context{good, good}, []int{1, 5000})
+	for i := range out {
+		if out[i] != nil {
+			t.Fatalf("row %d scored against a bad candidate set", i)
+		}
+		if !errors.Is(errs[i], ErrInvalidCandidate) {
+			t.Fatalf("errs[%d] = %v, want ErrInvalidCandidate", i, errs[i])
+		}
+		if !strings.Contains(errs[i].Error(), "candidate 1") {
+			t.Fatalf("error %q does not name the candidate position", errs[i])
+		}
+	}
+
+	// A clean batch scores every context with a nil error list.
+	out, errs = r.ScoreMany([]Context{good, good}, []int{3, 4, 5})
+	if errs != nil {
+		t.Fatalf("clean batch produced errors: %v", errs)
 	}
 	if len(out) != 2 || len(out[0]) != 3 {
 		t.Fatalf("result shape %dx%d want 2x3", len(out), len(out[0]))
@@ -67,23 +96,28 @@ func TestServeMetrics(t *testing.T) {
 	if _, err := r.Score(Context{}, []int{1}); err == nil {
 		t.Fatal("invalid context accepted")
 	}
+	if _, err := r.Score(testContext(), []int{5000}); err == nil {
+		t.Fatal("invalid candidate accepted")
+	}
 
 	snap := reg.Snapshot()
-	if got := snap.Counter("serve_requests"); got != 2 {
-		t.Fatalf("serve_requests = %d want 2", got)
+	if got := snap.Counter("serve_requests"); got != 3 {
+		t.Fatalf("serve_requests = %d want 3", got)
 	}
-	if got := snap.Counter("serve_errors"); got != 1 {
-		t.Fatalf("serve_errors = %d want 1", got)
+	if got := snap.Counter("serve_errors"); got != 2 {
+		t.Fatalf("serve_errors = %d want 2", got)
 	}
-	if got := snap.Counter("serve_candidates"); got != 4 {
-		t.Fatalf("serve_candidates = %d want 4", got)
+	// Traffic volume excludes the rejected request: only the valid call's 3
+	// candidates count, and the batch-size histogram saw one observation.
+	if got := snap.Counter("serve_candidates"); got != 3 {
+		t.Fatalf("serve_candidates = %d want 3 (rejected request must not count)", got)
 	}
 	bs := snap.Histograms["serve_batch_size"]
-	if bs.Count != 2 || bs.Max != 3 || bs.Min != 1 {
-		t.Fatalf("serve_batch_size summary %+v want count=2 min=1 max=3", bs)
+	if bs.Count != 1 || bs.Max != 3 || bs.Min != 3 {
+		t.Fatalf("serve_batch_size summary %+v want count=1 min=3 max=3", bs)
 	}
-	if lat := snap.Histograms["serve_score_latency_ns"]; lat.Count != 2 {
-		t.Fatalf("serve_score_latency_ns count = %d want 2", lat.Count)
+	if lat := snap.Histograms["serve_score_latency_ns"]; lat.Count != 3 {
+		t.Fatalf("serve_score_latency_ns count = %d want 3", lat.Count)
 	}
 
 	// Detach restores the zero-cost path.
@@ -91,7 +125,7 @@ func TestServeMetrics(t *testing.T) {
 	if _, err := r.Score(testContext(), []int{1}); err != nil {
 		t.Fatal(err)
 	}
-	if got := reg.Snapshot().Counter("serve_requests"); got != 2 {
+	if got := reg.Snapshot().Counter("serve_requests"); got != 3 {
 		t.Fatalf("detached ranker still recorded: serve_requests = %d", got)
 	}
 }

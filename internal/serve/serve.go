@@ -14,7 +14,6 @@ import (
 	"repro/internal/data"
 	"repro/internal/dlrm"
 	"repro/internal/obs"
-	"repro/internal/tensor"
 )
 
 // Typed errors for programmatic handling: a serving layer distinguishes bad
@@ -41,6 +40,9 @@ type Ranker struct {
 	itemFeature int
 	// batch is the scoring batch size.
 	batch int
+	// batcher is the pooled batch scratch Score chunks through; reusing it
+	// across chunks and calls is what makes the Ranker single-goroutine.
+	batcher *Batcher
 
 	// met holds the serving instruments; the zero value (not attached) makes
 	// every record path a no-op.
@@ -84,7 +86,9 @@ func NewRanker(model *dlrm.Model, itemFeature, batchSize int) (*Ranker, error) {
 	if batchSize <= 0 {
 		return nil, fmt.Errorf("%w: non-positive batch size %d", ErrInvalidConfig, batchSize)
 	}
-	return &Ranker{model: model, itemFeature: itemFeature, batch: batchSize}, nil
+	r := &Ranker{model: model, itemFeature: itemFeature, batch: batchSize}
+	r.batcher = r.NewBatcher()
+	return r, nil
 }
 
 // Context is one user/request context: dense features plus one categorical
@@ -94,8 +98,10 @@ type Context struct {
 	Sparse []int
 }
 
-// validate checks the context against the model.
-func (r *Ranker) validate(ctx Context) error {
+// Validate checks the context against the model: dense width, sparse count,
+// and every non-item categorical index in range. Exported so a serving front
+// end can reject bad requests at admission, before they occupy a replica.
+func (r *Ranker) Validate(ctx Context) error {
 	if len(ctx.Dense) != r.model.Cfg.NumDense {
 		return fmt.Errorf("%w: %d dense features, model wants %d", ErrInvalidContext, len(ctx.Dense), r.model.Cfg.NumDense)
 	}
@@ -113,14 +119,27 @@ func (r *Ranker) validate(ctx Context) error {
 	return nil
 }
 
+// ValidateCandidates checks every candidate id against the item table.
+func (r *Ranker) ValidateCandidates(candidates []int) error {
+	itemRows := r.model.Tables[r.itemFeature].NumRows()
+	for i, c := range candidates {
+		if c < 0 || c >= itemRows {
+			return fmt.Errorf("%w: candidate %d: item %d outside item table of %d rows", ErrInvalidCandidate, i, c, itemRows)
+		}
+	}
+	return nil
+}
+
 // Score returns the CTR probability of each candidate item for the context,
 // in candidate order.
+//
+// serve_requests counts every call and serve_errors every rejection, but the
+// traffic-volume instruments (serve_candidates, serve_batch_size) record only
+// after validation passes, so rejected requests cannot inflate them.
 func (r *Ranker) Score(ctx Context, candidates []int) (scores []float32, err error) {
 	if r.met.attached {
 		start := r.met.clock.Now()
 		r.met.requests.Inc()
-		r.met.candidates.Add(int64(len(candidates)))
-		r.met.batchSize.Observe(float64(len(candidates)))
 		defer func() {
 			r.met.latencyNS.Observe(float64(obs.Since(r.met.clock, start)))
 			if err != nil {
@@ -128,14 +147,15 @@ func (r *Ranker) Score(ctx Context, candidates []int) (scores []float32, err err
 			}
 		}()
 	}
-	if err := r.validate(ctx); err != nil {
+	if err := r.Validate(ctx); err != nil {
 		return nil, err
 	}
-	itemRows := r.model.Tables[r.itemFeature].NumRows()
-	for i, c := range candidates {
-		if c < 0 || c >= itemRows {
-			return nil, fmt.Errorf("%w: candidate %d: item %d outside item table of %d rows", ErrInvalidCandidate, i, c, itemRows)
-		}
+	if err := r.ValidateCandidates(candidates); err != nil {
+		return nil, err
+	}
+	if r.met.attached {
+		r.met.candidates.Add(int64(len(candidates)))
+		r.met.batchSize.Observe(float64(len(candidates)))
 	}
 	out := make([]float32, 0, len(candidates))
 	for start := 0; start < len(candidates); start += r.batch {
@@ -143,54 +163,61 @@ func (r *Ranker) Score(ctx Context, candidates []int) (scores []float32, err err
 		if end > len(candidates) {
 			end = len(candidates)
 		}
-		out = append(out, r.model.Predict(r.buildBatch(ctx, candidates[start:end]))...)
+		out = append(out, r.model.Predict(r.batcher.Build(ctx, candidates[start:end]))...)
 	}
 	return out, nil
 }
 
 // ScoreMany scores the same candidate set for a batch of request contexts
 // (the ranking-stage pattern: one model replica serves many concurrent
-// requests). Row i of the result holds Score(ctxs[i], candidates). On a bad
-// context the error wraps ErrInvalidContext (or ErrInvalidCandidate) and
-// names the offending batch index, so a serving layer can reject exactly
-// the bad request instead of guessing which one failed.
-func (r *Ranker) ScoreMany(ctxs []Context, candidates []int) ([][]float32, error) {
+// requests). Row i of the result holds the scores for ctxs[i]; rows whose
+// context is invalid are nil. The error list is nil when every row succeeds;
+// otherwise errs[i] explains row i's failure (wrapping ErrInvalidContext and
+// naming the batch index) and the remaining rows are still scored — a
+// serving layer rejects exactly the bad requests instead of guessing which
+// one failed. A bad candidate set fails every row with the same
+// ErrInvalidCandidate error.
+func (r *Ranker) ScoreMany(ctxs []Context, candidates []int) ([][]float32, []error) {
 	out := make([][]float32, len(ctxs))
+	var errs []error
+	fail := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(ctxs))
+		}
+		errs[i] = err
+	}
+	if err := r.ValidateCandidates(candidates); err != nil {
+		for i := range ctxs {
+			fail(i, err)
+		}
+		return out, errs
+	}
+	// Validate every context up front so one bad request cannot abort its
+	// neighbours' scoring.
 	for i, ctx := range ctxs {
+		if err := r.Validate(ctx); err != nil {
+			fail(i, fmt.Errorf("batch context %d: %w", i, err))
+		}
+	}
+	for i, ctx := range ctxs {
+		if errs != nil && errs[i] != nil {
+			continue
+		}
 		scores, err := r.Score(ctx, candidates)
 		if err != nil {
-			return nil, fmt.Errorf("batch context %d: %w", i, err)
+			fail(i, fmt.Errorf("batch context %d: %w", i, err))
+			continue
 		}
 		out[i] = scores
 	}
-	return out, nil
+	return out, errs
 }
 
 // buildBatch replicates the context across rows, varying the item feature.
+// It builds into fresh scratch (tests and one-shot callers); the hot path
+// goes through the ranker's pooled Batcher.
 func (r *Ranker) buildBatch(ctx Context, candidates []int) *data.Batch {
-	n := len(candidates)
-	b := &data.Batch{
-		Dense:   tensor.New(n, len(ctx.Dense)),
-		Sparse:  make([][]int, len(ctx.Sparse)),
-		Offsets: make([]int, n),
-		Labels:  make([]float32, n),
-	}
-	for s := 0; s < n; s++ {
-		copy(b.Dense.Row(s), ctx.Dense)
-		b.Offsets[s] = s
-	}
-	for t := range ctx.Sparse {
-		col := make([]int, n)
-		for s := 0; s < n; s++ {
-			if t == r.itemFeature {
-				col[s] = candidates[s]
-			} else {
-				col[s] = ctx.Sparse[t]
-			}
-		}
-		b.Sparse[t] = col
-	}
-	return b
+	return r.NewBatcher().Build(ctx, candidates)
 }
 
 // Scored pairs a candidate item with its predicted CTR.
@@ -200,8 +227,8 @@ type Scored struct {
 }
 
 // TopK returns the k highest-scoring candidates in descending score order
-// (ties broken by lower item id). k larger than the candidate count returns
-// all candidates ranked.
+// (NaN scores rank below every real score, ties broken by lower item id).
+// k larger than the candidate count returns all candidates ranked.
 func (r *Ranker) TopK(ctx Context, candidates []int, k int) ([]Scored, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: non-positive k %d", ErrInvalidConfig, k)
@@ -210,6 +237,15 @@ func (r *Ranker) TopK(ctx Context, candidates []int, k int) ([]Scored, error) {
 	if err != nil {
 		return nil, err
 	}
+	return SelectTopK(candidates, scores, k), nil
+}
+
+// SelectTopK ranks already-scored candidates: the k highest scores in
+// descending order, NaN ranking last, ties broken by lower item id. Shared
+// by Ranker.TopK and serving front ends that score through coalesced
+// batches and rank afterwards. scores[i] belongs to candidates[i]; k larger
+// than the candidate count returns everything ranked.
+func SelectTopK(candidates []int, scores []float32, k int) []Scored {
 	h := &minHeap{}
 	heap.Init(h)
 	for i, c := range candidates {
@@ -225,16 +261,29 @@ func (r *Ranker) TopK(ctx Context, candidates []int, k int) ([]Scored, error) {
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(h).(Scored)
 	}
-	return out, nil
+	return out
 }
 
-// better reports whether a outranks b (higher score, then lower item id).
+// better reports whether a outranks b: higher score first, then lower item
+// id. NaN is defined to rank below every real score (two NaNs tie-break by
+// item id), which keeps better a strict ordering — without this a NaN score
+// answers false both ways and corrupts the top-k heap invariant.
 func better(a, b Scored) bool {
+	an, bn := isNaN(a.Score), isNaN(b.Score)
+	if an || bn {
+		if an != bn {
+			return bn // exactly one NaN: the real score outranks it
+		}
+		return a.Item < b.Item
+	}
 	if a.Score != b.Score {
 		return a.Score > b.Score
 	}
 	return a.Item < b.Item
 }
+
+// isNaN is math.IsNaN for float32 without the float64 round trip.
+func isNaN(x float32) bool { return x != x }
 
 // minHeap keeps the current worst of the top-k at the root.
 type minHeap []Scored

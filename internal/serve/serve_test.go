@@ -184,3 +184,99 @@ func TestTopKEdgeCases(t *testing.T) {
 		t.Fatal("not ranked")
 	}
 }
+
+// TestSelectTopKNaNRanksLast: NaN scores must sort below every real score
+// and must not corrupt the heap invariant (the old better() answered false
+// both ways on NaN, which could evict real scores arbitrarily).
+func TestSelectTopKNaNRanksLast(t *testing.T) {
+	nan := float32(math.NaN())
+	candidates := []int{10, 11, 12, 13, 14, 15}
+	scores := []float32{nan, 0.9, nan, 0.1, 0.5, nan}
+
+	// k covering everything: real scores descending first, NaNs last by id.
+	all := SelectTopK(candidates, scores, len(candidates))
+	wantItems := []int{11, 14, 13, 10, 12, 15}
+	for i, w := range wantItems {
+		if all[i].Item != w {
+			t.Fatalf("rank %d = item %d, want %d (full: %v)", i, all[i].Item, w, all)
+		}
+	}
+	for _, s := range all[3:] {
+		if s.Score == s.Score {
+			t.Fatalf("item %d ranked in the NaN tail with real score %v", s.Item, s.Score)
+		}
+	}
+
+	// Small k must keep the real scores and drop NaNs first, regardless of
+	// the order they streamed through the heap.
+	top := SelectTopK(candidates, scores, 3)
+	if len(top) != 3 {
+		t.Fatalf("got %d items want 3", len(top))
+	}
+	for i, w := range []int{11, 14, 13} {
+		if top[i].Item != w {
+			t.Fatalf("top-3 rank %d = item %d, want %d (%v)", i, top[i].Item, w, top)
+		}
+	}
+
+	// All-NaN input still yields a total order (by item id).
+	allNaN := SelectTopK([]int{5, 3, 4}, []float32{nan, nan, nan}, 2)
+	if allNaN[0].Item != 3 || allNaN[1].Item != 4 {
+		t.Fatalf("all-NaN order %v, want items 3,4", allNaN)
+	}
+}
+
+// TestBatcherReuseMatchesFreshBuild: the pooled Batcher must produce the
+// same batches as fresh construction, across shrinking and growing row
+// counts that exercise scratch reuse.
+func TestBatcherReuseMatchesFreshBuild(t *testing.T) {
+	m := serveModel(t)
+	r, _ := NewRanker(m, 1, 16)
+	ctx := testContext()
+	b := r.NewBatcher()
+	for _, candidates := range [][]int{{1, 2, 3, 4, 5}, {9}, {7, 8, 6, 5, 4, 3, 2}} {
+		got := b.Build(ctx, candidates)
+		want := r.NewBatcher().Build(ctx, candidates)
+		if got.Size() != want.Size() || got.Dense.MaxAbsDiff(want.Dense) != 0 {
+			t.Fatalf("reused dense differs for %v", candidates)
+		}
+		for tbl := range want.Sparse {
+			for s := range want.Sparse[tbl] {
+				if got.Sparse[tbl][s] != want.Sparse[tbl][s] {
+					t.Fatalf("sparse[%d][%d] = %d want %d", tbl, s, got.Sparse[tbl][s], want.Sparse[tbl][s])
+				}
+			}
+		}
+		for s, o := range want.Offsets {
+			if got.Offsets[s] != o {
+				t.Fatalf("offsets[%d] = %d want %d", s, got.Offsets[s], o)
+			}
+		}
+	}
+}
+
+// TestBatcherBuildRowsMatchesPerContextBuild: a coalesced multi-context
+// batch must score row-for-row like the single-context path.
+func TestBatcherBuildRowsMatchesPerContextBuild(t *testing.T) {
+	m := serveModel(t)
+	r, _ := NewRanker(m, 1, 64)
+	ctxA := testContext()
+	ctxB := Context{Dense: []float32{-0.3, 2, 1.1}, Sparse: []int{42, 0}}
+	rows := []Row{{&ctxA, 3}, {&ctxB, 1999}, {&ctxA, 7}, {&ctxB, 0}}
+	coalesced := m.Predict(r.NewBatcher().BuildRows(rows))
+
+	sa, err := r.Score(ctxA, []int{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := r.Score(ctxB, []int{1999, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{sa[0], sb[0], sa[1], sb[1]}
+	for i := range want {
+		if coalesced[i] != want[i] {
+			t.Fatalf("coalesced row %d = %v, per-context path says %v", i, coalesced[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package served
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ScoreRequest is the JSON body of POST /score and POST /topk.
+type ScoreRequest struct {
+	// Dense and Sparse form the request context (serve.Context semantics:
+	// the item feature's sparse slot is ignored during ranking).
+	Dense  []float32 `json:"dense"`
+	Sparse []int     `json:"sparse"`
+	// Candidates are the item ids to score.
+	Candidates []int `json:"candidates"`
+	// K selects top-k ranking on /topk (ignored by /score).
+	K int `json:"k,omitempty"`
+	// TimeoutMS overrides the pool's default deadline for this request in
+	// milliseconds (0: pool default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// ScoreResponse is the JSON body answering /score.
+type ScoreResponse struct {
+	Scores []float32 `json:"scores"`
+}
+
+// TopKResponse is the JSON body answering /topk.
+type TopKResponse struct {
+	Items []ScoredItem `json:"items"`
+}
+
+// ScoredItem mirrors serve.Scored with stable JSON field names.
+type ScoredItem struct {
+	Item  int     `json:"item"`
+	Score float32 `json:"score"`
+}
+
+// errorResponse is the JSON body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler exposes the pool over HTTP JSON: POST /score returns calibrated
+// CTRs in candidate order, POST /topk the ranked top k. Shedding maps to
+// status codes a load balancer can act on: 503 for ErrOverloaded and
+// ErrShutdown, 504 for ErrDeadline, 400 for invalid requests.
+func (p *Pool) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
+		p.handle(w, r, false)
+	})
+	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+		p.handle(w, r, true)
+	})
+	return mux
+}
+
+func (p *Pool) handle(w http.ResponseWriter, r *http.Request, topK bool) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req ScoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	ctx := serve.Context{Dense: req.Dense, Sparse: req.Sparse}
+	timeout := p.opts.Timeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if topK {
+		items, err := p.TopKDeadline(ctx, req.Candidates, req.K, timeout)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out := TopKResponse{Items: make([]ScoredItem, len(items))}
+		for i, s := range items {
+			out.Items[i] = ScoredItem{Item: s.Item, Score: s.Score}
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	scores, err := p.ScoreDeadline(ctx, req.Candidates, timeout)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if scores == nil {
+		scores = []float32{}
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{Scores: scores})
+}
+
+// writeError maps pool and serve errors to HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShutdown):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, serve.ErrInvalidContext),
+		errors.Is(err, serve.ErrInvalidCandidate),
+		errors.Is(err, serve.ErrInvalidConfig):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding a fixed-shape response cannot fail; a broken connection is
+	// the client's problem.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,122 @@
+package served
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func postJSON(t *testing.T, h http.Handler, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHTTPScoreAndTopK(t *testing.T) {
+	m := poolModel(t)
+	serial, err := serve.NewRanker(m, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := poolContext(0)
+	candidates := poolCandidates(0)
+	wantScores, err := serial.Score(ctx, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTop, err := serial.TopK(ctx, candidates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := New(m, 1, 16, Options{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	h := p.Handler()
+
+	rec := postJSON(t, h, "/score", ScoreRequest{Dense: ctx.Dense, Sparse: ctx.Sparse, Candidates: candidates})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/score status %d: %s", rec.Code, rec.Body.String())
+	}
+	var sr ScoreResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Scores) != len(wantScores) {
+		t.Fatalf("got %d scores want %d", len(sr.Scores), len(wantScores))
+	}
+	for i := range wantScores {
+		if sr.Scores[i] != wantScores[i] {
+			t.Fatalf("score %d: %v want %v", i, sr.Scores[i], wantScores[i])
+		}
+	}
+
+	rec = postJSON(t, h, "/topk", ScoreRequest{Dense: ctx.Dense, Sparse: ctx.Sparse, Candidates: candidates, K: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/topk status %d: %s", rec.Code, rec.Body.String())
+	}
+	var tr TopKResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Items) != len(wantTop) {
+		t.Fatalf("got %d items want %d", len(tr.Items), len(wantTop))
+	}
+	for i := range wantTop {
+		if tr.Items[i].Item != wantTop[i].Item || tr.Items[i].Score != wantTop[i].Score {
+			t.Fatalf("top[%d] = %+v want %+v", i, tr.Items[i], wantTop[i])
+		}
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	m := poolModel(t)
+	p, err := New(m, 1, 16, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Handler()
+
+	// Invalid context → 400.
+	rec := postJSON(t, h, "/score", ScoreRequest{Dense: []float32{1}, Sparse: []int{0, 0}, Candidates: []int{1}})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad context status %d want 400", rec.Code)
+	}
+	// Invalid candidate → 400.
+	ctx := poolContext(0)
+	rec = postJSON(t, h, "/topk", ScoreRequest{Dense: ctx.Dense, Sparse: ctx.Sparse, Candidates: []int{5000}, K: 2})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad candidate status %d want 400", rec.Code)
+	}
+	// Broken JSON → 400.
+	req := httptest.NewRequest(http.MethodPost, "/score", bytes.NewReader([]byte("{not json")))
+	raw := httptest.NewRecorder()
+	h.ServeHTTP(raw, req)
+	if raw.Code != http.StatusBadRequest {
+		t.Fatalf("broken JSON status %d want 400", raw.Code)
+	}
+	// GET → 405.
+	get := httptest.NewRecorder()
+	h.ServeHTTP(get, httptest.NewRequest(http.MethodGet, "/score", nil))
+	if get.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d want 405", get.Code)
+	}
+	// Shut-down pool → 503.
+	p.Close()
+	rec = postJSON(t, h, "/score", ScoreRequest{Dense: ctx.Dense, Sparse: ctx.Sparse, Candidates: []int{1}})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close status %d want 503", rec.Code)
+	}
+}

@@ -1,0 +1,445 @@
+// Package served is the production serving front end over a trained DLRM:
+// a replica pool that fixes the concurrent-scoring data race structurally.
+//
+// After the buffer-reuse work, every nn layer, the dlrm.Model and the Eff-TT
+// arena own mutable scratch, so two concurrent Ranker calls on one model are
+// a data race. Instead of locking the hot path, the pool clones the model N
+// ways (dlrm.Model.CloneForServing: deep-copied layer buffers and TT arenas
+// over shared read-only TT cores) and gives each replica its own worker
+// goroutine — within a replica requests run serially, across replicas they
+// run in parallel, and no two goroutines ever share mutable scratch.
+//
+// In front of the replicas sits a bounded admission queue with typed
+// shedding (ErrOverloaded when the queue is full, ErrDeadline when a request
+// waited past its deadline, ErrShutdown after Close) and a request coalescer:
+// a worker drains whatever is queued — up to MaxCoalesce requests — into one
+// micro-batch, built through pooled serve.Batcher scratch, and scores it in
+// a single model forward pass (cf. DeepRecSys' ranking-stage batching).
+// Because every scoring kernel accumulates per output element in fixed
+// k-order, a sample's score does not depend on its micro-batch neighbours:
+// pooled results are bit-identical to the serial path, which the -race tests
+// assert.
+package served
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dlrm"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Typed shedding errors. Match with errors.Is; every error the pool returns
+// for an admission failure wraps one of these.
+var (
+	// ErrOverloaded marks a request rejected because the admission queue was
+	// full — the caller should back off or route to another node.
+	ErrOverloaded = errors.New("served: overloaded")
+	// ErrDeadline marks a request shed because it waited in the queue past
+	// its deadline — scoring it would only return a result nobody wants.
+	ErrDeadline = errors.New("served: deadline exceeded")
+	// ErrShutdown marks a request rejected because the pool is draining.
+	ErrShutdown = errors.New("served: pool shut down")
+)
+
+// Options configures a Pool. The zero value serves: one replica, a
+// 64-request queue, micro-batches of up to 8 requests, no deadline.
+type Options struct {
+	// Replicas is the number of model clones, each with its own worker
+	// goroutine; requests run in parallel across replicas.
+	Replicas int
+	// QueueDepth bounds the admission queue; a full queue sheds with
+	// ErrOverloaded instead of building unbounded latency.
+	QueueDepth int
+	// MaxCoalesce caps how many waiting requests one worker merges into a
+	// single micro-batch forward pass.
+	MaxCoalesce int
+	// Timeout is the default per-request deadline measured from admission
+	// (0: none). Requests still queued past it are shed with ErrDeadline.
+	Timeout time.Duration
+	// Hydrate, when non-nil, runs once per coalesced micro-batch on the
+	// replica worker after validation and before scoring — the blocking
+	// feature-fetch stage of a DeepRecSys-style rank server, resolving
+	// candidate features from a remote store in one batched call. Each
+	// replica blocks independently, so hydration stalls overlap across
+	// replicas while other replicas score. A non-nil error fails every
+	// request in the micro-batch. The callback must not retain the slice.
+	Hydrate func(batch []HydrateRequest) error
+	// Clock is the time base for deadlines and latency instruments
+	// (nil: system clock). Tests inject a manual clock.
+	Clock obs.Clock
+	// Metrics, when non-nil, registers the serve_* pool instruments.
+	// Instrumentation is fixed at construction so workers never race an
+	// attach.
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.MaxCoalesce <= 0 {
+		o.MaxCoalesce = 8
+	}
+	o.Clock = obs.OrSystem(o.Clock)
+	return o
+}
+
+// Pool serves Score/TopK traffic over N isolated replicas of one model.
+type Pool struct {
+	opts     Options
+	clock    obs.Clock
+	replicas []*replica
+
+	queue chan *request
+	depth atomic.Int64 // admitted but not yet claimed by a worker
+
+	mu     sync.RWMutex
+	closed bool // guarded by mu
+
+	wg  sync.WaitGroup
+	met poolMetrics
+}
+
+// replica is one isolated copy of the model plus its scoring scratch; it is
+// only ever touched by the single worker goroutine that owns it.
+type replica struct {
+	model   *dlrm.Model
+	ranker  *serve.Ranker
+	batcher *serve.Batcher
+	batch   int // scoring chunk size (rows per forward pass)
+
+	reqs []*request       // coalesce scratch, reused across micro-batches
+	rows []serve.Row      // flattened row scratch, reused across micro-batches
+	hyd  []HydrateRequest // hydration scratch, reused across micro-batches
+}
+
+// HydrateRequest is one live request handed to the Options.Hydrate stage.
+type HydrateRequest struct {
+	Ctx        *serve.Context
+	Candidates []int
+}
+
+// poolMetrics instruments the pool. Zero value (no registry): every record
+// path is a nil-safe no-op. The request/error counters reuse the
+// serve.Ranker names — a node runs either the single-goroutine Ranker or
+// the pool, so dashboards read serve_requests/serve_errors the same way for
+// both.
+type poolMetrics struct {
+	requests     *obs.Counter   // serve_requests: admission attempts
+	errors       *obs.Counter   // serve_errors: error responses (incl. sheds)
+	shedOverload *obs.Counter   // serve_shed_overload
+	shedDeadline *obs.Counter   // serve_shed_deadline
+	queueDepth   *obs.Gauge     // serve_queue_depth
+	coalesced    *obs.Histogram // serve_coalesced_batch_size: requests per micro-batch
+	queueWaitNS  *obs.Histogram // serve_queue_wait_ns: admission → worker pickup
+	hydrateNS    *obs.Histogram // serve_hydrate_ns: Hydrate stage per micro-batch
+	execNS       *obs.Histogram // serve_exec_ns: micro-batch hydrate+build+forward+rank
+}
+
+func newPoolMetrics(reg *obs.Registry) poolMetrics {
+	if reg == nil {
+		return poolMetrics{}
+	}
+	return poolMetrics{
+		requests:     reg.Counter("serve_requests"),
+		errors:       reg.Counter("serve_errors"),
+		shedOverload: reg.Counter("serve_shed_overload"),
+		shedDeadline: reg.Counter("serve_shed_deadline"),
+		queueDepth:   reg.Gauge("serve_queue_depth"),
+		coalesced:    reg.Histogram("serve_coalesced_batch_size"),
+		queueWaitNS:  reg.Histogram("serve_queue_wait_ns"),
+		hydrateNS:    reg.Histogram("serve_hydrate_ns"),
+		execNS:       reg.Histogram("serve_exec_ns"),
+	}
+}
+
+// New builds a pool over model: Options.Replicas serving clones, each
+// validated through its own serve.Ranker. itemFeature and batchSize have
+// Ranker semantics (which sparse feature carries the candidate id, and the
+// rows-per-forward-pass chunk size). The source model must not train while
+// the pool serves — the clones share its embedding cores read-only.
+func New(model *dlrm.Model, itemFeature, batchSize int, opts Options) (*Pool, error) {
+	p, err := newPool(model, itemFeature, batchSize, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range p.replicas {
+		r := r
+		p.spawn(func() { p.run(r) })
+	}
+	return p, nil
+}
+
+// newPool builds the pool without starting workers (tests drive serveOne
+// and process synchronously against a stopped pool).
+func newPool(model *dlrm.Model, itemFeature, batchSize int, opts Options) (*Pool, error) {
+	opts = opts.withDefaults()
+	p := &Pool{
+		opts:  opts,
+		clock: opts.Clock,
+		queue: make(chan *request, opts.QueueDepth),
+		met:   newPoolMetrics(opts.Metrics),
+	}
+	for i := 0; i < opts.Replicas; i++ {
+		clone, err := model.CloneForServing()
+		if err != nil {
+			return nil, fmt.Errorf("served: replica %d: %w", i, err)
+		}
+		ranker, err := serve.NewRanker(clone, itemFeature, batchSize)
+		if err != nil {
+			return nil, fmt.Errorf("served: replica %d: %w", i, err)
+		}
+		p.replicas = append(p.replicas, &replica{
+			model:   clone,
+			ranker:  ranker,
+			batcher: ranker.NewBatcher(),
+			batch:   batchSize,
+		})
+	}
+	return p, nil
+}
+
+// Replicas returns the number of serving replicas.
+func (p *Pool) Replicas() int { return len(p.replicas) }
+
+// spawn starts fn on a pool goroutine tracked by the drain barrier. Every
+// pool goroutine is born here (the gospawn analyzer enforces it), so worker
+// lifetime is always tied to Close.
+func (p *Pool) spawn(fn func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		fn()
+	}()
+}
+
+// request is one queued Score/TopK call.
+type request struct {
+	ctx        serve.Context
+	candidates []int
+	k          int           // 0: Score, >0: TopK
+	timeout    time.Duration // 0: no deadline
+	admitted   time.Time     // pool-clock timestamp at admission
+	done       chan response // cap 1: respond never blocks the worker
+	responded  bool          // owned by the worker processing the request
+}
+
+type response struct {
+	scores []float32
+	top    []serve.Scored
+	err    error
+}
+
+// respond delivers at most one response; later calls (the panic backstop
+// re-failing an already-answered batch) are no-ops.
+func (req *request) respond(r response) {
+	if req.responded {
+		return
+	}
+	req.responded = true
+	req.done <- r
+}
+
+// Score scores candidates for ctx through the pool, using the pool's
+// default deadline. Results are bit-identical to serve.Ranker.Score on the
+// source model.
+func (p *Pool) Score(ctx serve.Context, candidates []int) ([]float32, error) {
+	return p.ScoreDeadline(ctx, candidates, p.opts.Timeout)
+}
+
+// ScoreDeadline is Score with a per-request deadline override (0: none).
+func (p *Pool) ScoreDeadline(ctx serve.Context, candidates []int, timeout time.Duration) ([]float32, error) {
+	resp := p.do(&request{ctx: ctx, candidates: candidates, timeout: timeout})
+	return resp.scores, resp.err
+}
+
+// TopK returns the k highest-scoring candidates through the pool, with
+// serve.Ranker.TopK ordering (NaN last, ties by lower item id).
+func (p *Pool) TopK(ctx serve.Context, candidates []int, k int) ([]serve.Scored, error) {
+	return p.TopKDeadline(ctx, candidates, k, p.opts.Timeout)
+}
+
+// TopKDeadline is TopK with a per-request deadline override (0: none).
+func (p *Pool) TopKDeadline(ctx serve.Context, candidates []int, k int, timeout time.Duration) ([]serve.Scored, error) {
+	if k <= 0 {
+		p.met.requests.Inc()
+		p.met.errors.Inc()
+		return nil, fmt.Errorf("%w: non-positive k %d", serve.ErrInvalidConfig, k)
+	}
+	resp := p.do(&request{ctx: ctx, candidates: candidates, k: k, timeout: timeout})
+	return resp.top, resp.err
+}
+
+// do admits the request and blocks until its worker responds (or admission
+// sheds it).
+func (p *Pool) do(req *request) response {
+	if err := p.admit(req); err != nil {
+		p.met.errors.Inc()
+		return response{err: err}
+	}
+	resp := <-req.done
+	if resp.err != nil {
+		p.met.errors.Inc()
+	}
+	return resp
+}
+
+// admit enqueues the request, shedding with ErrShutdown after Close and
+// ErrOverloaded when the bounded queue is full. The closed flag and the
+// channel close happen under mu, so admit can never send on a closed queue.
+func (p *Pool) admit(req *request) error {
+	p.met.requests.Inc()
+	req.admitted = p.clock.Now()
+	req.done = make(chan response, 1)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrShutdown
+	}
+	select {
+	case p.queue <- req:
+		p.met.queueDepth.Set(float64(p.depth.Add(1)))
+		return nil
+	default:
+		p.met.shedOverload.Inc()
+		return fmt.Errorf("%w: queue of %d full", ErrOverloaded, cap(p.queue))
+	}
+}
+
+// run is a replica's worker loop: serve micro-batches until the queue
+// closes and drains.
+func (p *Pool) run(r *replica) {
+	for p.serveOne(r) {
+	}
+}
+
+// serveOne blocks for one request, coalesces whatever else is waiting (up
+// to MaxCoalesce) into a micro-batch, and processes it. Returns false once
+// the queue is closed and fully drained.
+func (p *Pool) serveOne(r *replica) bool {
+	req, ok := <-p.queue
+	if !ok {
+		return false
+	}
+	r.reqs = r.reqs[:0]
+	r.reqs = append(r.reqs, req)
+coalesce:
+	for len(r.reqs) < p.opts.MaxCoalesce {
+		select {
+		case more, ok := <-p.queue:
+			if !ok {
+				break coalesce // closed mid-drain: serve what we have
+			}
+			r.reqs = append(r.reqs, more)
+		default:
+			break coalesce
+		}
+	}
+	p.met.queueDepth.Set(float64(p.depth.Add(int64(-len(r.reqs)))))
+	p.process(r, r.reqs)
+	return true
+}
+
+// process scores one coalesced micro-batch on r: shed expired requests,
+// reject invalid ones, flatten the rest into rows, run chunked forward
+// passes through the replica's pooled batcher, and split the scores back
+// per request. Every request in reqs receives exactly one response.
+func (p *Pool) process(r *replica, reqs []*request) {
+	defer func() {
+		// Backstop: a scoring panic must fail the batch, not kill the
+		// worker with callers blocked on their done channels.
+		if v := recover(); v != nil {
+			err := fmt.Errorf("served: replica fault: %v", v)
+			for _, req := range reqs {
+				req.respond(response{err: err})
+			}
+		}
+	}()
+	start := p.clock.Now()
+	live := reqs[:0]
+	for _, req := range reqs {
+		wait := start.Sub(req.admitted)
+		p.met.queueWaitNS.Observe(float64(wait))
+		if req.timeout > 0 && wait > req.timeout {
+			p.met.shedDeadline.Inc()
+			req.respond(response{err: fmt.Errorf("%w: queued %v, deadline %v", ErrDeadline, wait, req.timeout)})
+			continue
+		}
+		if err := r.ranker.Validate(req.ctx); err != nil {
+			req.respond(response{err: err})
+			continue
+		}
+		if err := r.ranker.ValidateCandidates(req.candidates); err != nil {
+			req.respond(response{err: err})
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	p.met.coalesced.Observe(float64(len(live)))
+	if p.opts.Hydrate != nil {
+		r.hyd = r.hyd[:0]
+		for _, req := range live {
+			r.hyd = append(r.hyd, HydrateRequest{Ctx: &req.ctx, Candidates: req.candidates})
+		}
+		hs := p.clock.Now()
+		err := p.opts.Hydrate(r.hyd)
+		p.met.hydrateNS.Observe(float64(obs.Since(p.clock, hs)))
+		if err != nil {
+			err = fmt.Errorf("served: hydrate: %w", err)
+			for _, req := range live {
+				req.respond(response{err: err})
+			}
+			return
+		}
+	}
+	r.rows = r.rows[:0]
+	for _, req := range live {
+		for _, c := range req.candidates {
+			r.rows = append(r.rows, serve.Row{Ctx: &req.ctx, Item: c})
+		}
+	}
+	scores := make([]float32, 0, len(r.rows))
+	for s := 0; s < len(r.rows); s += r.batch {
+		e := s + r.batch
+		if e > len(r.rows) {
+			e = len(r.rows)
+		}
+		scores = append(scores, r.model.Predict(r.batcher.BuildRows(r.rows[s:e]))...)
+	}
+	off := 0
+	for _, req := range live {
+		n := len(req.candidates)
+		own := append([]float32(nil), scores[off:off+n]...)
+		off += n
+		if req.k > 0 {
+			req.respond(response{top: serve.SelectTopK(req.candidates, own, req.k)})
+		} else {
+			req.respond(response{scores: own})
+		}
+	}
+	p.met.execNS.Observe(float64(obs.Since(p.clock, start)))
+}
+
+// Close stops admission (new requests shed with ErrShutdown) and drains:
+// every already-queued request is still served — or deadline-shed — before
+// the workers exit. Safe to call more than once; blocks until drained.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

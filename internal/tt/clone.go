@@ -1,0 +1,26 @@
+package tt
+
+// CloneForServing returns a read-path replica of the table for concurrent
+// inference: the clone shares t's core matrices (the compressed parameters,
+// treated as immutable while serving) and owns every piece of mutable
+// lookup state — arena ForwardCache, cross-batch prefix cache, core-version
+// counters, stripe locks and metric hooks start fresh and lazily. Distinct
+// clones therefore never touch shared mutable memory on Lookup, so each
+// serving replica can score concurrently with the others.
+//
+// The sharing contract is read-only: while any clone is serving, neither t
+// nor any clone may run Update/Backward (or any other core mutation) —
+// a weight write would race with the clones' reads. Training a new model
+// version and re-cloning is the supported update path.
+func (t *Table) CloneForServing() *Table {
+	return &Table{
+		Shape:         t.Shape,
+		Opts:          t.Opts,
+		Deterministic: t.Deterministic,
+		// Array assignment copies the three matrix pointers: cores are
+		// shared storage, everything else (arena, pcache, grads, locks,
+		// versions, metrics) stays zero and is allocated per clone on
+		// first use.
+		Cores: t.Cores,
+	}
+}
