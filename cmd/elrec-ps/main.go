@@ -1,0 +1,129 @@
+// Command elrec-ps runs one parameter-server shard of a distributed EL-Rec
+// training cluster. The overflow embedding tables (those too small for TT
+// compression) are partitioned across -shards shards by a consistent-hash
+// ring; each shard owns its rows exclusively, checkpoints them durably in
+// -dir, and fences stale trainers by lease epoch.
+//
+// Every participant — each shard and each worker — must be started with the
+// same dataset and model flags: the scenario derived from them defines the
+// table universe, the seeds, and therefore the bit-exact initial state.
+// Shard 0 doubles as the trainer-lease authority.
+//
+// Usage (a two-shard cluster):
+//
+//	elrec-ps -id 0 -shards 2 -addr localhost:7070 -dir /tmp/shard0
+//	elrec-ps -id 1 -shards 2 -addr localhost:7071 -dir /tmp/shard1
+//
+// SIGINT/SIGTERM drains gracefully: in-flight requests finish (bounded by
+// -drain-timeout), then the listener closes. Durable state — versioned
+// checkpoints and the fencing-epoch file — survives any exit, including
+// SIGKILL: a restarted shard rejoins unrestored and waits for the trainer
+// to roll it back to the last coordinated checkpoint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/distps"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id     = flag.Int("id", 0, "this shard's index in [0, shards)")
+		shards = flag.Int("shards", 1, "total number of PS shards")
+		addr   = flag.String("addr", "localhost:7070", "listen address (use :0 for an ephemeral port)")
+		dir    = flag.String("dir", "", "durable state directory (checkpoints + fencing epoch); required")
+
+		dataset      = flag.String("dataset", "kaggle", "dataset preset: avazu, kaggle or terabyte")
+		datasetScale = flag.Float64("dataset-scale", 0.001, "dataset cardinality multiplier")
+		dim          = flag.Int("dim", 16, "embedding dimension")
+		rank         = flag.Int("rank", 8, "TT rank (device tables)")
+		lr           = flag.Float64("lr", 0.5, "learning rate (scenario parity with workers)")
+		ttThreshold  = flag.Int("tt-threshold", 10_000, "min rows for device TT compression; smaller tables shard here")
+		queueDepth   = flag.Int("queue", 4, "worker pipeline queue depth (scenario parity)")
+
+		leaseTTL     = flag.Duration("lease-ttl", 3*time.Second, "default trainer-lease duration")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "max wait for in-flight requests on shutdown")
+		debugAddr    = flag.String("debug-addr", "", "debug endpoint address (/metrics, pprof); empty disables")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
+	)
+	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	log := obs.NewLogger(os.Stderr, level, nil)
+	if *dir == "" {
+		log.Error("missing -dir: a shard needs a durable state directory")
+		return 2
+	}
+
+	sc, err := distps.NewScenario(*dataset, *datasetScale, *dim, *rank, *ttThreshold, *lr, *queueDepth)
+	if err != nil {
+		log.Error("invalid scenario flags", "err", err)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	cfg := sc.ShardConfig(*id, *shards, *dir)
+	cfg.LeaseTTL = *leaseTTL
+	cfg.DrainTimeout = *drainTimeout
+	cfg.Metrics = reg
+	cfg.Log = log
+	shard, err := distps.NewShard(cfg)
+	if err != nil {
+		log.Error("shard boot failed", "err", err)
+		return 1
+	}
+
+	var dbg *obs.DebugServer
+	if *debugAddr != "" {
+		dbg, err = obs.Serve(*debugAddr, reg, nil)
+		if err != nil {
+			log.Error("debug endpoint failed", "err", err)
+			return 1
+		}
+		log.Info("debug endpoint up", "addr", dbg.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		return 1
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- shard.Serve(ln) }()
+	log.Info("shard serving", "id", *id, "shards", *shards, "addr", ln.Addr().String(),
+		"tables", len(sc.HostSpecs()), "version", shard.Version(), "restored", shard.Restored())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Info("draining", "signal", s.String())
+	case err := <-errc:
+		log.Error("shard serve failed", "err", err)
+		_ = shard.Close()
+		_ = dbg.Shutdown(time.Second)
+		return 1
+	}
+	if err := shard.Close(); err != nil {
+		log.Warn("drain incomplete", "err", err)
+	}
+	_ = dbg.Shutdown(time.Second)
+	log.Info("shard stopped", "id", *id, "version", shard.Version())
+	return 0
+}

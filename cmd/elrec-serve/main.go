@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -143,7 +144,11 @@ func run() int {
 		log.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	log.Info("serving", "addr", ln.Addr().String(), "replicas", pool.Replicas(),
@@ -159,9 +164,14 @@ func run() int {
 		pool.Close()
 		return 1
 	}
-	// Stop accepting connections, then drain the pool: queued requests are
-	// still scored before workers exit.
-	_ = srv.Close()
+	// Graceful shutdown, bounded: admission stops immediately, in-flight
+	// HTTP requests get a few seconds to finish, stragglers are cut. The
+	// pool then drains whatever was already admitted.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		_ = srv.Close()
+	}
+	cancel()
 	pool.Close()
 	snap := reg.Snapshot()
 	log.Info("drained", "requests", snap.Counter("serve_requests"),

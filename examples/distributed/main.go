@@ -1,0 +1,161 @@
+// Distributed: the full parameter-server cluster in one process — two PS
+// shards on loopback TCP holding the consistent-hash-sharded overflow
+// tables, and a trainer worker driving them through the batched
+// gather/push pipeline with coordinated checkpoints. Halfway through, one
+// shard is killed and restarted from its durable state; the worker's
+// recovery loop fences a new lease epoch, rolls the cluster back to the
+// last committed checkpoint, and resumes. The punchline is the EL-Rec
+// fault-tolerance contract: the recovered run's final parameters are
+// bit-identical to a single-process run that never saw a failure.
+//
+// The same protocol runs across real machines via the elrec-ps and
+// elrec-worker binaries; see the README quickstart.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+
+	"repro/internal/data"
+	"repro/internal/distps"
+	"repro/internal/ps"
+	"repro/internal/tensor"
+)
+
+const (
+	steps = 200
+	batch = 64
+	every = 50 // coordinated checkpoint interval
+)
+
+func main() {
+	sc, err := distps.NewScenario("kaggle", 0.0005, 8, 4, 2000, 0.5, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := data.New(sc.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario: %d tables, %d sharded to the parameter server, %d TT-compressed on device\n",
+		len(sc.Spec.TableRows), len(sc.HostSpecs()),
+		len(sc.Spec.TableRows)-len(sc.HostSpecs()))
+
+	// Boot a two-shard cluster on loopback; each shard's checkpoints and
+	// fencing epoch live in its own durable directory.
+	work, err := os.MkdirTemp("", "elrec-distributed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+	dirs := []string{filepath.Join(work, "shard0"), filepath.Join(work, "shard1")}
+	shards := make([]*distps.Shard, 2)
+	addrs := make([]string, 2)
+	for i := range shards {
+		shards[i], addrs[i] = boot(sc, i, dirs[i], "127.0.0.1:0")
+	}
+	fmt.Printf("shards up: %v\n", addrs)
+
+	// The worker: coordinated checkpoints every 50 steps, and a hook that
+	// SIGKILLs (well, Close()s) shard 1 right after the version-100
+	// checkpoint commits — the most awkward moment, with the cluster ahead
+	// of the worker's local state file.
+	killed := false
+	w, err := distps.NewWorker(distps.WorkerConfig{
+		ID: 1, Shards: addrs, Scenario: sc,
+		CheckpointPath:  filepath.Join(work, "worker.ckpt"),
+		CheckpointEvery: every,
+		AfterCheckpoint: func(v int64) {
+			if v != 2*every || killed {
+				return
+			}
+			killed = true
+			fmt.Printf("version %d committed — killing shard 1 and restarting it from %s\n", v, dirs[1])
+			shards[1].Close()
+			shards[1], _ = boot(sc, 1, dirs[1], addrs[1])
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	res, err := w.Run(context.Background(), src, steps, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed run done: %d iterations trained (%d net), %d recovery\n",
+		res.Completed, steps, res.Recoveries)
+	distHash := hashWorker(sc, w) // gather the final rows back before the shards go away
+	for _, s := range shards {
+		s.Close()
+	}
+
+	// The oracle: the identical scenario, host tables in local memory.
+	locs, err := sc.ReferenceLocs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := ps.NewPipeline(sc.PipelineConfig(), locs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ref.Train(context.Background(), src, 0, steps, batch); err != nil {
+		log.Fatal(err)
+	}
+
+	refHash := hashReference(sc, ref)
+	fmt.Printf("distributed final state: %016x\n", distHash)
+	fmt.Printf("reference final state:   %016x\n", refHash)
+	if distHash != refHash {
+		log.Fatal("recovered run diverged from the single-process reference")
+	}
+	fmt.Println("bit-identical: the kill, the rollback and the replay left no trace")
+}
+
+func boot(sc distps.Scenario, id int, dir, addr string) (*distps.Shard, string) {
+	s, err := distps.NewShard(sc.ShardConfig(id, 2, dir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go s.Serve(ln)
+	return s, ln.Addr().String()
+}
+
+func hashWorker(sc distps.Scenario, w *distps.Worker) uint64 {
+	specs := sc.HostSpecs()
+	values := make([]*tensor.Matrix, len(specs))
+	for h, spec := range specs {
+		m, err := distps.GatherFullTable(w.Client().Store(spec), spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		values[h] = m
+	}
+	hash, err := distps.HashState(w.Pipeline(), specs, values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return hash
+}
+
+func hashReference(sc distps.Scenario, p *ps.Pipeline) uint64 {
+	specs := sc.HostSpecs()
+	values := make([]*tensor.Matrix, len(specs))
+	for h := range specs {
+		values[h] = p.HostBag(h).Weights
+	}
+	hash, err := distps.HashState(p, specs, values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return hash
+}

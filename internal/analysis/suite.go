@@ -23,12 +23,16 @@ var deterministicPackages = map[string]bool{
 
 // goroutineOwnerPackages are the packages that own long-lived goroutines
 // and therefore must route every `go` statement through their
-// panic-converting spawn helper: the pipeline trainer (ps) and the serving
-// replica pool (served), whose callers block on response channels that a
-// crashed bare goroutine would never answer.
+// panic-converting spawn helper: the pipeline trainer (ps), the serving
+// replica pool (served), the distributed parameter server (distps, whose
+// shard accept loops and heartbeat tickers outlive individual requests),
+// and the fault proxy (faults), whose callers block on response channels
+// or socket reads that a crashed bare goroutine would never answer.
 var goroutineOwnerPackages = map[string]bool{
 	ModulePath + "/internal/ps":     true,
 	ModulePath + "/internal/served": true,
+	ModulePath + "/internal/distps": true,
+	ModulePath + "/internal/faults": true,
 }
 
 // Applies reports whether analyzer a runs on package pkgPath. Library

@@ -8,9 +8,11 @@ package checkpoint
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/dlrm"
 	"repro/internal/embedding"
@@ -20,16 +22,40 @@ import (
 
 // Format constants. Version 2 adds the Adagrad-wrapped dense bag kind and
 // the training-state envelope; version-1 model files remain readable.
+// Version 3 adds the remote-table skip marker (a table whose rows live on
+// a distps parameter-server shard and are checkpointed there).
 const (
 	magic      = uint32(0xE17EC001)
 	trainMagic = uint32(0xE17EC7A1)
-	version    = uint32(2)
+	version    = uint32(3)
 
 	kindBag        = uint8(0)
 	kindTT         = uint8(1)
 	kindGeneralTT  = uint8(2)
 	kindAdagradBag = uint8(3)
+	kindRemote     = uint8(4)
 )
+
+// ErrCorruptCheckpoint reports that a checkpoint file is truncated or not
+// a checkpoint at all (bad magic, impossible version, or an EOF in the
+// middle of a record). Restores distinguish it from architecture-mismatch
+// errors: a corrupt file calls for falling back to an older checkpoint,
+// a mismatch calls for fixing the model configuration.
+var ErrCorruptCheckpoint = errors.New("checkpoint: corrupt or truncated checkpoint")
+
+// corrupt classifies decode errors: an EOF (clean or mid-record) while
+// restoring means the file ends before the format says it should — a torn
+// or truncated checkpoint — and is wrapped in ErrCorruptCheckpoint.
+// Shape/kind mismatches and I/O errors pass through unchanged.
+func corrupt(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %w", ErrCorruptCheckpoint, err)
+	}
+	return err
+}
 
 // TableResolver substitutes a model table with its checkpointable backing
 // store before serialization. The pipeline trainer uses it to map its
@@ -66,7 +92,7 @@ func LoadModel(r io.Reader, m *dlrm.Model) error {
 	if err := readHeader(br, magic); err != nil {
 		return err
 	}
-	return readModelBody(br, m, nil)
+	return corrupt(readModelBody(br, m, nil))
 }
 
 // SaveTraining writes a training-state checkpoint: the iteration counter
@@ -96,10 +122,10 @@ func LoadTraining(r io.Reader, m *dlrm.Model, resolve TableResolver) (TrainState
 	}
 	next, err := readInt(br)
 	if err != nil {
-		return TrainState{}, err
+		return TrainState{}, corrupt(err)
 	}
 	if err := readModelBody(br, m, resolve); err != nil {
-		return TrainState{}, err
+		return TrainState{}, corrupt(err)
 	}
 	return TrainState{NextIter: next}, nil
 }
@@ -162,8 +188,14 @@ func readModelBody(br *bufio.Reader, m *dlrm.Model, resolve TableResolver) error
 	return nil
 }
 
-// writeTable serializes one (resolved) embedding table.
+// writeTable serializes one (resolved) embedding table. A nil table (the
+// resolver's "rows live on a remote shard" answer) writes only a skip
+// marker: the shard checkpoints those rows itself, and the restore side
+// must resolve the same table to nil.
 func writeTable(bw *bufio.Writer, i int, table dlrm.Table) error {
+	if table == nil {
+		return bw.WriteByte(kindRemote)
+	}
 	switch tbl := table.(type) {
 	case *embedding.Bag:
 		if err := bw.WriteByte(kindBag); err != nil {
@@ -204,6 +236,15 @@ func readTable(br *bufio.Reader, i int, table dlrm.Table) error {
 	kind, err := br.ReadByte()
 	if err != nil {
 		return err
+	}
+	if table == nil {
+		if kind != kindRemote {
+			return fmt.Errorf("checkpoint: table %d kind %d, model expects a remote-table marker", i, kind)
+		}
+		return nil
+	}
+	if kind == kindRemote {
+		return fmt.Errorf("checkpoint: table %d is a remote-table marker, model expects local state", i)
 	}
 	switch tbl := table.(type) {
 	case *embedding.Bag:
@@ -275,8 +316,18 @@ func LoadTrainingFile(path string, m *dlrm.Model, resolve TableResolver) (TrainS
 	return LoadTraining(f, m, resolve)
 }
 
-// writeFileAtomic runs write against path+".tmp", fsyncs, and renames over
-// path, returning the bytes written. The temp file is removed on any failure.
+// WriteFileAtomic runs write against path+".tmp", fsyncs the file, renames
+// it over path, and fsyncs the parent directory so the rename itself is
+// durable — without the directory sync a crash shortly after rename can
+// recover to a directory that still names the old file (or none). It
+// returns the bytes written; the temp file is removed on any failure.
+// Other packages (distps shard checkpoints) reuse it for their own durable
+// state files.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (int64, error) {
+	return writeFileAtomic(path, func(f *os.File) error { return write(f) })
+}
+
+// writeFileAtomic is WriteFileAtomic over the concrete *os.File.
 func writeFileAtomic(path string, write func(*os.File) error) (int64, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -305,7 +356,23 @@ func writeFileAtomic(path string, write func(*os.File) error) (int64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
-	return size, nil
+	return size, syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Platforms whose directory handles reject Sync (some network and Windows
+// filesystems) degrade to rename-only durability rather than failing the
+// checkpoint.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
 }
 
 // --- TT section ------------------------------------------------------------
@@ -443,13 +510,13 @@ func writeHeader(w io.Writer, wantMagic uint32) error {
 func readHeader(r io.Reader, wantMagic uint32) error {
 	var m, v uint32
 	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
-		return fmt.Errorf("checkpoint: reading magic: %w", err)
+		return corrupt(fmt.Errorf("checkpoint: reading magic: %w", err))
 	}
 	if m != wantMagic {
-		return fmt.Errorf("checkpoint: bad magic %#x (not a checkpoint file of the expected kind?)", m)
+		return fmt.Errorf("%w: bad magic %#x (not a checkpoint file of the expected kind?)", ErrCorruptCheckpoint, m)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
-		return err
+		return corrupt(fmt.Errorf("checkpoint: reading version: %w", err))
 	}
 	if v < 1 || v > version {
 		return fmt.Errorf("checkpoint: unsupported version %d", v)

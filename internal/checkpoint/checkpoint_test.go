@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -281,5 +283,93 @@ func TestGeneralTTRoundTrip(t *testing.T) {
 	}
 	if err := LoadModel(bytes.NewReader(buf.Bytes()), other); err == nil {
 		t.Fatal("depth mismatch accepted")
+	}
+}
+
+// TestLoadTruncationTable saves a full training checkpoint, then replays
+// the load against a table of truncation points spanning every section of
+// the file — magic, header, MLP parameters, table records, and the
+// training-state trailer. Every strict prefix must fail with the typed
+// ErrCorruptCheckpoint sentinel so recovery code can tell a torn file from
+// an architecture mismatch.
+func TestLoadTruncationTable(t *testing.T) {
+	src := buildModel(t, 21)
+	var buf bytes.Buffer
+	if err := SaveTraining(&buf, src, nil, TrainState{NextIter: 17}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	if len(whole) < 64 {
+		t.Fatalf("checkpoint suspiciously small: %d bytes", len(whole))
+	}
+	cuts := []struct {
+		name string
+		n    int
+	}{
+		{"empty file", 0},
+		{"inside magic", 2},
+		{"after magic", 4},
+		{"inside header", 7},
+		{"inside MLP parameters", 64},
+		{"early table data", len(whole) / 4},
+		{"mid table data", len(whole) / 2},
+		{"late table data", 3 * len(whole) / 4},
+		{"missing trailer", len(whole) - 12},
+		{"one byte short", len(whole) - 1},
+	}
+	for _, tc := range cuts {
+		dst := buildModel(t, 22)
+		_, err := LoadTraining(bytes.NewReader(whole[:tc.n]), dst, nil)
+		if err == nil {
+			t.Errorf("%s (%d/%d bytes): truncated checkpoint accepted", tc.name, tc.n, len(whole))
+			continue
+		}
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Errorf("%s (%d/%d bytes): err = %v, want ErrCorruptCheckpoint", tc.name, tc.n, len(whole), err)
+		}
+	}
+	// The untruncated file still loads, and the trailer survives.
+	dst := buildModel(t, 23)
+	st, err := LoadTraining(bytes.NewReader(whole), dst, nil)
+	if err != nil {
+		t.Fatalf("full load after truncation sweep: %v", err)
+	}
+	if st.NextIter != 17 {
+		t.Fatalf("NextIter = %d, want 17", st.NextIter)
+	}
+}
+
+// TestWriteFileAtomicDurability covers the crash-consistency contract: the
+// temp file never survives, a failed write leaves no debris, and a write
+// callback error propagates.
+func TestWriteFileAtomicDurability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	n, err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len("payload")) {
+		t.Fatalf("reported %d bytes, want %d", n, len("payload"))
+	}
+	if got, err := os.ReadFile(path); err != nil || string(got) != "payload" {
+		t.Fatalf("readback: %q, %v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after success")
+	}
+
+	wantErr := errors.New("simulated write failure")
+	if _, err := WriteFileAtomic(filepath.Join(dir, "bad.bin"), func(io.Writer) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("write-callback error lost: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.bin")); !os.IsNotExist(err) {
+		t.Fatal("failed write left a destination file")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.bin.tmp")); !os.IsNotExist(err) {
+		t.Fatal("failed write left a temp file")
 	}
 }

@@ -1,0 +1,614 @@
+package distps
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/ps"
+	"repro/internal/tensor"
+)
+
+// maxRowsPerRPC chunks large gathers and pushes so a single frame stays
+// far below the payload cap (65536 rows × dim 64 × 4B ≈ 16 MB).
+const maxRowsPerRPC = 1 << 16
+
+// Backoff bounds transport-level retries: capped exponential backoff
+// starting at BaseDelay, doubling per attempt up to MaxDelay, for at most
+// MaxRetries retries after the first attempt.
+type Backoff struct {
+	MaxRetries int
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+
+	// Sleep overrides the backoff wait; tests install a recorder driving an
+	// obs.Manual clock so a heavily faulted run finishes in microseconds.
+	Sleep func(time.Duration)
+}
+
+// DefaultBackoff is the production policy: 4 retries, 5ms→250ms.
+func DefaultBackoff() Backoff {
+	return Backoff{MaxRetries: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+}
+
+func (b Backoff) withDefaults() Backoff {
+	d := DefaultBackoff()
+	if b.MaxRetries <= 0 {
+		b.MaxRetries = d.MaxRetries
+	}
+	if b.BaseDelay <= 0 {
+		b.BaseDelay = d.BaseDelay
+	}
+	if b.MaxDelay <= 0 {
+		b.MaxDelay = d.MaxDelay
+	}
+	return b
+}
+
+// Delay returns the backoff before retry `attempt` (0-based), capped.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt > 30 {
+		return b.MaxDelay
+	}
+	d := b.BaseDelay << uint(attempt)
+	if d <= 0 || d > b.MaxDelay {
+		d = b.MaxDelay
+	}
+	return d
+}
+
+func (b Backoff) sleep(d time.Duration) {
+	if b.Sleep != nil {
+		b.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// ClientConfig configures a shard-set client.
+type ClientConfig struct {
+	WorkerID uint64
+	Shards   []string // shard addresses, indexed by shard id
+
+	// Dim, Seed and Tables must match every shard's ShardConfig; Hello
+	// validates them on each new connection.
+	Dim    int
+	Seed   uint64
+	Tables []TableSpec
+
+	// Timeout is the per-RPC socket deadline (default 5s).
+	Timeout time.Duration
+
+	// LeaseTTL is requested on acquire/renew (default: shard's default).
+	LeaseTTL time.Duration
+
+	Retry      Backoff
+	MaxPayload int
+
+	Clock   obs.Clock     // drives latency measurement; nil = system
+	Metrics *obs.Registry // distps_* client instruments; nil = off
+	Log     *obs.Logger   // nil = silent
+}
+
+// clientMetrics are the client-side instruments (nil instruments no-op).
+type clientMetrics struct {
+	retries    *obs.Counter
+	reconnects *obs.Counter
+	hbMisses   *obs.Counter
+	latency    map[uint8]*obs.Histogram // request type -> RPC latency (ns)
+	up         []*obs.Gauge             // per shard: 1 = last heartbeat answered
+}
+
+// shardConn is one lazily-dialed connection to one shard. A connection
+// carries strictly serialized request/response exchanges; any transport
+// error, id mismatch or unexpected frame poisons it, and the next exchange
+// dials fresh (re-running the Hello spec check).
+type shardConn struct {
+	index int
+	addr  string
+
+	mu    sync.Mutex
+	conn  net.Conn      // guarded by mu
+	br    *bufio.Reader // guarded by mu
+	reqID uint64        // guarded by mu
+}
+
+// Client talks to the full shard set: per-call deadlines, capped-backoff
+// retries with idempotent request payloads, heartbeat liveness, and a
+// ps.HostStore adapter per table that plugs the shards into the pipeline
+// trainer.
+type Client struct {
+	cfg   ClientConfig
+	retry Backoff
+	ring  *Ring
+	clock obs.Clock
+	log   *obs.Logger
+	m     clientMetrics
+
+	epoch atomic.Uint64 // current lease epoch (fencing token)
+	seq   atomic.Uint64 // push seq within the current epoch
+
+	conns []*shardConn
+
+	hbOnce sync.Once
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
+}
+
+// NewClient builds the client; connections are dialed on first use.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("%w: no shard addresses", ErrBadRequest)
+	}
+	if cfg.Dim <= 0 || len(cfg.Tables) == 0 {
+		return nil, fmt.Errorf("%w: client needs a positive dim and at least one table", ErrBadRequest)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = DefaultMaxPayload
+	}
+	c := &Client{
+		cfg:    cfg,
+		retry:  cfg.Retry.withDefaults(),
+		ring:   NewRing(len(cfg.Shards)),
+		clock:  obs.OrSystem(cfg.Clock),
+		log:    cfg.Log,
+		hbStop: make(chan struct{}),
+	}
+	r := cfg.Metrics
+	c.m = clientMetrics{
+		retries:    r.Counter("distps_rpc_retries"),
+		reconnects: r.Counter("distps_reconnects"),
+		hbMisses:   r.Counter("distps_heartbeat_misses"),
+		latency:    make(map[uint8]*obs.Histogram),
+	}
+	for _, typ := range []uint8{msgHello, msgGather, msgPush, msgCheckpoint, msgRestore, msgHeartbeat, msgLease} {
+		c.m.latency[typ] = r.Histogram("distps_rpc_" + msgName(typ) + "_ns")
+	}
+	for i, addr := range cfg.Shards {
+		c.conns = append(c.conns, &shardConn{index: i, addr: addr})
+		c.m.up = append(c.m.up, r.Gauge(fmt.Sprintf("distps_shard%d_up", i)))
+	}
+	return c, nil
+}
+
+// Ring exposes the row-placement function (shared with the shards).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Epoch returns the current lease epoch.
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
+
+// SetEpoch installs a lease epoch obtained elsewhere and resets the push
+// seq space (seqs are monotone within an epoch).
+func (c *Client) SetEpoch(e uint64) {
+	c.epoch.Store(e)
+	c.seq.Store(0)
+}
+
+// nextSeq allocates the next push sequence number.
+func (c *Client) nextSeq() uint64 { return c.seq.Add(1) }
+
+// --- transport -------------------------------------------------------------
+
+// poisonLocked discards the connection so the next exchange dials fresh.
+//
+//elrec:locked mu callers (roundTrip and exchangeLocked's callers) hold sc.mu
+func (sc *shardConn) poisonLocked() {
+	if sc.conn != nil {
+		sc.conn.Close()
+		sc.conn = nil
+		sc.br = nil
+	}
+}
+
+// exchangeLocked performs one framed request/response on the live
+// connection. Any failure poisons the connection.
+//
+//elrec:locked mu roundTrip holds sc.mu across dial + exchange
+func (sc *shardConn) exchangeLocked(c *Client, typ uint8, payload []byte) (Frame, error) {
+	sc.reqID++
+	id := sc.reqID
+	// Socket deadlines are kernel wall time by nature; the injected clock
+	// drives only latency measurement and lease logic.
+	//elrec:wallclock socket I/O deadline is enforced by the kernel against wall time
+	if err := sc.conn.SetDeadline(time.Now().Add(c.cfg.Timeout)); err != nil {
+		sc.poisonLocked()
+		return Frame{}, err
+	}
+	if err := WriteFrame(sc.conn, Frame{Type: typ, ReqID: id, Payload: payload}); err != nil {
+		sc.poisonLocked()
+		return Frame{}, err
+	}
+	f, err := ReadFrame(sc.br, c.cfg.MaxPayload)
+	if err != nil {
+		sc.poisonLocked()
+		return Frame{}, err
+	}
+	if f.ReqID != id {
+		// A stale or duplicated frame desynchronized the stream (e.g. the
+		// fault proxy duplicated a response); nothing on this connection can
+		// be trusted anymore.
+		sc.poisonLocked()
+		return Frame{}, fmt.Errorf("%w: response id %d for request %d", ErrBadFrame, f.ReqID, id)
+	}
+	return f, nil
+}
+
+// roundTrip runs one exchange, dialing (and re-validating the spec via
+// Hello) if the connection is down.
+func (sc *shardConn) roundTrip(c *Client, typ uint8, payload []byte) (Frame, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.conn == nil {
+		//elrec:wallclock dial timeout is enforced by the kernel against wall time
+		conn, err := net.DialTimeout("tcp", sc.addr, c.cfg.Timeout)
+		if err != nil {
+			return Frame{}, err
+		}
+		sc.conn = conn
+		sc.br = bufio.NewReader(conn)
+		c.m.reconnects.Inc()
+		hello := helloMsg{WorkerID: c.cfg.WorkerID, Epoch: c.epoch.Load(), Seed: c.cfg.Seed,
+			Dim: c.cfg.Dim, Tables: c.cfg.Tables}
+		f, err := sc.exchangeLocked(c, msgHello, hello.encode())
+		if err != nil {
+			return Frame{}, err
+		}
+		body, err := checkReply(f, msgHelloAck)
+		if err != nil {
+			return Frame{}, err
+		}
+		ack, err := decodeHelloAck(body)
+		if err != nil {
+			sc.poisonLocked()
+			return Frame{}, err
+		}
+		if ack.ShardID != sc.index || ack.NumShards != len(c.cfg.Shards) {
+			sc.poisonLocked()
+			return Frame{}, fmt.Errorf("%w: dialed shard %d/%d, reached %d/%d",
+				ErrSpecMismatch, sc.index, len(c.cfg.Shards), ack.ShardID, ack.NumShards)
+		}
+	}
+	return sc.exchangeLocked(c, typ, payload)
+}
+
+// checkReply unwraps a response frame: msgError becomes the matching typed
+// sentinel, a wrong type is a protocol violation.
+func checkReply(f Frame, want uint8) ([]byte, error) {
+	if f.Type == msgError {
+		em, derr := decodeErr(f.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, fmt.Errorf("%w (remote: %s)", sentinelFor(em.Code), em.Msg)
+	}
+	if f.Type != want {
+		return nil, fmt.Errorf("%w: reply type %s, want %s", ErrBadFrame, msgName(f.Type), msgName(want))
+	}
+	return f.Payload, nil
+}
+
+// retryable classifies errors: transport faults (connection, deadline,
+// frame corruption) and a draining shard are worth retrying — the request
+// payload is idempotent by construction. Typed application rejections are
+// not: fencing, spec and lease conflicts need the caller's recovery logic,
+// and an unrestored shard only becomes useful after an explicit Restore.
+func retryable(err error) bool {
+	switch {
+	case errors.Is(err, ErrFenced),
+		errors.Is(err, ErrSpecMismatch),
+		errors.Is(err, ErrBadRequest),
+		errors.Is(err, ErrLeaseHeld),
+		errors.Is(err, ErrNoCheckpoint),
+		errors.Is(err, ErrNotRestored):
+		return false
+	}
+	return true
+}
+
+// call is the retrying RPC: the payload is reused verbatim across attempts
+// (pushes carry their seq, so replays dedupe server-side).
+func (c *Client) call(shard int, typ uint8, payload []byte, want uint8) ([]byte, error) {
+	sc := c.conns[shard]
+	var last error
+	for attempt := 0; ; attempt++ {
+		start := c.clock.Now()
+		f, err := sc.roundTrip(c, typ, payload)
+		if err == nil {
+			var body []byte
+			body, err = checkReply(f, want)
+			if err == nil {
+				c.m.latency[typ].Observe(float64(obs.Since(c.clock, start)))
+				return body, nil
+			}
+			if errors.Is(err, ErrBadFrame) {
+				sc.mu.Lock()
+				sc.poisonLocked()
+				sc.mu.Unlock()
+			}
+		}
+		last = err
+		if !retryable(err) {
+			return nil, fmt.Errorf("shard %d %s: %w", shard, msgName(typ), err)
+		}
+		if attempt >= c.retry.MaxRetries {
+			return nil, fmt.Errorf("%w: shard %d %s after %d attempts: %w", ErrRPCFailed, shard, msgName(typ), attempt+1, last)
+		}
+		c.m.retries.Inc()
+		c.retry.sleep(c.retry.Delay(attempt))
+	}
+}
+
+// --- RPC surface -----------------------------------------------------------
+
+// HelloAll dials and validates every shard, returning their statuses.
+func (c *Client) HelloAll() ([]ShardStatus, error) {
+	hello := helloMsg{WorkerID: c.cfg.WorkerID, Epoch: c.epoch.Load(), Seed: c.cfg.Seed,
+		Dim: c.cfg.Dim, Tables: c.cfg.Tables}
+	out := make([]ShardStatus, len(c.conns))
+	for i := range c.conns {
+		body, err := c.call(i, msgHello, hello.encode(), msgHelloAck)
+		if err != nil {
+			return nil, err
+		}
+		ack, err := decodeHelloAck(body)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ShardStatus{Version: ack.Version, Restored: ack.Restored, Epoch: ack.Epoch}
+	}
+	return out, nil
+}
+
+// Gather fetches the given rows of one table from one shard.
+func (c *Client) Gather(shard, table int, rows []int) ([]float32, error) {
+	out := make([]float32, 0, len(rows)*c.cfg.Dim)
+	for off := 0; off < len(rows); off += maxRowsPerRPC {
+		end := min(off+maxRowsPerRPC, len(rows))
+		body, err := c.call(shard, msgGather, gatherMsg{Table: table, Rows: rows[off:end]}.encode(), msgRows)
+		if err != nil {
+			return nil, err
+		}
+		m, err := decodeRows(body)
+		if err != nil {
+			return nil, err
+		}
+		if m.Dim != c.cfg.Dim || len(m.Values) != (end-off)*c.cfg.Dim {
+			return nil, fmt.Errorf("%w: gather returned %d values of dim %d for %d rows",
+				ErrBadFrame, len(m.Values), m.Dim, end-off)
+		}
+		out = append(out, m.Values...)
+	}
+	return out, nil
+}
+
+// Push applies a pre-scaled delta to rows of one table on one shard. seq
+// must come from nextSeq; the encoded payload is what makes retries
+// idempotent.
+func (c *Client) Push(shard int, seq uint64, table int, rows []int, delta []float32) error {
+	m := pushMsg{Epoch: c.epoch.Load(), Seq: seq, Table: table, Rows: rows, Dim: c.cfg.Dim, Delta: delta}
+	body, err := c.call(shard, msgPush, m.encode(), msgPushAck)
+	if err != nil {
+		return err
+	}
+	_, err = decodePushAck(body)
+	return err
+}
+
+// CheckpointAll asks every shard to make version v durable. It is the
+// remote half of the coordinated checkpoint: the worker's local state file
+// is only written after every shard acked.
+func (c *Client) CheckpointAll(v int64) error {
+	m := versionMsg{Epoch: c.epoch.Load(), Version: v}
+	for i := range c.conns {
+		if _, err := c.call(i, msgCheckpoint, m.encode(), msgCheckpointAck); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreAll tells every shard to reload durable version v. Restoring the
+// whole set — not just a restarted shard — rolls back any shard that
+// applied pushes past the checkpoint before a crash tore the run.
+func (c *Client) RestoreAll(v int64) error {
+	m := versionMsg{Epoch: c.epoch.Load(), Version: v}
+	for i := range c.conns {
+		if _, err := c.call(i, msgRestore, m.encode(), msgRestoreAck); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardStatus is a shard's self-reported liveness state.
+type ShardStatus struct {
+	Version  int64
+	Restored bool
+	Draining bool
+	Epoch    uint64
+}
+
+// Heartbeat probes one shard (single attempt, no retries — liveness wants
+// the truth, not persistence).
+func (c *Client) Heartbeat(shard int) (ShardStatus, error) {
+	sc := c.conns[shard]
+	f, err := sc.roundTrip(c, msgHeartbeat, heartbeatMsg{WorkerID: c.cfg.WorkerID}.encode())
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	body, err := checkReply(f, msgHeartbeatAck)
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	ack, err := decodeHeartbeatAck(body)
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	return ShardStatus{Version: ack.Version, Restored: ack.Restored, Draining: ack.Draining, Epoch: ack.Epoch}, nil
+}
+
+// AcquireLease acquires the trainer lease from the lease-authority shard
+// (shard 0), installs the granted epoch, and returns it.
+func (c *Client) AcquireLease() (uint64, error) {
+	m := leaseMsg{WorkerID: c.cfg.WorkerID, TTLMS: uint64(c.cfg.LeaseTTL / time.Millisecond)}
+	body, err := c.call(0, msgLease, m.encode(), msgLeaseAck)
+	if err != nil {
+		return 0, err
+	}
+	ack, err := decodeLeaseAck(body)
+	if err != nil {
+		return 0, err
+	}
+	c.SetEpoch(ack.Epoch)
+	return ack.Epoch, nil
+}
+
+// RenewLease extends the currently held lease.
+func (c *Client) RenewLease() error {
+	m := leaseMsg{WorkerID: c.cfg.WorkerID, Renew: true, Epoch: c.epoch.Load(),
+		TTLMS: uint64(c.cfg.LeaseTTL / time.Millisecond)}
+	body, err := c.call(0, msgLease, m.encode(), msgLeaseAck)
+	if err != nil {
+		return err
+	}
+	_, err = decodeLeaseAck(body)
+	return err
+}
+
+// StartHeartbeats probes every shard each interval, maintaining the
+// distps_shard<i>_up gauges and the heartbeat-miss counter until Close.
+func (c *Client) StartHeartbeats(every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	c.hbOnce.Do(func() {
+		for i := range c.conns {
+			shard := i
+			c.hbWG.Add(1)
+			spawn(func() {
+				defer c.hbWG.Done()
+				t := time.NewTicker(every)
+				defer t.Stop()
+				for {
+					select {
+					case <-c.hbStop:
+						return
+					case <-t.C:
+						if _, err := c.Heartbeat(shard); err != nil {
+							c.m.hbMisses.Inc()
+							c.m.up[shard].Set(0)
+						} else {
+							c.m.up[shard].Set(1)
+						}
+					}
+				}
+			})
+		}
+	})
+}
+
+// Close stops heartbeats and closes every connection.
+func (c *Client) Close() error {
+	c.hbOnce.Do(func() {}) // never started: keep the Once consumed
+	select {
+	case <-c.hbStop:
+	default:
+		close(c.hbStop)
+	}
+	c.hbWG.Wait()
+	for _, sc := range c.conns {
+		sc.mu.Lock()
+		sc.poisonLocked()
+		sc.mu.Unlock()
+	}
+	return nil
+}
+
+// --- ps.HostStore adapter --------------------------------------------------
+
+// Store returns the pipeline-facing store for one of the client's tables.
+func (c *Client) Store(spec TableSpec) ps.HostStore {
+	return &remoteStore{c: c, spec: spec}
+}
+
+// remoteStore implements ps.HostStore over the shard set: gathers fan out
+// by ring ownership and reassemble in request order; deltas fan out with
+// fresh seqs per message, so transport replays dedupe server-side and a
+// completed ApplyDelta is fully visible to subsequent gathers (the shard
+// applies under its state lock before acking).
+type remoteStore struct {
+	c    *Client
+	spec TableSpec
+}
+
+var _ ps.HostStore = (*remoteStore)(nil)
+
+// group splits row ids by owning shard, remembering each row's position in
+// the original request.
+func (s *remoteStore) group(uniq []int) (rows [][]int, pos [][]int) {
+	n := len(s.c.conns)
+	rows = make([][]int, n)
+	pos = make([][]int, n)
+	for i, r := range uniq {
+		o := s.c.ring.Owner(s.spec.Index, r)
+		rows[o] = append(rows[o], r)
+		pos[o] = append(pos[o], i)
+	}
+	return rows, pos
+}
+
+// GatherRows fetches the current value of each requested row.
+func (s *remoteStore) GatherRows(uniq []int) (*tensor.Matrix, error) {
+	dim := s.c.cfg.Dim
+	out := tensor.New(len(uniq), dim)
+	rows, pos := s.group(uniq)
+	for sh := range rows {
+		if len(rows[sh]) == 0 {
+			continue
+		}
+		values, err := s.c.Gather(sh, s.spec.Index, rows[sh])
+		if err != nil {
+			return nil, fmt.Errorf("table %d shard %d: %w", s.spec.Index, sh, err)
+		}
+		for j, p := range pos[sh] {
+			copy(out.Row(p), values[j*dim:(j+1)*dim])
+		}
+	}
+	return out, nil
+}
+
+// ApplyDelta scatters the pre-scaled delta across the owning shards.
+func (s *remoteStore) ApplyDelta(uniq []int, delta *tensor.Matrix) error {
+	dim := s.c.cfg.Dim
+	rows, pos := s.group(uniq)
+	for sh := range rows {
+		if len(rows[sh]) == 0 {
+			continue
+		}
+		for off := 0; off < len(rows[sh]); off += maxRowsPerRPC {
+			end := min(off+maxRowsPerRPC, len(rows[sh]))
+			sub := make([]float32, 0, (end-off)*dim)
+			for _, p := range pos[sh][off:end] {
+				sub = append(sub, delta.Row(p)...)
+			}
+			if err := s.c.Push(sh, s.c.nextSeq(), s.spec.Index, rows[sh][off:end], sub); err != nil {
+				return fmt.Errorf("table %d shard %d: %w", s.spec.Index, sh, err)
+			}
+		}
+	}
+	return nil
+}
+
+// NumRows returns the table's total row count.
+func (s *remoteStore) NumRows() int { return s.spec.Rows }
+
+// Dim returns the embedding dimension.
+func (s *remoteStore) Dim() int { return s.c.cfg.Dim }

@@ -1,0 +1,323 @@
+package distps
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/ps"
+	"repro/internal/tensor"
+)
+
+// referencePipeline is the single-process run every distributed test is
+// compared against: same Scenario, host tables in local memory.
+func referencePipeline(t *testing.T, sc Scenario) *ps.Pipeline {
+	t.Helper()
+	locs, err := sc.ReferenceLocs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ps.NewPipeline(sc.PipelineConfig(), locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// referenceHash fingerprints a local-memory pipeline.
+func referenceHash(t *testing.T, sc Scenario, p *ps.Pipeline) uint64 {
+	t.Helper()
+	specs := sc.HostSpecs()
+	values := make([]*tensor.Matrix, len(specs))
+	for h := range specs {
+		values[h] = p.HostBag(h).Weights
+	}
+	h, err := HashState(p, specs, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// distributedHash fingerprints a remote-store pipeline by gathering every
+// host row back from the shards through c.
+func distributedHash(t *testing.T, sc Scenario, p *ps.Pipeline, c *Client) uint64 {
+	t.Helper()
+	specs := sc.HostSpecs()
+	values := make([]*tensor.Matrix, len(specs))
+	for h, spec := range specs {
+		m, err := GatherFullTable(c.Store(spec), spec)
+		if err != nil {
+			t.Fatalf("gather table %d: %v", spec.Index, err)
+		}
+		values[h] = m
+	}
+	h, err := HashState(p, specs, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func testDataset(t *testing.T, sc Scenario) *data.Dataset {
+	t.Helper()
+	d, err := data.New(sc.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// bootShard starts one shard on addr ("127.0.0.1:0" for the first boot, the
+// recorded address for a restart) and returns it with its resolved address.
+func bootShard(t *testing.T, sc Scenario, id, n int, dir, addr string) (*Shard, string) {
+	t.Helper()
+	cfg := sc.ShardConfig(id, n, dir)
+	cfg.DrainTimeout = 50 * time.Millisecond
+	cfg.Metrics = obs.NewRegistry()
+	s, err := NewShard(cfg)
+	if err != nil {
+		t.Fatalf("NewShard(%d): %v", id, err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen %q: %v", addr, err)
+	}
+	serveShard(s, ln)
+	return s, ln.Addr().String()
+}
+
+func instantSleep(time.Duration) {}
+
+func testWorkerConfig(sc Scenario, id uint64, shards []string) WorkerConfig {
+	return WorkerConfig{
+		ID: id, Shards: shards, Scenario: sc,
+		LeaseTTL:    time.Second,
+		RPCTimeout:  2 * time.Second,
+		StandbyPoll: 5 * time.Millisecond,
+		Retry:       fastBackoff(),
+		PipelineRetry: ps.RetryPolicy{MaxRetries: 3, BaseDelay: time.Millisecond,
+			MaxDelay: 2 * time.Millisecond, Sleep: instantSleep},
+		Sleep:   instantSleep,
+		Metrics: obs.NewRegistry(),
+	}
+}
+
+// TestDistributedMatchesReference is the fault-free baseline: one worker,
+// two shards, and the final parameters must be bit-identical to the
+// single-process pipeline (same scenario, host tables in local memory).
+func TestDistributedMatchesReference(t *testing.T) {
+	sc := testScenario()
+	const steps, batch = 30, 16
+	_, addrs := startShards(t, sc, 2, nil)
+	src := testDataset(t, sc)
+
+	w, err := NewWorker(testWorkerConfig(sc, 1, addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	res, err := w.Run(context.Background(), src, steps, batch)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Completed != steps || res.Recoveries != 0 {
+		t.Fatalf("completed %d steps with %d recoveries, want %d and 0", res.Completed, res.Recoveries, steps)
+	}
+
+	ref := referencePipeline(t, sc)
+	rres, err := ref.Train(context.Background(), src, 0, steps, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range rres.Curve.Losses {
+		if res.Curve.Losses[i] != l {
+			t.Fatalf("loss diverges at step %d: %v vs %v", i, res.Curve.Losses[i], l)
+		}
+	}
+	if got, want := distributedHash(t, sc, w.Pipeline(), w.Client()), referenceHash(t, sc, ref); got != want {
+		t.Fatalf("final parameters diverge: distributed %016x, reference %016x", got, want)
+	}
+}
+
+// TestShardKillRecoverySameWorker kills and restarts shard 1 right after
+// the coordinated checkpoint commits version 20 (the exact point
+// AfterCheckpoint pins). The restarted shard refuses traffic until
+// restored, so the worker's next gather fails; the recovery loop
+// re-acquires the lease, rolls every shard back to version 20, and resumes
+// — with a final state bit-identical to a run that never crashed.
+func TestShardKillRecoverySameWorker(t *testing.T) {
+	sc := testScenario()
+	const steps, batch, every = 40, 16, 20
+	dirs := []string{t.TempDir(), t.TempDir()}
+	var mu sync.Mutex
+	shards := make([]*Shard, 2)
+	addrs := make([]string, 2)
+	for i := range shards {
+		shards[i], addrs[i] = bootShard(t, sc, i, 2, dirs[i], "127.0.0.1:0")
+	}
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range shards {
+			s.Close()
+		}
+	})
+
+	cfg := testWorkerConfig(sc, 1, addrs)
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "worker.ckpt")
+	cfg.CheckpointEvery = every
+	killed := false
+	cfg.AfterCheckpoint = func(v int64) {
+		if v != every || killed {
+			return
+		}
+		killed = true
+		mu.Lock()
+		defer mu.Unlock()
+		shards[1].Close()
+		shards[1], _ = bootShard(t, sc, 1, 2, dirs[1], addrs[1])
+	}
+	w, err := NewWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+
+	src := testDataset(t, sc)
+	res, err := w.Run(context.Background(), src, steps, batch)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !killed {
+		t.Fatal("AfterCheckpoint hook never fired; no shard was killed")
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("worker finished without a recovery despite the shard kill")
+	}
+	if res.NextIter != steps {
+		t.Fatalf("NextIter = %d, want %d", res.NextIter, steps)
+	}
+
+	ref := referencePipeline(t, sc)
+	if _, err := ref.Train(context.Background(), src, 0, steps, batch); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := distributedHash(t, sc, w.Pipeline(), w.Client()), referenceHash(t, sc, ref); got != want {
+		t.Fatalf("final parameters diverge after recovery: %016x vs %016x", got, want)
+	}
+}
+
+// TestKillAndRejoinTwoWorkers is the acceptance scenario: two shards (one
+// behind a fault proxy that drops frames), worker A trains to the version-40
+// coordinated checkpoint, then shard 1 is killed and restarted and A itself
+// dies (context cancelled). Worker B — a different identity sharing only
+// the checkpoint file — waits out A's lease, fences A's epoch, rolls the
+// cluster back to version 40 (rejoining the restarted shard), and finishes
+// the run. The final parameters must be bit-identical to a single-process
+// run that saw no proxy, no kill, and no handover.
+func TestKillAndRejoinTwoWorkers(t *testing.T) {
+	sc := testScenario()
+	const steps, batch, every = 60, 16, 20
+	dirs := []string{t.TempDir(), t.TempDir()}
+	var mu sync.Mutex
+	shards := make([]*Shard, 2)
+	addrs := make([]string, 2)
+	for i := range shards {
+		shards[i], addrs[i] = bootShard(t, sc, i, 2, dirs[i], "127.0.0.1:0")
+	}
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range shards {
+			s.Close()
+		}
+	})
+
+	// Shard 1 sits behind a deterministic fault proxy that drops a few
+	// whole frames (requests or responses); the budget keeps the run
+	// finite, and idempotent retries must absorb every drop.
+	proxy, err := faults.NewProxy(addrs[1],
+		func(r *bufio.Reader) ([]byte, error) { return ReadRawFrame(r) },
+		faults.ProxyConfig{Seed: 42, DropProb: 0.02, MaxFaults: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	workerAddrs := []string{addrs[0], proxy.Addr()}
+
+	ckpt := filepath.Join(t.TempDir(), "worker.ckpt")
+	newCfg := func(id uint64) WorkerConfig {
+		cfg := testWorkerConfig(sc, id, workerAddrs)
+		cfg.CheckpointPath = ckpt
+		cfg.CheckpointEvery = every
+		cfg.LeaseTTL = 150 * time.Millisecond
+		cfg.RPCTimeout = 500 * time.Millisecond
+		cfg.Sleep = nil // standby polling must follow the real lease clock
+		return cfg
+	}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	cfgA := newCfg(1)
+	killed := false
+	cfgA.AfterCheckpoint = func(v int64) {
+		if v != 2*every || killed {
+			return
+		}
+		killed = true
+		mu.Lock()
+		shards[1].Close()
+		shards[1], _ = bootShard(t, sc, 1, 2, dirs[1], addrs[1])
+		mu.Unlock()
+		cancelA() // A dies with the shard commit done but the run unfinished
+	}
+	a, err := NewWorker(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	src := testDataset(t, sc)
+	if _, err := a.Run(ctxA, src, steps, batch); err == nil {
+		t.Fatal("worker A finished the whole run; it was supposed to die at version 40")
+	}
+	if !killed {
+		t.Fatal("worker A never reached the version-40 checkpoint")
+	}
+
+	b, err := NewWorker(newCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	res, err := b.Run(context.Background(), src, steps, batch)
+	if err != nil {
+		t.Fatalf("worker B: %v", err)
+	}
+	if res.NextIter != steps {
+		t.Fatalf("worker B NextIter = %d, want %d", res.NextIter, steps)
+	}
+	if res.Completed > steps-2*every {
+		t.Fatalf("worker B trained %d steps; the version-40 checkpoint should leave at most %d", res.Completed, steps-2*every)
+	}
+
+	ref := referencePipeline(t, sc)
+	if _, err := ref.Train(context.Background(), src, 0, steps, batch); err != nil {
+		t.Fatal(err)
+	}
+	got := distributedHash(t, sc, b.Pipeline(), b.Client())
+	want := referenceHash(t, sc, ref)
+	if got != want {
+		t.Fatalf("handover run diverges from reference: %016x vs %016x", got, want)
+	}
+	if proxy.Schedule().Injected() == 0 {
+		t.Fatal("fault proxy injected nothing; the drop schedule never fired")
+	}
+}

@@ -1,0 +1,125 @@
+package distps
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// codecs lists every message with a non-trivial payload, its encoder and a
+// type-erased decoder, so round-trip and truncation checks cover the whole
+// wire surface from one table.
+func codecs() []struct {
+	name   string
+	msg    any
+	bytes  []byte
+	decode func([]byte) (any, error)
+} {
+	wrap := func(name string, m any, b []byte, d func([]byte) (any, error)) struct {
+		name   string
+		msg    any
+		bytes  []byte
+		decode func([]byte) (any, error)
+	} {
+		return struct {
+			name   string
+			msg    any
+			bytes  []byte
+			decode func([]byte) (any, error)
+		}{name, m, b, d}
+	}
+	hello := helloMsg{WorkerID: 7, Epoch: 3, Seed: 99, Dim: 8,
+		Tables: []TableSpec{{Index: 0, Rows: 96}, {Index: 2, Rows: 64}}}
+	hAck := helloAck{ShardID: 1, NumShards: 2, Version: 40, Restored: true, Epoch: 5}
+	gather := gatherMsg{Table: 2, Rows: []int{5, 1, 63}}
+	rows := rowsMsg{Dim: 2, Values: []float32{1.5, -2.25, 0, 3e7}}
+	push := pushMsg{Epoch: 4, Seq: 19, Table: 1, Rows: []int{0, 9}, Dim: 2, Delta: []float32{0.5, -1, 2, -4}}
+	pAck := pushAck{Applied: true}
+	ver := versionMsg{Epoch: 4, Version: -60}
+	vAck := versionAck{Version: 60}
+	hb := heartbeatMsg{WorkerID: 12}
+	hbAck := heartbeatAck{Version: 20, Restored: true, Draining: true, Epoch: 9}
+	lease := leaseMsg{WorkerID: 12, Renew: true, Epoch: 9, TTLMS: 3000}
+	lAck := leaseAck{Epoch: 10}
+	em := errMsg{Code: codeFenced, Msg: "stale epoch"}
+	return []struct {
+		name   string
+		msg    any
+		bytes  []byte
+		decode func([]byte) (any, error)
+	}{
+		wrap("hello", hello, hello.encode(), func(b []byte) (any, error) { return decodeHello(b) }),
+		wrap("helloAck", hAck, hAck.encode(), func(b []byte) (any, error) { return decodeHelloAck(b) }),
+		wrap("gather", gather, gather.encode(), func(b []byte) (any, error) { return decodeGather(b) }),
+		wrap("rows", rows, rows.encode(), func(b []byte) (any, error) { return decodeRows(b) }),
+		wrap("push", push, push.encode(), func(b []byte) (any, error) { return decodePush(b) }),
+		wrap("pushAck", pAck, pAck.encode(), func(b []byte) (any, error) { return decodePushAck(b) }),
+		wrap("version", ver, ver.encode(), func(b []byte) (any, error) { return decodeVersion(b) }),
+		wrap("versionAck", vAck, vAck.encode(), func(b []byte) (any, error) { return decodeVersionAck(b) }),
+		wrap("heartbeat", hb, hb.encode(), func(b []byte) (any, error) { return decodeHeartbeat(b) }),
+		wrap("heartbeatAck", hbAck, hbAck.encode(), func(b []byte) (any, error) { return decodeHeartbeatAck(b) }),
+		wrap("lease", lease, lease.encode(), func(b []byte) (any, error) { return decodeLease(b) }),
+		wrap("leaseAck", lAck, lAck.encode(), func(b []byte) (any, error) { return decodeLeaseAck(b) }),
+		wrap("err", em, em.encode(), func(b []byte) (any, error) { return decodeErr(b) }),
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, c := range codecs() {
+		got, err := c.decode(c.bytes)
+		if err != nil {
+			t.Errorf("%s: decode: %v", c.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.msg) {
+			t.Errorf("%s: round trip: got %+v, want %+v", c.name, got, c.msg)
+		}
+	}
+}
+
+// TestMessageTruncation cuts every payload at every byte boundary: a strict
+// prefix must never decode successfully (the layouts carry explicit counts,
+// so any cut lands mid-record), and appended garbage must be rejected too.
+func TestMessageTruncation(t *testing.T) {
+	for _, c := range codecs() {
+		for cut := 0; cut < len(c.bytes); cut++ {
+			if _, err := c.decode(c.bytes[:cut]); !errors.Is(err, ErrBadFrame) {
+				t.Errorf("%s cut at %d/%d: err = %v, want ErrBadFrame", c.name, cut, len(c.bytes), err)
+			}
+		}
+		padded := append(append([]byte(nil), c.bytes...), 0xAA)
+		if _, err := c.decode(padded); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s with trailing byte: err = %v, want ErrBadFrame", c.name, err)
+		}
+	}
+}
+
+func TestErrorCodeMapping(t *testing.T) {
+	sentinels := []error{ErrFenced, ErrLeaseHeld, ErrNotRestored, ErrNoCheckpoint,
+		ErrSpecMismatch, ErrDraining, ErrBadRequest, ErrInternal}
+	for _, want := range sentinels {
+		code := codeFor(want)
+		if got := sentinelFor(code); !errors.Is(got, want) {
+			t.Errorf("sentinel %v → code %d → %v", want, code, got)
+		}
+	}
+	// Wrapped errors keep their code; unknown errors degrade to internal.
+	if codeFor(errors.Join(ErrFenced, errors.New("ctx"))) != codeFenced {
+		t.Error("wrapped ErrFenced lost its code")
+	}
+	if codeFor(errors.New("mystery")) != codeInternal {
+		t.Error("unknown error should map to codeInternal")
+	}
+	if !errors.Is(sentinelFor(200), ErrInternal) {
+		t.Error("unknown code should map to ErrInternal")
+	}
+}
+
+func TestDecodeRejectsInsaneCounts(t *testing.T) {
+	var e enc
+	e.u32(uint32(2))       // table
+	e.u32(uint32(1 << 30)) // row count far beyond sanityCap
+	if _, err := decodeGather(e.buf); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("insane count: err = %v, want ErrBadFrame", err)
+	}
+}

@@ -1,0 +1,182 @@
+package distps
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/checkpoint"
+	"repro/internal/data"
+	"repro/internal/dlrm"
+	"repro/internal/embedding"
+	"repro/internal/ps"
+	"repro/internal/tensor"
+	"repro/internal/tt"
+)
+
+// Scenario is the shared description of one distributed training run: the
+// dataset, the model towers, and the placement split. Every participant —
+// PS shards, workers, and the single-process reference — derives its
+// configuration from the same Scenario, which is what makes the
+// distributed run bit-comparable to the reference: identical seeds flow to
+// identical table constructors on every side.
+//
+// Placement rule (mirroring the paper's hybrid layout): tables with at
+// least TTThreshold rows are TT-compressed and live on the device; the
+// rest are the "overflow" host tables, sharded across the PS by the
+// consistent-hash ring.
+type Scenario struct {
+	Spec  data.Spec
+	Model dlrm.Config
+
+	Rank        int
+	TTThreshold int
+
+	// Seed drives host-table initialization (shards and the reference both
+	// derive table i's RNG as Seed + i*104729) and the TT table seeds.
+	Seed uint64
+
+	QueueDepth int
+}
+
+// NewScenario builds a Scenario from a dataset preset name, mirroring the
+// flag surface of the elrec-ps and elrec-worker binaries so both derive
+// identical configurations from identical flags.
+func NewScenario(dataset string, scale float64, dim, rank, ttThreshold int, lr float64, queueDepth int) (Scenario, error) {
+	var spec data.Spec
+	switch dataset {
+	case "avazu":
+		spec = data.AvazuSpec(scale)
+	case "kaggle":
+		spec = data.KaggleSpec(scale)
+	case "terabyte":
+		spec = data.TerabyteSpec(scale)
+	default:
+		return Scenario{}, fmt.Errorf("%w: unknown dataset %q (want avazu, kaggle or terabyte)", ErrBadRequest, dataset)
+	}
+	model := dlrm.DefaultConfig(spec.NumDense, dim)
+	model.LR = float32(lr)
+	model.Seed = spec.Seed + 1
+	if queueDepth <= 0 {
+		queueDepth = 4
+	}
+	return Scenario{Spec: spec, Model: model, Rank: rank, TTThreshold: ttThreshold,
+		Seed: spec.Seed, QueueDepth: queueDepth}, nil
+}
+
+// useTT reports whether a table of the given cardinality is TT-compressed
+// on the device (the BuildTables rule).
+func (sc Scenario) useTT(rows int) bool {
+	return sc.TTThreshold >= 0 && rows >= sc.TTThreshold
+}
+
+// HostSpecs lists the host-placed (sharded) tables, in model order.
+func (sc Scenario) HostSpecs() []TableSpec {
+	var out []TableSpec
+	for i, rows := range sc.Spec.TableRows {
+		if !sc.useTT(rows) {
+			out = append(out, TableSpec{Index: i, Rows: rows})
+		}
+	}
+	return out
+}
+
+func (sc Scenario) ttSpec() dlrm.TableSpec {
+	return dlrm.TableSpec{Dim: sc.Model.EmbDim, Rank: sc.Rank, TTThreshold: sc.TTThreshold,
+		Opts: tt.EffOptions(), Seed: sc.Seed}
+}
+
+// tableLocs builds the pipeline placement. stores == nil places host
+// tables in local memory (the single-process reference); otherwise each
+// host table is backed by the store the callback returns.
+func (sc Scenario) tableLocs(stores func(TableSpec) ps.HostStore) ([]ps.TableLoc, error) {
+	tables, _, err := dlrm.BuildTables(sc.Spec.TableRows, sc.ttSpec())
+	if err != nil {
+		return nil, err
+	}
+	locs := make([]ps.TableLoc, len(sc.Spec.TableRows))
+	for i, rows := range sc.Spec.TableRows {
+		switch {
+		case sc.useTT(rows):
+			locs[i] = ps.TableLoc{Device: tables[i]}
+		case stores != nil:
+			locs[i] = ps.TableLoc{Store: stores(TableSpec{Index: i, Rows: rows})}
+		default:
+			locs[i] = ps.TableLoc{HostRows: rows}
+		}
+	}
+	return locs, nil
+}
+
+// ReferenceLocs places every host table in local process memory — the
+// single-process reference the distributed run must match bit-exactly.
+func (sc Scenario) ReferenceLocs() ([]ps.TableLoc, error) {
+	return sc.tableLocs(nil)
+}
+
+// RemoteLocs places every host table behind the shard-set client.
+func (sc Scenario) RemoteLocs(c *Client) ([]ps.TableLoc, error) {
+	return sc.tableLocs(func(spec TableSpec) ps.HostStore { return c.Store(spec) })
+}
+
+// PipelineConfig is the ps.Config skeleton both modes share.
+func (sc Scenario) PipelineConfig() ps.Config {
+	return ps.Config{Model: sc.Model, QueueDepth: sc.QueueDepth, Seed: sc.Seed}
+}
+
+// ShardConfig derives shard id's configuration.
+func (sc Scenario) ShardConfig(id, numShards int, dir string) ShardConfig {
+	return ShardConfig{ID: id, NumShards: numShards, Dim: sc.Model.EmbDim, Seed: sc.Seed,
+		Tables: sc.HostSpecs(), Dir: dir}
+}
+
+// ClientConfig derives a worker's client configuration.
+func (sc Scenario) ClientConfig(workerID uint64, shards []string) ClientConfig {
+	return ClientConfig{WorkerID: workerID, Shards: shards, Dim: sc.Model.EmbDim,
+		Seed: sc.Seed, Tables: sc.HostSpecs()}
+}
+
+// --- state fingerprinting --------------------------------------------------
+
+// GatherFullTable reads every row of one host table through a store — the
+// observer path for comparing a sharded run against a reference.
+func GatherFullTable(store ps.HostStore, spec TableSpec) (*tensor.Matrix, error) {
+	rows := make([]int, spec.Rows)
+	for i := range rows {
+		rows[i] = i
+	}
+	return store.GatherRows(rows)
+}
+
+// HashState returns a stable FNV-1a/64 fingerprint of the full training
+// state of p: MLP parameters, device tables, and the supplied host-table
+// contents (one matrix per HostSpecs entry, in order). Both the worker
+// (host values gathered from the shards) and the reference (host values
+// read from local bags) hash through the same checkpoint serialization, so
+// equal fingerprints mean bit-identical parameters.
+func HashState(p *ps.Pipeline, host []TableSpec, hostValues []*tensor.Matrix) (uint64, error) {
+	if len(host) != len(hostValues) {
+		return 0, fmt.Errorf("%w: %d host specs, %d value matrices", ErrBadRequest, len(host), len(hostValues))
+	}
+	slot := make(map[int]int, len(host))
+	for h, spec := range host {
+		if hostValues[h] == nil || hostValues[h].Rows != spec.Rows {
+			return 0, fmt.Errorf("%w: host table %d values missing or mis-shaped", ErrBadRequest, spec.Index)
+		}
+		slot[spec.Index] = h
+	}
+	resolve := func(i int, t dlrm.Table) dlrm.Table {
+		h, ok := slot[i]
+		if !ok {
+			return t
+		}
+		m := hostValues[h]
+		bag := embedding.NewBag(m.Rows, m.Cols, tensor.NewRNG(1))
+		copy(bag.Weights.Data, m.Data)
+		return bag
+	}
+	hash := fnv.New64a()
+	if err := checkpoint.SaveTraining(hash, p.Model(), resolve, checkpoint.TrainState{}); err != nil {
+		return 0, err
+	}
+	return hash.Sum64(), nil
+}

@@ -1,0 +1,149 @@
+package distps
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame layout (all little-endian):
+//
+//	offset size field
+//	0      4    magic     0xE17D15F5
+//	4      1    version   wire protocol version (1)
+//	5      1    type      message type (msg* constants)
+//	6      4    length    payload byte count
+//	10     8    reqID     request id (responses echo the request's)
+//	18     4    checksum  FNV-1a 32 of the payload
+//	22     n    payload
+//
+// The checksum turns a corrupted-in-flight payload into a typed
+// ErrBadFrame instead of a silent mis-decode; a truncated frame surfaces
+// as ErrBadFrame via io.ErrUnexpectedEOF. Either way the connection is
+// poisoned and the caller retries on a fresh one.
+const (
+	frameMagic  = uint32(0xE17D15F5)
+	wireVersion = uint8(1)
+	headerSize  = 22
+
+	// DefaultMaxPayload bounds a single frame's payload; larger gathers
+	// and pushes must be split by the caller (the client chunks by rows).
+	DefaultMaxPayload = 64 << 20
+)
+
+// Message types. Requests are odd, their success responses follow at the
+// next value; msgError answers any request.
+const (
+	msgHello         = uint8(1)
+	msgHelloAck      = uint8(2)
+	msgGather        = uint8(3)
+	msgRows          = uint8(4)
+	msgPush          = uint8(5)
+	msgPushAck       = uint8(6)
+	msgCheckpoint    = uint8(7)
+	msgCheckpointAck = uint8(8)
+	msgRestore       = uint8(9)
+	msgRestoreAck    = uint8(10)
+	msgHeartbeat     = uint8(11)
+	msgHeartbeatAck  = uint8(12)
+	msgLease         = uint8(13)
+	msgLeaseAck      = uint8(14)
+	msgError         = uint8(15)
+)
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Type    uint8
+	ReqID   uint64
+	Payload []byte
+}
+
+// fnv1a32 is the payload checksum (FNV-1a, 32-bit).
+func fnv1a32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+// WriteFrame encodes f to w in one Write call (the header and payload are
+// assembled into a single buffer so a concurrent writer on another frame
+// cannot interleave partial frames on the same connection — callers still
+// serialize writers per connection, this just keeps the failure mode sane).
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := make([]byte, headerSize+len(f.Payload))
+	binary.LittleEndian.PutUint32(buf[0:], frameMagic)
+	buf[4] = wireVersion
+	buf[5] = f.Type
+	binary.LittleEndian.PutUint32(buf[6:], uint32(len(f.Payload)))
+	binary.LittleEndian.PutUint64(buf[10:], f.ReqID)
+	binary.LittleEndian.PutUint32(buf[18:], fnv1a32(f.Payload))
+	copy(buf[headerSize:], f.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame decodes one frame from r, rejecting payloads above maxPayload
+// (<= 0 uses DefaultMaxPayload). Truncation, bad magic, a wire-version
+// skew and checksum mismatches all return errors wrapping ErrBadFrame.
+func ReadFrame(r *bufio.Reader, maxPayload int) (Frame, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF // clean close between frames
+		}
+		return Frame{}, fmt.Errorf("%w: truncated header: %w", ErrBadFrame, err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != frameMagic {
+		return Frame{}, fmt.Errorf("%w: magic %#x", ErrBadFrame, m)
+	}
+	if v := hdr[4]; v != wireVersion {
+		return Frame{}, fmt.Errorf("%w: wire version %d (want %d)", ErrBadFrame, v, wireVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[6:]))
+	if n > maxPayload {
+		return Frame{}, fmt.Errorf("%w: payload %d exceeds cap %d", ErrBadFrame, n, maxPayload)
+	}
+	f := Frame{
+		Type:    hdr[5],
+		ReqID:   binary.LittleEndian.Uint64(hdr[10:]),
+		Payload: make([]byte, n),
+	}
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return Frame{}, fmt.Errorf("%w: truncated payload: %w", ErrBadFrame, err)
+	}
+	if sum := binary.LittleEndian.Uint32(hdr[18:]); sum != fnv1a32(f.Payload) {
+		return Frame{}, fmt.Errorf("%w: payload checksum mismatch", ErrBadFrame)
+	}
+	return f, nil
+}
+
+// ReadRawFrame reads one whole frame — header and payload — and returns
+// its raw bytes without validating the checksum. The fault-injection
+// socket proxy uses it to split a TCP stream into frames it can drop,
+// duplicate, delay or truncate deterministically.
+func ReadRawFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != frameMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadFrame, m)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[6:]))
+	if n > DefaultMaxPayload {
+		return nil, fmt.Errorf("%w: payload %d exceeds cap", ErrBadFrame, n)
+	}
+	buf := make([]byte, headerSize+n)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerSize:]); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

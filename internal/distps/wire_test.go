@@ -1,0 +1,120 @@
+package distps
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0x42}, bytes.Repeat([]byte{1, 2, 3}, 1000)}
+	var buf bytes.Buffer
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, Frame{Type: uint8(i + 1), ReqID: uint64(100 + i), Payload: p}); err != nil {
+			t.Fatalf("WriteFrame(%d): %v", i, err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for i, p := range payloads {
+		f, err := ReadFrame(br, 0)
+		if err != nil {
+			t.Fatalf("ReadFrame(%d): %v", i, err)
+		}
+		if f.Type != uint8(i+1) || f.ReqID != uint64(100+i) || !bytes.Equal(f.Payload, p) {
+			t.Fatalf("frame %d: got %+v, want payload %v", i, f, p)
+		}
+	}
+	if _, err := ReadFrame(br, 0); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	encode := func(mutate func([]byte)) *bufio.Reader {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, Frame{Type: msgGather, ReqID: 7, Payload: []byte("abcdef")}); err != nil {
+			t.Fatal(err)
+		}
+		b := buf.Bytes()
+		mutate(b)
+		return bufio.NewReader(bytes.NewReader(b))
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte)
+	}{
+		{"payload bit flip", func(b []byte) { b[headerSize] ^= 0x80 }},
+		{"checksum flip", func(b []byte) { b[18] ^= 1 }},
+		{"bad magic", func(b []byte) { b[0] = 0 }},
+		{"wire version skew", func(b []byte) { b[4] = 99 }},
+	}
+	for _, tc := range cases {
+		if _, err := ReadFrame(encode(tc.mutate), 0); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", tc.name, err)
+		}
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: msgPush, ReqID: 9, Payload: []byte("payload bytes")}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Every strict prefix must fail: a cut inside the header or the payload
+	// is ErrBadFrame; zero bytes is a clean EOF between frames.
+	for cut := 0; cut < len(whole); cut++ {
+		_, err := ReadFrame(bufio.NewReader(bytes.NewReader(whole[:cut])), 0)
+		if cut == 0 {
+			if !errors.Is(err, io.EOF) || errors.Is(err, ErrBadFrame) {
+				t.Fatalf("cut 0: err = %v, want clean io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("cut %d: err = %v, want ErrBadFrame", cut, err)
+		}
+	}
+}
+
+func TestFramePayloadCap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: msgRows, Payload: make([]byte, 1024)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bufio.NewReader(&buf), 512); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized payload: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestReadRawFramePreservesBytes(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{Type: msgHello, ReqID: 1, Payload: []byte("one")},
+		{Type: msgGather, ReqID: 2, Payload: nil},
+		{Type: msgPush, ReqID: 3, Payload: bytes.Repeat([]byte{9}, 300)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := append([]byte(nil), buf.Bytes()...)
+	br := bufio.NewReader(&buf)
+	var rejoined []byte
+	for range frames {
+		raw, err := ReadRawFrame(br)
+		if err != nil {
+			t.Fatalf("ReadRawFrame: %v", err)
+		}
+		rejoined = append(rejoined, raw...)
+	}
+	if !bytes.Equal(rejoined, whole) {
+		t.Fatal("raw frames do not reassemble the original byte stream")
+	}
+	if _, err := ReadRawFrame(br); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}

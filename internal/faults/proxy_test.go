@@ -1,0 +1,304 @@
+package faults
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testSplit is a minimal frame format for proxy tests: one length byte
+// followed by that many payload bytes.
+func testSplit(r *bufio.Reader) ([]byte, error) {
+	n, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 1+int(n))
+	buf[0] = n
+	if _, err := io.ReadFull(r, buf[1:]); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func testFrame(payload string) []byte {
+	return append([]byte{byte(len(payload))}, payload...)
+}
+
+// echoServer accepts connections and echoes every test frame back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	spawnTest(func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			spawnTest(func() {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				for {
+					f, err := testSplit(br)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(f); err != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+	return ln.Addr().String()
+}
+
+// spawnTest is the test helper's goroutine owner (see the gospawn analyzer).
+func spawnTest(fn func()) { go fn() }
+
+func newTestProxy(t *testing.T, cfg ProxyConfig) *Proxy {
+	t.Helper()
+	p, err := NewProxy(echoServer(t), testSplit, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func dialProxy(t *testing.T, p *Proxy) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	return c, bufio.NewReader(c)
+}
+
+func TestProxyForwardsCleanly(t *testing.T) {
+	p := newTestProxy(t, ProxyConfig{})
+	c, br := dialProxy(t, p)
+	for i := 0; i < 10; i++ {
+		f := testFrame("hello")
+		if _, err := c.Write(f); err != nil {
+			t.Fatal(err)
+		}
+		got, err := testSplit(br)
+		if err != nil {
+			t.Fatalf("echo %d: %v", i, err)
+		}
+		if !bytes.Equal(got, f) {
+			t.Fatalf("echo %d: got %q, want %q", i, got, f)
+		}
+	}
+	if n := p.Schedule().Injected(); n != 0 {
+		t.Fatalf("clean proxy injected %d faults", n)
+	}
+}
+
+func TestProxyDuplicatesRequests(t *testing.T) {
+	p := newTestProxy(t, ProxyConfig{Seed: 1, DupProb: 1, MaxFaults: 1})
+	c, br := dialProxy(t, p)
+	f := testFrame("dup")
+	if _, err := c.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	// The first request frame is duplicated, so the echo server answers
+	// twice; response duplication is budget-capped away (MaxFaults 1).
+	for i := 0; i < 2; i++ {
+		got, err := testSplit(br)
+		if err != nil {
+			t.Fatalf("echo %d: %v", i, err)
+		}
+		if !bytes.Equal(got, f) {
+			t.Fatalf("echo %d: got %q", i, got)
+		}
+	}
+	if got := p.Schedule().Count(Duplicate); got != 1 {
+		t.Fatalf("duplicate count = %d, want 1", got)
+	}
+}
+
+func TestProxyDropsFrames(t *testing.T) {
+	p := newTestProxy(t, ProxyConfig{Seed: 2, DropProb: 1, MaxFaults: 1})
+	c, br := dialProxy(t, p)
+	// First frame dropped (request direction wins the budget); second passes.
+	if _, err := c.Write(testFrame("lost")); err != nil {
+		t.Fatal(err)
+	}
+	f := testFrame("kept")
+	if _, err := c.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := testSplit(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, f) {
+		t.Fatalf("got %q, want the second frame %q", got, f)
+	}
+	if got := p.Schedule().Count(Drop); got != 1 {
+		t.Fatalf("drop count = %d, want 1", got)
+	}
+}
+
+func TestProxyTruncateSeversConnection(t *testing.T) {
+	p := newTestProxy(t, ProxyConfig{Seed: 3, TruncateProb: 1, MaxFaults: 1})
+	c, br := dialProxy(t, p)
+	if _, err := c.Write(testFrame("about to be cut")); err != nil {
+		t.Fatal(err)
+	}
+	// The server side sees a torn frame and the pair is severed; the client
+	// observes EOF (possibly after a partial response — none here, since the
+	// request never reached the server whole).
+	if _, err := io.ReadAll(br); err != nil {
+		t.Fatalf("reading severed conn: %v", err)
+	}
+	if got := p.Schedule().Count(Truncate); got != 1 {
+		t.Fatalf("truncate count = %d, want 1", got)
+	}
+}
+
+func TestProxyKillConnAfterFrames(t *testing.T) {
+	p := newTestProxy(t, ProxyConfig{Seed: 4, KillConnAfter: 3})
+	c, br := dialProxy(t, p)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write(testFrame("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At most the first few echoes arrive, then the connection dies. Drain
+	// until EOF; a fresh connection works again.
+	io.ReadAll(br)
+	c2, br2 := dialProxy(t, p)
+	f := testFrame("alive")
+	if _, err := c2.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := testSplit(br2)
+	if err != nil || !bytes.Equal(got, f) {
+		t.Fatalf("fresh connection after kill: %q, %v", got, err)
+	}
+}
+
+func TestProxyDelayUsesSleepHook(t *testing.T) {
+	var mu sync.Mutex
+	var slept []time.Duration
+	p := newTestProxy(t, ProxyConfig{
+		Seed: 5, DelayProb: 1, Delay: 7 * time.Millisecond,
+		Sleep: func(d time.Duration) { mu.Lock(); slept = append(slept, d); mu.Unlock() },
+	})
+	c, br := dialProxy(t, p)
+	f := testFrame("slow")
+	if _, err := c.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := testSplit(br); err != nil || !bytes.Equal(got, f) {
+		t.Fatalf("delayed frame: %q, %v", got, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) == 0 || slept[0] != 7*time.Millisecond {
+		t.Fatalf("sleep hook calls %v, want at least one 7ms delay", slept)
+	}
+	if n := p.Schedule().Injected(); n != 0 {
+		t.Fatalf("delays consumed %d budget; they should be free", n)
+	}
+}
+
+// TestScheduleDeterministicAcrossRuns: the probabilistic stream is a pure
+// function of (seed, direction, index), independent of interleaving.
+func TestScheduleDeterministicAcrossRuns(t *testing.T) {
+	cfg := ProxyConfig{Seed: 99, DropProb: 0.2, DupProb: 0.1, TruncateProb: 0.05}
+	a, b := NewProxySchedule(cfg), NewProxySchedule(cfg)
+	for idx := 0; idx < 500; idx++ {
+		for _, dir := range []Dir{DirRequest, DirResponse} {
+			if va, vb := a.decide(dir, idx), b.decide(dir, idx); va != vb {
+				t.Fatalf("(%s, %d): %v vs %v", dir, idx, va, vb)
+			}
+		}
+	}
+	if a.Injected() == 0 {
+		t.Fatal("schedule with 20% drop probability injected nothing over 1000 frames")
+	}
+	other := NewProxySchedule(ProxyConfig{Seed: 100, DropProb: 0.2, DupProb: 0.1, TruncateProb: 0.05})
+	diverged := false
+	for idx := 0; idx < 500 && !diverged; idx++ {
+		diverged = other.decide(DirRequest, idx) != a.decide(DirRequest, idx)
+	}
+	_ = diverged // seeds may rarely agree on a window; no assertion needed
+}
+
+// TestScheduleConcurrentBudget hammers one schedule from many goroutines
+// under the race detector and checks the shared budget holds exactly.
+func TestScheduleConcurrentBudget(t *testing.T) {
+	s := NewProxySchedule(ProxyConfig{Seed: 7, DropProb: 0.5, MaxFaults: 25})
+	var wg sync.WaitGroup
+	const workers, frames = 8, 400
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		dir := DirRequest
+		if w%2 == 1 {
+			dir = DirResponse
+		}
+		base := w * frames
+		spawnTest(func() {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				s.decide(dir, base+i)
+			}
+		})
+	}
+	wg.Wait()
+	if got := s.Injected(); got != 25 {
+		t.Fatalf("injected %d faults, budget is 25", got)
+	}
+}
+
+// TestProxyConcurrentConnections drives several connections through one
+// faulty proxy at once; with the race detector this exercises the shared
+// schedule, connection registry and frame counters.
+func TestProxyConcurrentConnections(t *testing.T) {
+	p := newTestProxy(t, ProxyConfig{Seed: 11, DropProb: 0.3, DupProb: 0.2, MaxFaults: 30})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		spawnTest(func() {
+			defer wg.Done()
+			c, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			c.SetDeadline(time.Now().Add(2 * time.Second))
+			br := bufio.NewReader(c)
+			for i := 0; i < 20; i++ {
+				if _, err := c.Write(testFrame("ping")); err != nil {
+					return
+				}
+				// Read whatever comes back (echo, duplicate echo, or a
+				// timeout after a drop); errors just end this connection.
+				c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+				if _, err := testSplit(br); err != nil {
+					c.SetReadDeadline(time.Now().Add(2 * time.Second))
+					continue
+				}
+			}
+		})
+	}
+	wg.Wait()
+	if p.Schedule().Injected() > 30 {
+		t.Fatalf("budget exceeded: %d > 30", p.Schedule().Injected())
+	}
+}

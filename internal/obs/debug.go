@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -73,14 +74,37 @@ func (d *DebugServer) Close() error {
 	return d.srv.Close()
 }
 
+// Shutdown drains gracefully: no new connections, in-flight requests get
+// up to timeout to finish, then the remnants are force-closed. A zero or
+// negative timeout degrades to Close.
+func (d *DebugServer) Shutdown(timeout time.Duration) error {
+	if d == nil {
+		return nil
+	}
+	if timeout <= 0 {
+		return d.srv.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return d.srv.Close()
+	}
+	return nil
+}
+
 // Serve binds addr and serves the debug endpoint on a background
-// goroutine until Close.
+// goroutine until Close. The server carries header/idle timeouts so a
+// stalled or idle debug client cannot pin connections forever.
 func Serve(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
 	}
-	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Handler:           Handler(reg, tr),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		// ErrServerClosed after Close is the expected shutdown path; any
 		// other serve error has no caller left to report to.

@@ -9,12 +9,17 @@ import (
 // resolveTable maps the pipeline's parameter-server adapters to the host
 // bags they front, so the checkpoint package serializes the actual
 // parameters instead of rejecting the wrapper type. Device tables pass
-// through unchanged.
+// through unchanged. A remote-store adapter resolves to nil — the rows
+// live on a PS shard, which checkpoints them itself (the worker writes a
+// skip marker; see the distps coordinated-checkpoint protocol).
 //
 //elrec:locked hostMu callers (Save/LoadCheckpoint) hold every host-table lock across the call
 func (p *Pipeline) resolveTable(i int, t dlrm.Table) dlrm.Table {
 	if ad, ok := t.(*hostAdapter); ok {
-		return p.hostBags[ad.slot]
+		if bag := p.hostBags[ad.slot]; bag != nil {
+			return bag
+		}
+		return nil // remote slot: typed-nil bag must not leak as a non-nil interface
 	}
 	return t
 }

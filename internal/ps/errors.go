@@ -43,6 +43,11 @@ var (
 	// goroutine — outside the per-operation recover boundaries of
 	// gatherBatch/applyPush/trainOne. State is not resumable in place.
 	ErrPipelineFault = errors.New("ps: pipeline goroutine fault")
+
+	// ErrStoreUnavailable reports that a host table's backing store (e.g. a
+	// remote parameter-server shard) could not serve a synchronous lookup
+	// outside a pipeline step.
+	ErrStoreUnavailable = errors.New("ps: host store unavailable")
 )
 
 // PanicError carries a panic recovered in a pipeline goroutine, converted

@@ -32,12 +32,15 @@ type BatchSource interface {
 	Batch(iter, size int) *data.Batch
 }
 
-// TableLoc places one embedding table: either resident on the device
-// (Device non-nil — typically an Eff-TT table in HBM) or in host memory
-// (HostRows > 0 — served by the parameter server through the pipeline).
+// TableLoc places one embedding table: resident on the device (Device
+// non-nil — typically an Eff-TT table in HBM), in local host memory
+// (HostRows > 0 — served by the in-process parameter server), or behind a
+// custom HostStore (Store non-nil — e.g. a distps remote-shard client; the
+// pipeline drives it through the same gather/push machinery).
 type TableLoc struct {
 	Device   dlrm.Table
 	HostRows int
+	Store    HostStore
 }
 
 // RetryPolicy bounds how transient gather/apply faults are retried: capped
@@ -94,6 +97,14 @@ func (r RetryPolicy) delay(attempt int) time.Duration {
 type CheckpointConfig struct {
 	Path  string
 	Every int
+
+	// Coordinate, when set, runs at the checkpoint drain barrier immediately
+	// before the local state file is written. The distributed trainer uses it
+	// to commit every remote shard's checkpoint at the same version first, so
+	// the local file's existence implies the remote versions are durable (the
+	// local write is the commit point). An error aborts the checkpoint; the
+	// local file keeps its previous version.
+	Coordinate func(nextIter int) error
 }
 
 // Config configures a pipeline trainer.
@@ -219,9 +230,10 @@ type Pipeline struct {
 	model  *dlrm.Model
 	caches []*Cache
 
-	hostBags []*embedding.Bag // parameter-server state; guarded by hostMu (per-table)
+	hostBags []*embedding.Bag // local parameter-server state; guarded by hostMu (per-table); nil entry = remote store
 	hostMu   []sync.RWMutex
 	hostIdx  []int // host table order -> model table position
+	stores   []HostStore
 	adapters []*hostAdapter
 
 	// applied counts gradient pushes fully scattered into the host tables.
@@ -316,17 +328,36 @@ func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
 	p.registerMetrics(cfg.Metrics)
 	tables := make([]dlrm.Table, len(locs))
 	for i, loc := range locs {
+		placements := 0
+		for _, set := range []bool{loc.Device != nil, loc.HostRows > 0, loc.Store != nil} {
+			if set {
+				placements++
+			}
+		}
+		if placements > 1 {
+			return nil, fmt.Errorf("%w: table %d has more than one placement", ErrInvalidConfig, i)
+		}
 		switch {
-		case loc.Device != nil && loc.HostRows > 0:
-			return nil, fmt.Errorf("%w: table %d placed on both device and host", ErrInvalidConfig, i)
 		case loc.Device != nil:
 			tables[i] = loc.Device
-		case loc.HostRows > 0:
-			bag := embedding.NewBag(loc.HostRows, cfg.Model.EmbDim, tensor.NewRNG(cfg.Seed+uint64(i)*104729))
+		case loc.HostRows > 0 || loc.Store != nil:
+			slot := len(p.stores)
+			var store HostStore
+			var bag *embedding.Bag
+			if loc.Store != nil {
+				if loc.Store.Dim() != cfg.Model.EmbDim {
+					return nil, fmt.Errorf("%w: table %d store dim %d, model dim %d", ErrInvalidConfig, i, loc.Store.Dim(), cfg.Model.EmbDim)
+				}
+				store = loc.Store
+			} else {
+				bag = embedding.NewBag(loc.HostRows, cfg.Model.EmbDim, tensor.NewRNG(cfg.Seed+uint64(i)*104729))
+				store = &localStore{p: p, slot: slot, rows: loc.HostRows, dim: cfg.Model.EmbDim}
+			}
 			cache := NewCache(cfg.Model.EmbDim, 2*cfg.QueueDepth+2)
 			cache.attachCounters(&p.m.cacheSyncs, &p.m.cacheHits, &p.m.cacheMisses, &p.m.cacheEvictions)
-			ad := &hostAdapter{pipeline: p, slot: len(p.hostBags), rows: loc.HostRows, dim: cfg.Model.EmbDim, lr: cfg.Model.LR}
+			ad := &hostAdapter{pipeline: p, slot: slot, rows: store.NumRows(), dim: cfg.Model.EmbDim, lr: cfg.Model.LR}
 			p.hostBags = append(p.hostBags, bag)
+			p.stores = append(p.stores, store)
 			p.caches = append(p.caches, cache)
 			p.hostIdx = append(p.hostIdx, i)
 			p.adapters = append(p.adapters, ad)
@@ -457,24 +488,26 @@ func (p *Pipeline) backoff(ctx context.Context, tid, attempt int) error {
 }
 
 // gather assembles the pre-fetch payload for one batch: the unique rows of
-// every host table, read under the table lock (the server-side embedding
-// lookup of the PS architecture).
-func (p *Pipeline) gather(iter int, b *data.Batch) *hostBatch {
+// every host table, read from its store (the server-side embedding lookup
+// of the PS architecture — an in-process bag under a lock, or a remote
+// shard fan-out).
+func (p *Pipeline) gather(iter int, b *data.Batch) (*hostBatch, error) {
 	start := p.clock.Now()
 	sp := p.tracer.Begin("gather", "ps", tidPrefetch)
 	defer func() {
 		sp.End()
 		p.m.gatherNS.Add(int64(obs.Since(p.clock, start)))
 	}()
-	hb := &hostBatch{iter: iter, batch: b, rows: make([]hostRows, len(p.hostBags)), gathered: p.applied.Load()}
+	hb := &hostBatch{iter: iter, batch: b, rows: make([]hostRows, len(p.stores)), gathered: p.applied.Load()}
 	for h, pos := range p.hostIdx {
 		uniq, inverse := embedding.Unique(b.Sparse[pos])
-		p.hostMu[h].RLock()
-		values := p.hostBags[h].GatherRows(uniq)
-		p.hostMu[h].RUnlock()
+		values, err := p.stores[h].GatherRows(uniq)
+		if err != nil {
+			return nil, fmt.Errorf("host table %d: %w", h, err)
+		}
 		hb.rows[h] = hostRows{uniq: uniq, inverse: inverse, values: values}
 	}
-	return hb
+	return hb, nil
 }
 
 // gatherBatch is the fault-tolerant gather: it generates the batch, retries
@@ -491,7 +524,14 @@ func (p *Pipeline) gatherBatch(ctx context.Context, d BatchSource, iter, batchSi
 	for attempt := 0; ; attempt++ {
 		ferr := p.injectFault(faults.OpGather, iter, attempt)
 		if ferr == nil {
-			return p.gather(iter, b), nil
+			hb, gerr := p.gather(iter, b)
+			if gerr == nil {
+				return hb, nil
+			}
+			// A failed store gather is retryable in place: reads have no
+			// side effects, so the same attempt loop that absorbs injected
+			// faults also rides out transient remote-store outages.
+			ferr = gerr
 		}
 		if attempt >= p.retry.MaxRetries {
 			return nil, fmt.Errorf("%w: iter %d after %d attempts: %w", ErrGatherFailed, iter, attempt+1, ferr)
@@ -506,7 +546,7 @@ func (p *Pipeline) gatherBatch(ctx context.Context, d BatchSource, iter, batchSi
 // host tables, then advance the applied-push counter that retires cache
 // entries (their life cycle ends once the host copy is provably visible to
 // gathers).
-func (p *Pipeline) apply(g *gradPush) {
+func (p *Pipeline) apply(g *gradPush) error {
 	start := p.clock.Now()
 	sp := p.tracer.Begin("apply", "ps", tidApply)
 	defer func() {
@@ -519,13 +559,19 @@ func (p *Pipeline) apply(g *gradPush) {
 		}
 		delta := gr.grads.Clone()
 		tensor.Scale(-p.cfg.Model.LR, delta.Data)
-		p.hostMu[h].Lock()
-		p.hostBags[h].ScatterAdd(gr.uniq, delta)
-		p.hostMu[h].Unlock()
+		if err := p.stores[h].ApplyDelta(gr.uniq, delta); err != nil {
+			// The push may have landed on some tables (or shards) but not
+			// others; the caller reports training state as torn rather than
+			// re-applying (a blind retry would double-count whatever did
+			// land — the store's own transport retries are deduplicated,
+			// this level's are not).
+			return fmt.Errorf("host table %d: %w", h, err)
+		}
 	}
 	// Incremented only after every table absorbed the push, so a gather that
 	// reads the counter first can never overstate host freshness.
 	p.applied.Add(1)
+	return nil
 }
 
 // applyPush is the fault-tolerant apply: transient faults retry with
@@ -542,7 +588,9 @@ func (p *Pipeline) applyPush(g *gradPush) (err error) {
 	for attempt := 0; ; attempt++ {
 		ferr := p.injectFault(faults.OpApply, g.iter, attempt)
 		if ferr == nil {
-			p.apply(g)
+			if aerr := p.apply(g); aerr != nil {
+				return fmt.Errorf("%w: iter %d: %w", ErrApplyFailed, g.iter, aerr)
+			}
 			return nil
 		}
 		if attempt >= p.retry.MaxRetries {
@@ -628,7 +676,13 @@ func (p *Pipeline) checkpointDue(nextIter int) bool {
 // gradient applied.
 func (p *Pipeline) writeCheckpoint(nextIter int) error {
 	sp := p.tracer.Begin("checkpoint", "ps", tidWorker)
-	err := p.SaveCheckpoint(p.cfg.Checkpoint.Path, nextIter)
+	err := error(nil)
+	if p.cfg.Checkpoint.Coordinate != nil {
+		err = p.cfg.Checkpoint.Coordinate(nextIter)
+	}
+	if err == nil {
+		err = p.SaveCheckpoint(p.cfg.Checkpoint.Path, nextIter)
+	}
 	sp.End()
 	if err != nil {
 		return fmt.Errorf("%w: %w", ErrCheckpointFailed, err)
@@ -878,9 +932,14 @@ func (a *hostAdapter) Lookup(indices, offsets []int) *tensor.Matrix {
 	cur := a.current
 	if cur == nil {
 		uniq, inverse := embedding.Unique(indices)
-		a.pipeline.hostMu[a.slot].RLock()
-		values := a.pipeline.hostBags[a.slot].GatherRows(uniq)
-		a.pipeline.hostMu[a.slot].RUnlock()
+		values, err := a.pipeline.stores[a.slot].GatherRows(uniq)
+		if err != nil {
+			// Lookup is a dlrm.Table method and cannot return an error; an
+			// unreachable remote store outside a pipeline step surfaces as a
+			// typed panic exactly like the adapter-misuse invariant.
+			//elrec:invariant typed ErrStoreUnavailable panic: synchronous lookups have no error channel; pipeline steps never take this path
+			panic(fmt.Errorf("%w: host table %d: %w", ErrStoreUnavailable, a.slot, err))
+		}
 		cur = &hostRows{uniq: uniq, inverse: inverse, values: values}
 	} else {
 		start := a.pipeline.clock.Now()
