@@ -1,32 +1,61 @@
 // Command elrec-lint is the project's static-analysis multichecker: it
 // loads the packages matching the given go-list patterns and applies the
-// six invariant analyzers (nopanic, determinism, locksafe, gospawn,
-// errcmp, obsclock) from internal/analysis. Diagnostics print one per line as
+// ten invariant analyzers (nopanic, determinism, locksafe, gospawn,
+// errcmp, obsclock, hotalloc, lockorder, ctxflow, wireexhaustive) from
+// internal/analysis. Diagnostics print one per line as
 // file:line:col: message [analyzer]; the exit status is 1 when any
 // diagnostic is reported, 2 on a load or internal failure.
 //
 // Usage:
 //
-//	elrec-lint [-only name[,name...]] [-list] [packages]
+//	elrec-lint [-only name[,name...]] [-list] [-json] [-baseline file] [packages]
 //
 // With no packages, ./... is assumed. -only restricts the run to a subset
-// of analyzers; -list prints the suite and exits.
+// of analyzers; -list prints the suite and exits. -json emits the findings
+// as a JSON array (file/line/col/analyzer/message) instead of text, for CI
+// artifacts and tooling. -baseline suppresses findings recorded in the
+// given baseline file (same JSON schema; positions are ignored when
+// matching so unrelated edits don't resurrect suppressed findings);
+// -write-baseline rewrites that file from the current findings and exits 0.
+// A timing line (load/analyze wall clock) always goes to stderr so CI logs
+// track the suite's cost.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
 
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// key identifies a finding for baseline matching: analyzer + file + message,
+// deliberately excluding the position so that edits elsewhere in the file do
+// not resurrect a suppressed finding.
+func (f finding) key() string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	baselinePath := flag.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file from the current findings and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: elrec-lint [-only name,...] [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: elrec-lint [-only name,...] [-list] [-json] [-baseline file [-write-baseline]] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,7 +63,7 @@ func main() {
 	suite := analysis.Suite()
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -54,26 +83,106 @@ func main() {
 		}
 		suite = picked
 	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "elrec-lint: -write-baseline requires -baseline")
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	loadStart := time.Now()
 	pkgs, err := analysis.NewLoader().Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elrec-lint:", err)
 		os.Exit(2)
 	}
+	loadTime := time.Since(loadStart)
+	runStart := time.Now()
 	diags, err := analysis.RunAnalyzers(pkgs, suite, analysis.Applies)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elrec-lint:", err)
 		os.Exit(2)
 	}
+	runTime := time.Since(runStart)
+	fmt.Fprintf(os.Stderr, "elrec-lint: timing: loaded %d packages in %v, ran %d analyzers in %v\n",
+		len(pkgs), loadTime.Round(time.Millisecond), len(suite), runTime.Round(time.Millisecond))
+
+	findings := make([]finding, 0, len(diags))
 	for _, d := range diags {
-		fmt.Println(d)
+		findings = append(findings, finding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "elrec-lint: %d finding(s)\n", len(diags))
+
+	if *writeBaseline {
+		if err := writeBaselineFile(*baselinePath, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "elrec-lint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "elrec-lint: wrote %d finding(s) to %s\n", len(findings), *baselinePath)
+		return
+	}
+	if *baselinePath != "" {
+		suppressed, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elrec-lint:", err)
+			os.Exit(2)
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if !suppressed[f.key()] {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "elrec-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "elrec-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// loadBaseline reads a baseline file into a suppression set.
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var fs []finding
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	out := make(map[string]bool, len(fs))
+	for _, f := range fs {
+		out[f.key()] = true
+	}
+	return out, nil
+}
+
+// writeBaselineFile writes the findings as an indented JSON array.
+func writeBaselineFile(path string, fs []finding) error {
+	data, err := json.MarshalIndent(fs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

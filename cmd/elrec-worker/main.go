@@ -208,7 +208,7 @@ func runDistributed(ctx context.Context, sc distps.Scenario, src *data.Dataset,
 	specs := sc.HostSpecs()
 	values := make([]*tensor.Matrix, len(specs))
 	for h, spec := range specs {
-		m, gerr := distps.GatherFullTable(w.Client().Store(spec), spec)
+		m, gerr := distps.GatherFullTable(w.Client().Store(context.Background(), spec), spec)
 		if gerr != nil {
 			log.Error("final gather failed", "table", spec.Index, "err", gerr)
 			return 1

@@ -134,7 +134,7 @@ func hashWorker(sc distps.Scenario, w *distps.Worker) uint64 {
 	specs := sc.HostSpecs()
 	values := make([]*tensor.Matrix, len(specs))
 	for h, spec := range specs {
-		m, err := distps.GatherFullTable(w.Client().Store(spec), spec)
+		m, err := distps.GatherFullTable(w.Client().Store(context.Background(), spec), spec)
 		if err != nil {
 			log.Fatal(err)
 		}

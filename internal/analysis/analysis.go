@@ -17,11 +17,16 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Analyzer describes one static-analysis pass.
+// Analyzer describes one static-analysis pass. Exactly one of Run and
+// RunProgram is set: Run analyzes one package at a time; RunProgram
+// analyzes the whole loaded module at once over the interprocedural call
+// graph (Pass.Program), scoping itself to the packages it cares about.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and on the command line.
 	Name string
@@ -29,16 +34,22 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// RunProgram applies the analyzer to the whole program.
+	RunProgram func(*Pass) error
 }
 
 // Pass carries everything Run needs to analyze one package: syntax, type
-// information and a diagnostic sink.
+// information and a diagnostic sink. For program analyzers (RunProgram),
+// the per-package fields are nil and Program carries the whole module.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Program is the whole-module call-graph view; set only for program
+	// analyzers.
+	Program *Program
 
 	diagnostics []Diagnostic
 	// directives caches per-file //elrec: directive positions, lazily built.
@@ -153,27 +164,76 @@ func (p *Pass) funcDirective(file *ast.File, fn *ast.FuncDecl, name string) (dir
 
 // RunAnalyzers applies every analyzer to every package (subject to each
 // analyzer's package filter, see Suite) and returns the combined
-// diagnostics sorted by position.
+// diagnostics sorted by position. Per-package passes run concurrently on a
+// bounded worker pool (syntax trees and types.Info are read-only here;
+// each pass has its own directive cache and diagnostic sink); program
+// analyzers then run sequentially over one shared call-graph Program,
+// whose fact store and directive cache are built lazily without locking.
+// The final position sort makes the output order deterministic either way.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, applies func(a *Analyzer, pkgPath string) bool) ([]Diagnostic, error) {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	type unit struct {
+		a   *Analyzer
+		pkg *Package
+	}
+	var units []unit
+	var programAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			programAnalyzers = append(programAnalyzers, a)
+			continue
+		}
+		for _, pkg := range pkgs {
 			if applies != nil && !applies(a, pkg.PkgPath) {
 				continue
 			}
+			units = append(units, unit{a, pkg})
+		}
+	}
+
+	results := make([][]Diagnostic, len(units))
+	errs := make([]error, len(units))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, u := range units {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, u unit) {
+			defer wg.Done()
+			defer func() { <-sem }()
 			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
+				Analyzer:  u.a,
+				Fset:      u.pkg.Fset,
+				Files:     u.pkg.Files,
+				Pkg:       u.pkg.Types,
+				TypesInfo: u.pkg.TypesInfo,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			if err := u.a.Run(pass); err != nil {
+				errs[i] = fmt.Errorf("analysis: %s on %s: %w", u.a.Name, u.pkg.PkgPath, err)
+				return
+			}
+			results[i] = pass.diagnostics
+		}(i, u)
+	}
+	wg.Wait()
+	var out []Diagnostic
+	for i := range units {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+
+	if len(programAnalyzers) > 0 && len(pkgs) > 0 {
+		prog := BuildProgram(pkgs)
+		for _, a := range programAnalyzers {
+			pass := &Pass{Analyzer: a, Fset: prog.Fset, Program: prog}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
 			}
 			out = append(out, pass.diagnostics...)
 		}
 	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {

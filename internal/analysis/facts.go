@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Per-function facts computed bottom-up over the call graph's strongly
+// connected components. Two analyzers consume them today: ctxflow (does an
+// entry point block?) and lockorder (which locks can a call acquire, and
+// can it block while they are held?).
+
+// BlockKind classifies how a function may block.
+type BlockKind uint8
+
+const (
+	// BlockChan: channel operations, select without default, time.Sleep,
+	// WaitGroup/Cond Wait — unbounded waits on in-process coordination.
+	BlockChan BlockKind = 1 << iota
+	// BlockNet: network I/O — dials, accepts, reads and writes on net
+	// connections (deadline-governed in this tree, but still I/O a lock
+	// must never be held across).
+	BlockNet
+)
+
+// BlockFact is the may-block fact of one function: what kinds of blocking
+// it can perform, with one human-readable witness for diagnostics.
+type BlockFact struct {
+	Kind    BlockKind
+	Witness string // e.g. "channel receive", "time.Sleep", "call to roundTrip"
+}
+
+// Facts is the program-wide fact store.
+type Facts struct {
+	// Block[n] is n's may-block fact (zero Kind: proven non-blocking
+	// modulo the conservative frontier).
+	Block map[*FuncNode]BlockFact
+	// Acquires[n] maps each lock object n may acquire (transitively,
+	// excluding spawned goroutines) to one acquisition site.
+	Acquires map[*FuncNode]map[types.Object]token.Pos
+}
+
+// Facts computes (once) and returns the program's fact store. Not safe for
+// concurrent first use; the driver runs program analyzers sequentially.
+func (p *Program) Facts() *Facts {
+	if p.facts != nil {
+		return p.facts
+	}
+	f := &Facts{
+		Block:    map[*FuncNode]BlockFact{},
+		Acquires: map[*FuncNode]map[types.Object]token.Pos{},
+	}
+	// Direct facts per function.
+	for _, n := range p.Nodes {
+		f.Block[n] = directBlockFact(n)
+		f.Acquires[n] = directAcquires(n)
+	}
+	// Propagate bottom-up: callees first, components unioned to a fixed
+	// point trivially (one union suffices because SCC members share one
+	// merged fact).
+	for _, scc := range p.SCCs() {
+		merged := BlockFact{}
+		acq := map[types.Object]token.Pos{}
+		inSCC := map[*FuncNode]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		for _, n := range scc {
+			merged = mergeBlock(merged, f.Block[n], "")
+			for obj, pos := range f.Acquires[n] {
+				if _, ok := acq[obj]; !ok {
+					acq[obj] = pos
+				}
+			}
+			for _, cs := range n.Calls {
+				if cs.Async || inSCC[cs.Callee] {
+					continue
+				}
+				cb := f.Block[cs.Callee]
+				merged = mergeBlock(merged, cb, "call to "+cs.Callee.DisplayName())
+				for obj := range f.Acquires[cs.Callee] {
+					if _, ok := acq[obj]; !ok {
+						acq[obj] = cs.Call.Pos()
+					}
+				}
+			}
+		}
+		for _, n := range scc {
+			f.Block[n] = merged
+			f.Acquires[n] = acq
+		}
+	}
+	p.facts = f
+	return f
+}
+
+func mergeBlock(into, from BlockFact, viaWitness string) BlockFact {
+	if from.Kind == 0 {
+		return into
+	}
+	if into.Kind == 0 {
+		w := from.Witness
+		if viaWitness != "" {
+			w = viaWitness
+		}
+		return BlockFact{Kind: from.Kind, Witness: w}
+	}
+	into.Kind |= from.Kind
+	return into
+}
+
+// directBlockFact scans one function body (excluding spawned-goroutine
+// subtrees) for blocking operations.
+func directBlockFact(n *FuncNode) BlockFact {
+	var fact BlockFact
+	info := n.Pkg.TypesInfo
+	nonBlockingComms := selectDefaultComms(n.Decl.Body)
+	walkAsync(n.Decl.Body, func(node ast.Node, async bool) bool {
+		if async || fact.Kind == BlockChan|BlockNet {
+			return !async
+		}
+		switch node := node.(type) {
+		case *ast.SendStmt:
+			if !nonBlockingComms[node.Pos()] {
+				fact = mergeBlock(fact, BlockFact{BlockChan, "channel send"}, "")
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && !nonBlockingComms[node.Pos()] {
+				fact = mergeBlock(fact, BlockFact{BlockChan, "channel receive"}, "")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				fact = mergeBlock(fact, BlockFact{BlockChan, "select"}, "")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					fact = mergeBlock(fact, BlockFact{BlockChan, "range over channel"}, "")
+				}
+			}
+		case *ast.CallExpr:
+			if k, why := externalBlockKind(info, node); k != 0 {
+				fact = mergeBlock(fact, BlockFact{k, why}, "")
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+// selectDefaultComms returns the positions of send/receive operations that
+// are the guards of select cases in a select carrying a default clause —
+// those are non-blocking by construction.
+func selectDefaultComms(body *ast.BlockStmt) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || !selectHasDefault(sel) {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok || comm.Comm == nil {
+				continue
+			}
+			ast.Inspect(comm.Comm, func(cn ast.Node) bool {
+				switch cn := cn.(type) {
+				case *ast.SendStmt:
+					out[cn.Pos()] = true
+				case *ast.UnaryExpr:
+					if cn.Op == token.ARROW {
+						out[cn.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if comm, ok := clause.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// externalBlockKind classifies one call expression against the known
+// blocking surface of the standard library: time.Sleep, WaitGroup/Cond
+// Wait, and anything in package net (including interface methods on
+// net.Conn/net.Listener, which resolve to the net package).
+func externalBlockKind(info *types.Info, call *ast.CallExpr) (BlockKind, string) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return 0, ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return 0, ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return BlockChan, "time.Sleep"
+		}
+	case "sync":
+		if fn.Name() == "Wait" {
+			recv := recvTypeName(fn)
+			if recv == "WaitGroup" || recv == "Cond" {
+				return BlockChan, "sync." + recv + ".Wait"
+			}
+		}
+	case "net":
+		return BlockNet, "net." + fn.Name()
+	}
+	return 0, ""
+}
+
+// recvTypeName returns the bare receiver type name of a method, or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// directAcquires scans one function body (excluding spawned goroutines)
+// for mutex acquisitions, keyed by the lock's declared object.
+func directAcquires(n *FuncNode) map[types.Object]token.Pos {
+	out := map[types.Object]token.Pos{}
+	info := n.Pkg.TypesInfo
+	walkAsync(n.Decl.Body, func(node ast.Node, async bool) bool {
+		if async {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, _, ok := lockAcquisition(info, call); ok {
+			if _, seen := out[obj]; !seen {
+				out[obj] = call.Pos()
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockAcquisition resolves a call of the form <lock>.Lock() or
+// <lock>.RLock() to the object declaring the lock (a struct field or a
+// variable), reporting whether the acquisition is a write lock.
+func lockAcquisition(info *types.Info, call *ast.CallExpr) (obj types.Object, write bool, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		write = true
+	case "RLock":
+	default:
+		return nil, false, false
+	}
+	if !isSyncLockMethod(info, sel) {
+		return nil, false, false
+	}
+	obj = lockBaseObject(info, sel.X)
+	return obj, write, obj != nil
+}
+
+// lockRelease resolves <lock>.Unlock() / <lock>.RUnlock() the same way.
+func lockRelease(info *types.Info, call *ast.CallExpr) (types.Object, bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return nil, false
+	}
+	if !isSyncLockMethod(info, sel) {
+		return nil, false
+	}
+	obj := lockBaseObject(info, sel.X)
+	return obj, obj != nil
+}
+
+// isSyncLockMethod reports whether sel selects a method declared in
+// package sync (Mutex/RWMutex and wrappers embedding them).
+func isSyncLockMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync"
+}
+
+// lockBaseObject reduces p.hostMu[h], c.mu, or mu to the object declaring
+// the lock (field hostMu, field mu, var mu).
+func lockBaseObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return lockBaseObject(info, e.X)
+	case *ast.StarExpr:
+		return lockBaseObject(info, e.X)
+	}
+	return nil
+}
+
+// lockDisplayName renders a lock object for diagnostics: ps.statsMu,
+// distps.mu.
+func lockDisplayName(obj types.Object) string {
+	if obj.Pkg() != nil {
+		pkg := obj.Pkg().Path()
+		pkg = pkg[strings.LastIndex(pkg, "/")+1:]
+		return pkg + "." + obj.Name()
+	}
+	return obj.Name()
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotAllocGolden(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, filepath.Join("testdata", "src", "hotalloc"))
+}

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the module under
@@ -37,12 +38,21 @@ type Package struct {
 type Loader struct {
 	fset    *token.FileSet
 	checked map[string]*types.Package
+
+	// parsed caches files by absolute path; guarded by mu so the
+	// pre-parse worker pool and on-demand parsing can share it.
+	mu     sync.Mutex
+	parsed map[string]*ast.File
 }
 
 // NewLoader returns an empty loader. Loaders cache type-checked
 // dependencies, so one loader should be reused across calls.
 func NewLoader() *Loader {
-	return &Loader{fset: token.NewFileSet(), checked: map[string]*types.Package{}}
+	return &Loader{
+		fset:    token.NewFileSet(),
+		checked: map[string]*types.Package{},
+		parsed:  map[string]*ast.File{},
+	}
 }
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
@@ -123,17 +133,73 @@ func (l *Loader) ensureDeps(path string) error {
 	return nil
 }
 
+// parseFile parses one file, consulting the loader's cache first. The
+// shared token.FileSet serializes AddFile internally, so concurrent
+// callers only need the cache lock.
+func (l *Loader) parseFile(path string) (*ast.File, error) {
+	l.mu.Lock()
+	f, ok := l.parsed[path]
+	l.mu.Unlock()
+	if ok {
+		return f, nil
+	}
+	f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	if prev, ok := l.parsed[path]; ok {
+		f = prev // lost a benign race; keep one canonical tree
+	} else {
+		l.parsed[path] = f
+	}
+	l.mu.Unlock()
+	return f, nil
+}
+
 // parseFiles parses the named files of one package directory.
 func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
 	files := make([]*ast.File, 0, len(names))
 	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		f, err := l.parseFile(filepath.Join(dir, name))
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// preparse parses every file of the listed packages on a worker pool.
+// Type-checking must stay sequential in dependency order, but parsing —
+// which dominates a cold load of the module plus its std closure — is
+// embarrassingly parallel. Errors are not reported here; the sequential
+// parseFiles pass re-encounters them with full package context.
+func (l *Loader) preparse(listed []*listedPkg) {
+	var paths []string
+	for _, lp := range listed {
+		if lp.Error != nil || lp.ImportPath == "unsafe" {
+			continue
+		}
+		if _, done := l.checked[lp.ImportPath]; done {
+			continue
+		}
+		for _, name := range lp.GoFiles {
+			paths = append(paths, filepath.Join(lp.Dir, name))
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, path := range paths {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, _ = l.parseFile(path) // error re-surfaces in parseFiles
+		}(path)
+	}
+	wg.Wait()
 }
 
 // newInfo allocates a fully populated types.Info.
@@ -190,6 +256,7 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	l.preparse(listed)
 	var out []*Package
 	for _, lp := range listed { // dependency order: deps precede dependents
 		if lp.ImportPath == "unsafe" {

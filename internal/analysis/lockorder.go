@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder enforces two deadlock invariants across the lock-striped
+// packages (ps, distps, served, tt):
+//
+//  1. The lock-acquisition-order graph — an edge A→B whenever some
+//     function acquires B while holding A, directly or through a callee's
+//     transitive Acquires fact — must be acyclic. A cycle means two
+//     executions can acquire the same pair of locks in opposite orders.
+//  2. No lock may be held across a blocking operation: channel sends and
+//     receives, select without default, time.Sleep, WaitGroup/Cond Wait,
+//     or network I/O — whether written inline or hidden behind a call
+//     whose may-block fact says so.
+//
+// Locks are identified at field/variable granularity (every element of
+// p.hostMu[h] is one lock "hostMu"), matching locksafe. A site that is
+// intentional — e.g. a condition-variable pattern — is suppressed with a
+// line //elrec:lockorder <reason> directive.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "lock acquisition order must be acyclic; no lock held across blocking operations",
+	RunProgram: runLockOrder,
+}
+
+// lockOrderScope reports whether pkgPath is subject to lock-order
+// checking: the lock-striped module packages, plus standalone test
+// packages loaded by the analysistest harness.
+func lockOrderScope(pkgPath string) bool {
+	switch pkgPath {
+	case ModulePath + "/internal/ps",
+		ModulePath + "/internal/distps",
+		ModulePath + "/internal/served",
+		ModulePath + "/internal/tt":
+		return true
+	}
+	return !modulePackage(pkgPath)
+}
+
+// lockEdge is one observed A-held-while-acquiring-B event.
+type lockEdge struct {
+	from, to types.Object
+	pos      token.Pos
+}
+
+func runLockOrder(pass *Pass) error {
+	prog := pass.Program
+	facts := prog.Facts()
+
+	var edges []lockEdge
+	for _, n := range prog.Nodes {
+		if !lockOrderScope(n.Pkg.PkgPath) {
+			continue
+		}
+		edges = append(edges, simulateLocks(pass, n, facts)...)
+	}
+	reportLockCycles(pass, prog, edges)
+	return nil
+}
+
+// heldLock is one entry of the simulated held-lock stack.
+type heldLock struct {
+	obj   types.Object
+	write bool
+	pos   token.Pos
+}
+
+// simulateLocks walks n's body in source order (excluding spawned
+// goroutines) maintaining a held-lock stack, reporting blocking-while-held
+// and re-acquisition, and returning the acquisition-order edges observed.
+func simulateLocks(pass *Pass, n *FuncNode, facts *Facts) []lockEdge {
+	prog := pass.Program
+	info := n.Pkg.TypesInfo
+	var held []heldLock
+	var edges []lockEdge
+
+	// Calls under defer release at function exit, not at their source
+	// position; a deferred Unlock therefore keeps the lock held for the
+	// rest of the simulation.
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if d, ok := node.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+	nonBlockingComms := selectDefaultComms(n.Decl.Body)
+	staticCalls := map[*ast.CallExpr]*FuncNode{}
+	for _, cs := range n.Calls {
+		if !cs.Async {
+			staticCalls[cs.Call] = cs.Callee
+		}
+	}
+
+	suppressed := func(pos token.Pos) bool {
+		_, ok := prog.LineDirective(pos, "lockorder")
+		return ok
+	}
+	reportBlocked := func(pos token.Pos, what string) {
+		if suppressed(pos) {
+			return
+		}
+		top := held[len(held)-1]
+		pass.Reportf(pos, "lock %s held across blocking operation: %s (in %s; acquired at %s)",
+			lockDisplayName(top.obj), what, n.DisplayName(), prog.Fset.Position(top.pos))
+	}
+
+	walkAsync(n.Decl.Body, func(node ast.Node, async bool) bool {
+		if async {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.SendStmt:
+			if len(held) > 0 && !nonBlockingComms[node.Pos()] {
+				reportBlocked(node.Pos(), "channel send")
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && len(held) > 0 && !nonBlockingComms[node.Pos()] {
+				reportBlocked(node.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(node) {
+				reportBlocked(node.Pos(), "select")
+			}
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				if tv, ok := info.Types[node.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						reportBlocked(node.Pos(), "range over channel")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			edges = append(edges, lockCallSim(pass, n, node, info, facts, staticCalls, deferred, &held, suppressed)...)
+		}
+		return true
+	})
+	return edges
+}
+
+// lockCallSim handles one call expression during the lock simulation:
+// acquisitions, releases, blocking externals and callee facts.
+func lockCallSim(pass *Pass, n *FuncNode, call *ast.CallExpr, info *types.Info, facts *Facts,
+	staticCalls map[*ast.CallExpr]*FuncNode, deferred map[*ast.CallExpr]bool,
+	held *[]heldLock, suppressed func(token.Pos) bool) []lockEdge {
+
+	prog := pass.Program
+
+	if obj, write, ok := lockAcquisition(info, call); ok {
+		var edges []lockEdge
+		for _, h := range *held {
+			if h.obj == obj {
+				if !(!h.write && !write) && !suppressed(call.Pos()) {
+					pass.Reportf(call.Pos(), "lock %s acquired while already held (in %s; first acquired at %s)",
+						lockDisplayName(obj), n.DisplayName(), prog.Fset.Position(h.pos))
+				}
+				continue
+			}
+			edges = append(edges, lockEdge{from: h.obj, to: obj, pos: call.Pos()})
+		}
+		*held = append(*held, heldLock{obj: obj, write: write, pos: call.Pos()})
+		return edges
+	}
+
+	if obj, ok := lockRelease(info, call); ok {
+		if deferred[call] {
+			return nil // releases at return: lock stays held for the simulation
+		}
+		for i := len(*held) - 1; i >= 0; i-- {
+			if (*held)[i].obj == obj {
+				*held = append((*held)[:i], (*held)[i+1:]...)
+				break
+			}
+		}
+		return nil
+	}
+
+	if len(*held) == 0 {
+		// Nothing held: only acquisition-order edges matter, and those come
+		// from the callee's own simulation.
+		return nil
+	}
+
+	if callee, ok := staticCalls[call]; ok {
+		var edges []lockEdge
+		for lock := range facts.Acquires[callee] {
+			heldSame := false
+			for _, h := range *held {
+				if h.obj == lock {
+					heldSame = true
+					if !suppressed(call.Pos()) {
+						pass.Reportf(call.Pos(), "lock %s held when calling %s, which may acquire it again (in %s)",
+							lockDisplayName(lock), callee.DisplayName(), n.DisplayName())
+					}
+				}
+			}
+			if !heldSame {
+				for _, h := range *held {
+					edges = append(edges, lockEdge{from: h.obj, to: lock, pos: call.Pos()})
+				}
+			}
+		}
+		if bf := facts.Block[callee]; bf.Kind != 0 && !suppressed(call.Pos()) {
+			top := (*held)[len(*held)-1]
+			pass.Reportf(call.Pos(), "lock %s held across call to %s, which may block (%s) (in %s)",
+				lockDisplayName(top.obj), callee.DisplayName(), bf.Witness, n.DisplayName())
+		}
+		return edges
+	}
+
+	if k, why := externalBlockKind(info, call); k != 0 && !suppressed(call.Pos()) {
+		top := (*held)[len(*held)-1]
+		pass.Reportf(call.Pos(), "lock %s held across blocking operation: %s (in %s; acquired at %s)",
+			lockDisplayName(top.obj), why, n.DisplayName(), prog.Fset.Position(top.pos))
+	}
+	return nil
+}
+
+// reportLockCycles finds strongly connected components of the global
+// acquisition-order graph and reports each once, deterministically, at
+// the earliest witness position of an in-cycle edge.
+func reportLockCycles(pass *Pass, prog *Program, edges []lockEdge) {
+	adj := map[types.Object]map[types.Object]token.Pos{}
+	var locks []types.Object
+	seen := map[types.Object]bool{}
+	addLock := func(o types.Object) {
+		if !seen[o] {
+			seen[o] = true
+			locks = append(locks, o)
+		}
+	}
+	for _, e := range edges {
+		addLock(e.from)
+		addLock(e.to)
+		if adj[e.from] == nil {
+			adj[e.from] = map[types.Object]token.Pos{}
+		}
+		if _, ok := adj[e.from][e.to]; !ok {
+			adj[e.from][e.to] = e.pos
+		}
+	}
+	sort.Slice(locks, func(i, j int) bool { return lockDisplayName(locks[i]) < lockDisplayName(locks[j]) })
+
+	// Tarjan over the lock graph.
+	index := map[types.Object]int{}
+	low := map[types.Object]int{}
+	onStack := map[types.Object]bool{}
+	var stack []types.Object
+	next := 0
+	var sccs [][]types.Object
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []types.Object
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Slice(succs, func(i, j int) bool { return lockDisplayName(succs[i]) < lockDisplayName(succs[j]) })
+		for _, w := range succs {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, l := range locks {
+		if _, ok := index[l]; !ok {
+			strongconnect(l)
+		}
+	}
+
+	for _, scc := range sccs {
+		selfLoop := len(scc) == 1 && func() bool { _, ok := adj[scc[0]][scc[0]]; return ok }()
+		if len(scc) < 2 && !selfLoop {
+			continue
+		}
+		names := make([]string, len(scc))
+		for i, o := range scc {
+			names[i] = lockDisplayName(o)
+		}
+		sort.Strings(names)
+		inSCC := map[types.Object]bool{}
+		for _, o := range scc {
+			inSCC[o] = true
+		}
+		// Earliest witness among in-cycle edges.
+		var at token.Pos
+		for _, from := range scc {
+			for to, pos := range adj[from] {
+				if !inSCC[to] {
+					continue
+				}
+				if at == token.NoPos || prog.Fset.Position(pos).Filename < prog.Fset.Position(at).Filename ||
+					(prog.Fset.Position(pos).Filename == prog.Fset.Position(at).Filename && pos < at) {
+					at = pos
+				}
+			}
+		}
+		pass.Reportf(at, "lock acquisition order cycle: %s", joinCycle(names))
+	}
+}
+
+func joinCycle(names []string) string {
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += " → "
+		}
+		s += n
+	}
+	return s + " → " + names[0]
+}

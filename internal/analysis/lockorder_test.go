@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockOrderGolden(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder, filepath.Join("testdata", "src", "lockorder"))
+}

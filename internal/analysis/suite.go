@@ -5,9 +5,14 @@ import "strings"
 // ModulePath is the import-path root of this module.
 const ModulePath = "repro"
 
-// Suite returns the six project analyzers in reporting order.
+// Suite returns the ten project analyzers in reporting order: the six
+// intraprocedural passes, then the four interprocedural ones built on the
+// call-graph facts engine (which scope themselves, see each analyzer).
 func Suite() []*Analyzer {
-	return []*Analyzer{NoPanic, Determinism, LockSafe, GoSpawn, ErrCmp, ObsClock}
+	return []*Analyzer{
+		NoPanic, Determinism, LockSafe, GoSpawn, ErrCmp, ObsClock,
+		HotAlloc, LockOrder, CtxFlow, WireExhaustive,
+	}
 }
 
 // deterministicPackages are the numeric result paths whose outputs must be

@@ -1,0 +1,43 @@
+// Package ctxflow is the golden test for the ctxflow analyzer: Drain's
+// blocking operation sits one call hop down, so the entry-point check only
+// fires through the propagated Block fact.
+package ctxflow
+
+import "context"
+
+var jobs = make(chan int)
+
+// Drain is an exported entry point that blocks (via helper) without
+// accepting a context — the seeded violation.
+func Drain() int { // want "exported ctxflow.Drain may block .call to ctxflow.helper. but does not accept a context.Context"
+	return helper()
+}
+
+func helper() int { return <-jobs }
+
+// DrainCtx is the compliant twin: same blocking callee, but the caller's
+// context is accepted.
+func DrainCtx(ctx context.Context) int {
+	select {
+	case v := <-jobs:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// spawnRoot manufactures a context in library code without an audit
+// annotation — the seeded check-1 violation.
+func spawnRoot() context.Context {
+	return context.Background() // want "context.Background.. in library code"
+}
+
+// auditedRoot is the annotated escape hatch.
+func auditedRoot() context.Context {
+	//elrec:rootctx golden audited root
+	return context.Background()
+}
+
+// Close is exempt by name: close paths run after the caller's context is
+// already dead.
+func Close() { <-jobs }

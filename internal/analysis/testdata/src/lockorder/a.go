@@ -1,0 +1,57 @@
+// Package lockorder is the golden test for the lockorder analyzer: both
+// seeded violations live one call hop below the function that holds the
+// lock, so neither is visible intraprocedurally.
+package lockorder
+
+import "sync"
+
+var (
+	muA, muB sync.Mutex
+	results  = make(chan int)
+)
+
+// TransferAB establishes the order muA → muB; the second lock is taken by
+// the callee, so the edge only exists through the Acquires fact.
+func TransferAB() {
+	muA.Lock()
+	lockB() // want "lock acquisition order cycle: lockorder.muA → lockorder.muB → lockorder.muA"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockB() { muB.Lock() }
+
+// TransferBA establishes the reverse order muB → muA, closing the cycle.
+func TransferBA() {
+	muB.Lock()
+	lockA()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+func lockA() { muA.Lock() }
+
+// WaitHolding holds muA across a callee whose blocking is only visible
+// through its Block fact.
+func WaitHolding() {
+	muA.Lock()
+	recv() // want "lock lockorder.muA held across call to lockorder.recv, which may block"
+	muA.Unlock()
+}
+
+func recv() { <-results }
+
+// PollHolding is the non-blocking counterpart: the callee's receive is
+// guarded by a select with a default, so no fact and no finding.
+func PollHolding() {
+	muA.Lock()
+	poll()
+	muA.Unlock()
+}
+
+func poll() {
+	select {
+	case <-results:
+	default:
+	}
+}

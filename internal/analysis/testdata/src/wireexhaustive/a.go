@@ -1,0 +1,49 @@
+// Package wireexhaustive is the golden test for the wireexhaustive
+// analyzer: the annotated request switch omits one request constant, which
+// is only detectable by joining the switch against the wiretypes const
+// block declared elsewhere in the package.
+package wireexhaustive
+
+// Message types, odd requests / even responses, mirroring the distps wire
+// protocol convention.
+//
+//elrec:wiretypes
+const (
+	msgPing    = uint8(1)
+	msgPong    = uint8(2)
+	msgFetch   = uint8(3)
+	msgRows    = uint8(4)
+	msgError   = uint8(5)
+	msgIOError = uint8(7) // odd but an error type: name suffix excludes it from requests
+)
+
+// dispatch is the seeded violation: a request switch that forgot msgFetch.
+func dispatch(t uint8) int {
+	//elrec:wireswitch requests
+	switch t { // want "wire switch .*wireswitch requests. missing cases: msgFetch"
+	case msgPing:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// name decodes every type — the compliant all-role switch.
+func name(t uint8) string {
+	//elrec:wireswitch all
+	switch t {
+	case msgPing:
+		return "ping"
+	case msgPong:
+		return "pong"
+	case msgFetch:
+		return "fetch"
+	case msgRows:
+		return "rows"
+	case msgError:
+		return "error"
+	case msgIOError:
+		return "ioerror"
+	}
+	return "?"
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireExhaustive keeps the distps wire protocol closed under extension:
+// adding a frame-type constant without wiring every decode path fails
+// lint instead of failing at runtime with "unexpected frame".
+//
+// The const block declaring the frame types carries //elrec:wiretypes on
+// its doc comment. The protocol's parity convention classifies each
+// constant: odd values are requests (except *Error, which answers any
+// request), everything else is a response. Each dispatch/decode switch is
+// annotated //elrec:wireswitch <role> with role one of:
+//
+//	requests  — must case every request constant (server dispatch,
+//	            client request→response mapping)
+//	responses — must case every response constant
+//	all       — must case every constant (diagnostic name tables)
+//
+// A default clause does not satisfy the requirement — the point is that
+// the compiler-invisible "forgot to handle it" hole becomes a finding.
+// If wiretypes constants exist at all, at least one `requests` switch and
+// one `all` switch must exist, so deleting the annotation (or the switch)
+// is itself a finding.
+var WireExhaustive = &Analyzer{
+	Name:       "wireexhaustive",
+	Doc:        "every wire frame-type constant must be handled in all annotated dispatch switches",
+	RunProgram: runWireExhaustive,
+}
+
+type wireConst struct {
+	name string
+	obj  types.Object
+	val  int64
+}
+
+func runWireExhaustive(pass *Pass) error {
+	prog := pass.Program
+
+	var consts []wireConst
+	var declPos token.Pos
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				if _, ok := docDirective(gd.Doc, "wiretypes"); !ok {
+					continue
+				}
+				if declPos == token.NoPos {
+					declPos = gd.Pos()
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						c, ok := pkg.TypesInfo.Defs[name].(*types.Const)
+						if !ok {
+							continue
+						}
+						v, exact := constant.Int64Val(c.Val())
+						if !exact {
+							continue
+						}
+						consts = append(consts, wireConst{name: name.Name, obj: c, val: v})
+					}
+				}
+			}
+		}
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+
+	required := func(role string) []wireConst {
+		var out []wireConst
+		for _, c := range consts {
+			isErr := strings.HasSuffix(c.name, "Error")
+			isReq := c.val%2 == 1 && !isErr
+			switch role {
+			case "requests":
+				if isReq {
+					out = append(out, c)
+				}
+			case "responses":
+				if !isReq {
+					out = append(out, c)
+				}
+			case "all":
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+
+	rolesSeen := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			info := pkg.TypesInfo
+			ast.Inspect(file, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				d, ok := prog.LineDirective(sw.Pos(), "wireswitch")
+				if !ok {
+					return true
+				}
+				role := d.args
+				switch role {
+				case "requests", "responses", "all":
+				default:
+					pass.Reportf(sw.Pos(), "unknown //elrec:wireswitch role %q (want requests, responses or all)", role)
+					return true
+				}
+				rolesSeen[role] = true
+				handled := map[types.Object]bool{}
+				for _, stmt := range sw.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						var id *ast.Ident
+						switch e := ast.Unparen(e).(type) {
+						case *ast.Ident:
+							id = e
+						case *ast.SelectorExpr:
+							id = e.Sel
+						default:
+							continue
+						}
+						if obj := info.Uses[id]; obj != nil {
+							handled[obj] = true
+						}
+					}
+				}
+				var missing []string
+				for _, c := range required(role) {
+					if !handled[c.obj] {
+						missing = append(missing, c.name)
+					}
+				}
+				if len(missing) > 0 {
+					sort.Strings(missing)
+					pass.Reportf(sw.Pos(), "wire switch (//elrec:wireswitch %s) missing cases: %s", role, strings.Join(missing, ", "))
+				}
+				return true
+			})
+		}
+	}
+
+	for _, role := range []string{"requests", "all"} {
+		if !rolesSeen[role] {
+			pass.Reportf(declPos, "wire frame types declared but no //elrec:wireswitch %s switch exists to handle them", role)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWireExhaustiveGolden(t *testing.T) {
+	analysistest.Run(t, analysis.WireExhaustive, filepath.Join("testdata", "src", "wireexhaustive"))
+}

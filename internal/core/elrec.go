@@ -320,7 +320,7 @@ func (s *System) TrainContext(ctx context.Context, startIter, steps, batchSize i
 	// reads the per-op timing), with the same cancellation and checkpoint
 	// behaviour as the pipelined path.
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //elrec:rootctx nil-ctx compatibility default for direct System embedders
 	}
 	curve := &metrics.LossCurve{}
 	res := &ps.TrainResult{Curve: curve, NextIter: startIter, Resumable: true}
@@ -346,6 +346,7 @@ func (s *System) TrainContext(ctx context.Context, startIter, steps, batchSize i
 // pipeline fault (without an injector configured, faults cannot occur, so
 // the experiment harness and examples keep their simple shape).
 func (s *System) Train(startIter, steps, batchSize int) *metrics.LossCurve {
+	//elrec:rootctx documented legacy API: Train has no cancellation by contract
 	res, err := s.TrainContext(context.Background(), startIter, steps, batchSize)
 	if err != nil {
 		//elrec:invariant documented legacy API: without a fault injector TrainContext cannot fail

@@ -2,6 +2,7 @@ package distps
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -62,12 +63,20 @@ func (b Backoff) Delay(attempt int) time.Duration {
 	return d
 }
 
-func (b Backoff) sleep(d time.Duration) {
+// sleep waits d or until ctx is cancelled, whichever comes first.
+func (b Backoff) sleep(ctx context.Context, d time.Duration) error {
 	if b.Sleep != nil {
 		b.Sleep(d)
-		return
+		return ctx.Err()
 	}
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // ClientConfig configures a shard-set client.
@@ -244,10 +253,15 @@ func (sc *shardConn) exchangeLocked(c *Client, typ uint8, payload []byte) (Frame
 // roundTrip runs one exchange, dialing (and re-validating the spec via
 // Hello) if the connection is down.
 func (sc *shardConn) roundTrip(c *Client, typ uint8, payload []byte) (Frame, error) {
+	// sc.mu exists precisely to serialize this connection's dial and
+	// request/response exchange: holding it across the socket I/O is the
+	// invariant, not a bug. The I/O is deadline-bounded (dial timeout,
+	// SetDeadline in exchangeLocked), so the hold time is capped.
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if sc.conn == nil {
 		//elrec:wallclock dial timeout is enforced by the kernel against wall time
+		//elrec:lockorder per-connection mutex serializes deadline-bounded dial
 		conn, err := net.DialTimeout("tcp", sc.addr, c.cfg.Timeout)
 		if err != nil {
 			return Frame{}, err
@@ -257,6 +271,7 @@ func (sc *shardConn) roundTrip(c *Client, typ uint8, payload []byte) (Frame, err
 		c.m.reconnects.Inc()
 		hello := helloMsg{WorkerID: c.cfg.WorkerID, Epoch: c.epoch.Load(), Seed: c.cfg.Seed,
 			Dim: c.cfg.Dim, Tables: c.cfg.Tables}
+		//elrec:lockorder per-connection mutex serializes deadline-bounded exchange
 		f, err := sc.exchangeLocked(c, msgHello, hello.encode())
 		if err != nil {
 			return Frame{}, err
@@ -267,15 +282,18 @@ func (sc *shardConn) roundTrip(c *Client, typ uint8, payload []byte) (Frame, err
 		}
 		ack, err := decodeHelloAck(body)
 		if err != nil {
+			//elrec:lockorder net.Conn.Close does not block
 			sc.poisonLocked()
 			return Frame{}, err
 		}
 		if ack.ShardID != sc.index || ack.NumShards != len(c.cfg.Shards) {
+			//elrec:lockorder net.Conn.Close does not block
 			sc.poisonLocked()
 			return Frame{}, fmt.Errorf("%w: dialed shard %d/%d, reached %d/%d",
 				ErrSpecMismatch, sc.index, len(c.cfg.Shards), ack.ShardID, ack.NumShards)
 		}
 	}
+	//elrec:lockorder per-connection mutex serializes deadline-bounded exchange
 	return sc.exchangeLocked(c, typ, payload)
 }
 
@@ -293,6 +311,30 @@ func checkReply(f Frame, want uint8) ([]byte, error) {
 		return nil, fmt.Errorf("%w: reply type %s, want %s", ErrBadFrame, msgName(f.Type), msgName(want))
 	}
 	return f.Payload, nil
+}
+
+// responseFor maps each request type to the response type that
+// acknowledges it: the client-side half of the wire contract. Adding a
+// frame type without extending this switch fails lint.
+func responseFor(typ uint8) uint8 {
+	//elrec:wireswitch requests
+	switch typ {
+	case msgHello:
+		return msgHelloAck
+	case msgGather:
+		return msgRows
+	case msgPush:
+		return msgPushAck
+	case msgCheckpoint:
+		return msgCheckpointAck
+	case msgRestore:
+		return msgRestoreAck
+	case msgHeartbeat:
+		return msgHeartbeatAck
+	case msgLease:
+		return msgLeaseAck
+	}
+	return msgError
 }
 
 // retryable classifies errors: transport faults (connection, deadline,
@@ -314,11 +356,18 @@ func retryable(err error) bool {
 }
 
 // call is the retrying RPC: the payload is reused verbatim across attempts
-// (pushes carry their seq, so replays dedupe server-side).
-func (c *Client) call(shard int, typ uint8, payload []byte, want uint8) ([]byte, error) {
+// (pushes carry their seq, so replays dedupe server-side). The expected
+// response type is derived from the request type via responseFor. ctx
+// cancellation aborts between attempts and during backoff; an in-flight
+// socket exchange still runs to its own deadline.
+func (c *Client) call(ctx context.Context, shard int, typ uint8, payload []byte) ([]byte, error) {
 	sc := c.conns[shard]
+	want := responseFor(typ)
 	var last error
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("shard %d %s: %w", shard, msgName(typ), err)
+		}
 		start := c.clock.Now()
 		f, err := sc.roundTrip(c, typ, payload)
 		if err == nil {
@@ -330,6 +379,7 @@ func (c *Client) call(shard int, typ uint8, payload []byte, want uint8) ([]byte,
 			}
 			if errors.Is(err, ErrBadFrame) {
 				sc.mu.Lock()
+				//elrec:lockorder net.Conn.Close does not block
 				sc.poisonLocked()
 				sc.mu.Unlock()
 			}
@@ -342,19 +392,21 @@ func (c *Client) call(shard int, typ uint8, payload []byte, want uint8) ([]byte,
 			return nil, fmt.Errorf("%w: shard %d %s after %d attempts: %w", ErrRPCFailed, shard, msgName(typ), attempt+1, last)
 		}
 		c.m.retries.Inc()
-		c.retry.sleep(c.retry.Delay(attempt))
+		if err := c.retry.sleep(ctx, c.retry.Delay(attempt)); err != nil {
+			return nil, fmt.Errorf("shard %d %s: %w", shard, msgName(typ), err)
+		}
 	}
 }
 
 // --- RPC surface -----------------------------------------------------------
 
 // HelloAll dials and validates every shard, returning their statuses.
-func (c *Client) HelloAll() ([]ShardStatus, error) {
+func (c *Client) HelloAll(ctx context.Context) ([]ShardStatus, error) {
 	hello := helloMsg{WorkerID: c.cfg.WorkerID, Epoch: c.epoch.Load(), Seed: c.cfg.Seed,
 		Dim: c.cfg.Dim, Tables: c.cfg.Tables}
 	out := make([]ShardStatus, len(c.conns))
 	for i := range c.conns {
-		body, err := c.call(i, msgHello, hello.encode(), msgHelloAck)
+		body, err := c.call(ctx, i, msgHello, hello.encode())
 		if err != nil {
 			return nil, err
 		}
@@ -368,11 +420,11 @@ func (c *Client) HelloAll() ([]ShardStatus, error) {
 }
 
 // Gather fetches the given rows of one table from one shard.
-func (c *Client) Gather(shard, table int, rows []int) ([]float32, error) {
+func (c *Client) Gather(ctx context.Context, shard, table int, rows []int) ([]float32, error) {
 	out := make([]float32, 0, len(rows)*c.cfg.Dim)
 	for off := 0; off < len(rows); off += maxRowsPerRPC {
 		end := min(off+maxRowsPerRPC, len(rows))
-		body, err := c.call(shard, msgGather, gatherMsg{Table: table, Rows: rows[off:end]}.encode(), msgRows)
+		body, err := c.call(ctx, shard, msgGather, gatherMsg{Table: table, Rows: rows[off:end]}.encode())
 		if err != nil {
 			return nil, err
 		}
@@ -392,9 +444,9 @@ func (c *Client) Gather(shard, table int, rows []int) ([]float32, error) {
 // Push applies a pre-scaled delta to rows of one table on one shard. seq
 // must come from nextSeq; the encoded payload is what makes retries
 // idempotent.
-func (c *Client) Push(shard int, seq uint64, table int, rows []int, delta []float32) error {
+func (c *Client) Push(ctx context.Context, shard int, seq uint64, table int, rows []int, delta []float32) error {
 	m := pushMsg{Epoch: c.epoch.Load(), Seq: seq, Table: table, Rows: rows, Dim: c.cfg.Dim, Delta: delta}
-	body, err := c.call(shard, msgPush, m.encode(), msgPushAck)
+	body, err := c.call(ctx, shard, msgPush, m.encode())
 	if err != nil {
 		return err
 	}
@@ -405,10 +457,10 @@ func (c *Client) Push(shard int, seq uint64, table int, rows []int, delta []floa
 // CheckpointAll asks every shard to make version v durable. It is the
 // remote half of the coordinated checkpoint: the worker's local state file
 // is only written after every shard acked.
-func (c *Client) CheckpointAll(v int64) error {
+func (c *Client) CheckpointAll(ctx context.Context, v int64) error {
 	m := versionMsg{Epoch: c.epoch.Load(), Version: v}
 	for i := range c.conns {
-		if _, err := c.call(i, msgCheckpoint, m.encode(), msgCheckpointAck); err != nil {
+		if _, err := c.call(ctx, i, msgCheckpoint, m.encode()); err != nil {
 			return err
 		}
 	}
@@ -418,10 +470,10 @@ func (c *Client) CheckpointAll(v int64) error {
 // RestoreAll tells every shard to reload durable version v. Restoring the
 // whole set — not just a restarted shard — rolls back any shard that
 // applied pushes past the checkpoint before a crash tore the run.
-func (c *Client) RestoreAll(v int64) error {
+func (c *Client) RestoreAll(ctx context.Context, v int64) error {
 	m := versionMsg{Epoch: c.epoch.Load(), Version: v}
 	for i := range c.conns {
-		if _, err := c.call(i, msgRestore, m.encode(), msgRestoreAck); err != nil {
+		if _, err := c.call(ctx, i, msgRestore, m.encode()); err != nil {
 			return err
 		}
 	}
@@ -438,7 +490,10 @@ type ShardStatus struct {
 
 // Heartbeat probes one shard (single attempt, no retries — liveness wants
 // the truth, not persistence).
-func (c *Client) Heartbeat(shard int) (ShardStatus, error) {
+func (c *Client) Heartbeat(ctx context.Context, shard int) (ShardStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return ShardStatus{}, err
+	}
 	sc := c.conns[shard]
 	f, err := sc.roundTrip(c, msgHeartbeat, heartbeatMsg{WorkerID: c.cfg.WorkerID}.encode())
 	if err != nil {
@@ -457,9 +512,9 @@ func (c *Client) Heartbeat(shard int) (ShardStatus, error) {
 
 // AcquireLease acquires the trainer lease from the lease-authority shard
 // (shard 0), installs the granted epoch, and returns it.
-func (c *Client) AcquireLease() (uint64, error) {
+func (c *Client) AcquireLease(ctx context.Context) (uint64, error) {
 	m := leaseMsg{WorkerID: c.cfg.WorkerID, TTLMS: uint64(c.cfg.LeaseTTL / time.Millisecond)}
-	body, err := c.call(0, msgLease, m.encode(), msgLeaseAck)
+	body, err := c.call(ctx, 0, msgLease, m.encode())
 	if err != nil {
 		return 0, err
 	}
@@ -472,10 +527,10 @@ func (c *Client) AcquireLease() (uint64, error) {
 }
 
 // RenewLease extends the currently held lease.
-func (c *Client) RenewLease() error {
+func (c *Client) RenewLease(ctx context.Context) error {
 	m := leaseMsg{WorkerID: c.cfg.WorkerID, Renew: true, Epoch: c.epoch.Load(),
 		TTLMS: uint64(c.cfg.LeaseTTL / time.Millisecond)}
-	body, err := c.call(0, msgLease, m.encode(), msgLeaseAck)
+	body, err := c.call(ctx, 0, msgLease, m.encode())
 	if err != nil {
 		return err
 	}
@@ -484,8 +539,12 @@ func (c *Client) RenewLease() error {
 }
 
 // StartHeartbeats probes every shard each interval, maintaining the
-// distps_shard<i>_up gauges and the heartbeat-miss counter until Close.
-func (c *Client) StartHeartbeats(every time.Duration) {
+// distps_shard<i>_up gauges and the heartbeat-miss counter until ctx is
+// cancelled or Close is called.
+func (c *Client) StartHeartbeats(ctx context.Context, every time.Duration) {
+	if ctx == nil {
+		ctx = context.Background() //elrec:rootctx nil-ctx compatibility default, matching Worker.Run
+	}
 	if every <= 0 {
 		every = time.Second
 	}
@@ -501,8 +560,10 @@ func (c *Client) StartHeartbeats(every time.Duration) {
 					select {
 					case <-c.hbStop:
 						return
+					case <-ctx.Done():
+						return
 					case <-t.C:
-						if _, err := c.Heartbeat(shard); err != nil {
+						if _, err := c.Heartbeat(ctx, shard); err != nil {
 							c.m.hbMisses.Inc()
 							c.m.up[shard].Set(0)
 						} else {
@@ -526,6 +587,7 @@ func (c *Client) Close() error {
 	c.hbWG.Wait()
 	for _, sc := range c.conns {
 		sc.mu.Lock()
+		//elrec:lockorder net.Conn.Close does not block
 		sc.poisonLocked()
 		sc.mu.Unlock()
 	}
@@ -535,8 +597,15 @@ func (c *Client) Close() error {
 // --- ps.HostStore adapter --------------------------------------------------
 
 // Store returns the pipeline-facing store for one of the client's tables.
-func (c *Client) Store(spec TableSpec) ps.HostStore {
-	return &remoteStore{c: c, spec: spec}
+// ctx bounds every RPC the store issues: ps.HostStore predates the
+// cancellation contract (its methods take no context), so the store
+// captures the training run's context at construction — a new store is
+// built per run, alongside the pipeline it feeds.
+func (c *Client) Store(ctx context.Context, spec TableSpec) ps.HostStore {
+	if ctx == nil {
+		ctx = context.Background() //elrec:rootctx nil-ctx compatibility default, matching Worker.Run
+	}
+	return &remoteStore{c: c, spec: spec, ctx: ctx}
 }
 
 // remoteStore implements ps.HostStore over the shard set: gathers fan out
@@ -547,6 +616,7 @@ func (c *Client) Store(spec TableSpec) ps.HostStore {
 type remoteStore struct {
 	c    *Client
 	spec TableSpec
+	ctx  context.Context // the owning run's context (see Store)
 }
 
 var _ ps.HostStore = (*remoteStore)(nil)
@@ -574,7 +644,7 @@ func (s *remoteStore) GatherRows(uniq []int) (*tensor.Matrix, error) {
 		if len(rows[sh]) == 0 {
 			continue
 		}
-		values, err := s.c.Gather(sh, s.spec.Index, rows[sh])
+		values, err := s.c.Gather(s.ctx, sh, s.spec.Index, rows[sh])
 		if err != nil {
 			return nil, fmt.Errorf("table %d shard %d: %w", s.spec.Index, sh, err)
 		}
@@ -599,7 +669,7 @@ func (s *remoteStore) ApplyDelta(uniq []int, delta *tensor.Matrix) error {
 			for _, p := range pos[sh][off:end] {
 				sub = append(sub, delta.Row(p)...)
 			}
-			if err := s.c.Push(sh, s.c.nextSeq(), s.spec.Index, rows[sh][off:end], sub); err != nil {
+			if err := s.c.Push(s.ctx, sh, s.c.nextSeq(), s.spec.Index, rows[sh][off:end], sub); err != nil {
 				return fmt.Errorf("table %d shard %d: %w", s.spec.Index, sh, err)
 			}
 		}

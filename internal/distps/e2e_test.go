@@ -53,7 +53,7 @@ func distributedHash(t *testing.T, sc Scenario, p *ps.Pipeline, c *Client) uint6
 	specs := sc.HostSpecs()
 	values := make([]*tensor.Matrix, len(specs))
 	for h, spec := range specs {
-		m, err := GatherFullTable(c.Store(spec), spec)
+		m, err := GatherFullTable(c.Store(context.Background(), spec), spec)
 		if err != nil {
 			t.Fatalf("gather table %d: %v", spec.Index, err)
 		}

@@ -512,6 +512,7 @@ func codeFor(err error) uint8 {
 
 // msgName names a message type for error text.
 func msgName(t uint8) string {
+	//elrec:wireswitch all
 	switch t {
 	case msgHello, msgHelloAck:
 		return "hello"

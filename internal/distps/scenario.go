@@ -1,6 +1,7 @@
 package distps
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 
@@ -113,9 +114,10 @@ func (sc Scenario) ReferenceLocs() ([]ps.TableLoc, error) {
 	return sc.tableLocs(nil)
 }
 
-// RemoteLocs places every host table behind the shard-set client.
-func (sc Scenario) RemoteLocs(c *Client) ([]ps.TableLoc, error) {
-	return sc.tableLocs(func(spec TableSpec) ps.HostStore { return c.Store(spec) })
+// RemoteLocs places every host table behind the shard-set client. ctx
+// bounds every RPC the resulting stores issue (see Client.Store).
+func (sc Scenario) RemoteLocs(ctx context.Context, c *Client) ([]ps.TableLoc, error) {
+	return sc.tableLocs(func(spec TableSpec) ps.HostStore { return c.Store(ctx, spec) })
 }
 
 // PipelineConfig is the ps.Config skeleton both modes share.

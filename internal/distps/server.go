@@ -800,6 +800,7 @@ func (s *Shard) handle(f Frame) ([]byte, uint8, error) {
 	bad := func(err error) ([]byte, uint8, error) {
 		return nil, 0, fmt.Errorf("%w: %s: %w", ErrBadRequest, msgName(f.Type), err)
 	}
+	//elrec:wireswitch requests
 	switch f.Type {
 	case msgHello:
 		m, err := decodeHello(f.Payload)
@@ -912,6 +913,7 @@ func (s *Shard) Close() error {
 	case <-time.After(s.cfg.DrainTimeout):
 		s.mu.Lock()
 		for c := range s.conns {
+			//elrec:lockorder net.Conn.Close does not block
 			c.Close()
 		}
 		s.mu.Unlock()

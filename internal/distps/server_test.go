@@ -1,6 +1,7 @@
 package distps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -115,11 +116,11 @@ func TestGatherMatchesReferenceInit(t *testing.T) {
 	sc := testScenario()
 	_, addrs := startShards(t, sc, 2, nil)
 	c := newTestClient(t, sc, addrs, 1)
-	if _, err := c.HelloAll(); err != nil {
+	if _, err := c.HelloAll(context.Background()); err != nil {
 		t.Fatalf("HelloAll: %v", err)
 	}
 	for _, spec := range sc.HostSpecs() {
-		got, err := GatherFullTable(c.Store(spec), spec)
+		got, err := GatherFullTable(c.Store(context.Background(), spec), spec)
 		if err != nil {
 			t.Fatalf("gather table %d: %v", spec.Index, err)
 		}
@@ -139,11 +140,11 @@ func TestPushApplyAndDedup(t *testing.T) {
 	sc := testScenario()
 	shards, addrs := startShards(t, sc, 2, nil)
 	c := newTestClient(t, sc, addrs, 1)
-	if _, err := c.AcquireLease(); err != nil {
+	if _, err := c.AcquireLease(context.Background()); err != nil {
 		t.Fatalf("AcquireLease: %v", err)
 	}
 	spec := sc.HostSpecs()[0]
-	store := c.Store(spec)
+	store := c.Store(context.Background(), spec)
 	rows := []int{0, 5, 17}
 	before, err := store.GatherRows(rows)
 	if err != nil {
@@ -174,14 +175,14 @@ func TestPushApplyAndDedup(t *testing.T) {
 	for j := range one {
 		one[j] = 1
 	}
-	if err := c.Push(shard, seq, spec.Index, rows[:1], one); err != nil {
+	if err := c.Push(context.Background(), shard, seq, spec.Index, rows[:1], one); err != nil {
 		t.Fatalf("push: %v", err)
 	}
 	applied, err := store.GatherRows(rows[:1])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Push(shard, seq, spec.Index, rows[:1], one); err != nil {
+	if err := c.Push(context.Background(), shard, seq, spec.Index, rows[:1], one); err != nil {
 		t.Fatalf("replayed push: %v", err)
 	}
 	replayed, err := store.GatherRows(rows[:1])
@@ -209,16 +210,16 @@ func TestLeaseFencingRejectsStaleWorker(t *testing.T) {
 	})
 	a := newTestClient(t, sc, addrs, 1)
 	b := newTestClient(t, sc, addrs, 2)
-	if _, err := a.AcquireLease(); err != nil {
+	if _, err := a.AcquireLease(context.Background()); err != nil {
 		t.Fatalf("A acquire: %v", err)
 	}
 	// While A's lease is live, B cannot take it.
-	if _, err := b.AcquireLease(); !errors.Is(err, ErrLeaseHeld) {
+	if _, err := b.AcquireLease(context.Background()); !errors.Is(err, ErrLeaseHeld) {
 		t.Fatalf("B acquire under A's lease: %v, want ErrLeaseHeld", err)
 	}
 	// After the TTL lapses B takes over with a higher epoch...
 	time.Sleep(80 * time.Millisecond)
-	epochB, err := b.AcquireLease()
+	epochB, err := b.AcquireLease(context.Background())
 	if err != nil {
 		t.Fatalf("B acquire after expiry: %v", err)
 	}
@@ -227,7 +228,7 @@ func TestLeaseFencingRejectsStaleWorker(t *testing.T) {
 	}
 	// HelloAll propagates the new epoch to every shard (what worker.Run does
 	// right after acquiring); from then on A's traffic is fenced everywhere.
-	if _, err := b.HelloAll(); err != nil {
+	if _, err := b.HelloAll(context.Background()); err != nil {
 		t.Fatalf("B HelloAll: %v", err)
 	}
 	// ...and A's traffic is fenced everywhere once a shard learns of B: a
@@ -238,7 +239,7 @@ func TestLeaseFencingRejectsStaleWorker(t *testing.T) {
 		t.Fatalf("stale push: %v, want ErrFenced", err)
 	}
 	// A's renewal fails too — it no longer holds the lease.
-	if err := a.RenewLease(); !errors.Is(err, ErrLeaseHeld) {
+	if err := a.RenewLease(context.Background()); !errors.Is(err, ErrLeaseHeld) {
 		t.Fatalf("stale renew: %v, want ErrLeaseHeld", err)
 	}
 	// B, the rightful holder, still trains.
@@ -250,18 +251,18 @@ func TestLeaseFencingRejectsStaleWorker(t *testing.T) {
 // c0Push pushes a one-row delta to row 0's owner through client c.
 func c0Push(c *Client, spec TableSpec, delta *tensor.Matrix) error {
 	shard := c.ring.Owner(spec.Index, 0)
-	return c.Push(shard, c.nextSeq(), spec.Index, []int{0}, delta.Row(0))
+	return c.Push(context.Background(), shard, c.nextSeq(), spec.Index, []int{0}, delta.Row(0))
 }
 
 func TestCheckpointRestoreRollsBack(t *testing.T) {
 	sc := testScenario()
 	_, addrs := startShards(t, sc, 2, nil)
 	c := newTestClient(t, sc, addrs, 1)
-	if _, err := c.AcquireLease(); err != nil {
+	if _, err := c.AcquireLease(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	spec := sc.HostSpecs()[0]
-	store := c.Store(spec)
+	store := c.Store(context.Background(), spec)
 	rows := []int{3, 40}
 	delta := tensor.New(len(rows), sc.Model.EmbDim)
 	for i := range delta.Data {
@@ -274,13 +275,13 @@ func TestCheckpointRestoreRollsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.CheckpointAll(7); err != nil {
+	if err := c.CheckpointAll(context.Background(), 7); err != nil {
 		t.Fatalf("CheckpointAll: %v", err)
 	}
 	if err := store.ApplyDelta(rows, delta); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.RestoreAll(7); err != nil {
+	if err := c.RestoreAll(context.Background(), 7); err != nil {
 		t.Fatalf("RestoreAll: %v", err)
 	}
 	got, err := store.GatherRows(rows)
@@ -293,7 +294,7 @@ func TestCheckpointRestoreRollsBack(t *testing.T) {
 		}
 	}
 	// Restoring a version nobody checkpointed is a typed failure.
-	if err := c.RestoreAll(99); !errors.Is(err, ErrNoCheckpoint) {
+	if err := c.RestoreAll(context.Background(), 99); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("RestoreAll(99): %v, want ErrNoCheckpoint", err)
 	}
 }
@@ -318,17 +319,17 @@ func TestRestartedShardRequiresRestore(t *testing.T) {
 	addr := ln.Addr().String()
 
 	c := newTestClient(t, sc, []string{addr}, 1)
-	if _, err := c.AcquireLease(); err != nil {
+	if _, err := c.AcquireLease(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	spec := sc.HostSpecs()[0]
-	store := c.Store(spec)
+	store := c.Store(context.Background(), spec)
 	delta := tensor.New(1, sc.Model.EmbDim)
 	delta.Data[0] = 42
 	if err := store.ApplyDelta([]int{0}, delta); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.CheckpointAll(5); err != nil {
+	if err := c.CheckpointAll(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
 	want, err := store.GatherRows([]int{0})
@@ -360,7 +361,7 @@ func TestRestartedShardRequiresRestore(t *testing.T) {
 	if _, err := store.GatherRows([]int{0}); !errors.Is(err, ErrNotRestored) {
 		t.Fatalf("gather before restore: %v, want ErrNotRestored", err)
 	}
-	if err := c.RestoreAll(5); err != nil {
+	if err := c.RestoreAll(context.Background(), 5); err != nil {
 		t.Fatalf("RestoreAll after restart: %v", err)
 	}
 	got, err := store.GatherRows([]int{0})
@@ -384,7 +385,7 @@ func TestHelloRejectsSpecMismatch(t *testing.T) {
 	bad := sc
 	bad.Model.EmbDim = 16 // worker disagrees about the embedding dimension
 	c := newTestClient(t, bad, addrs, 1)
-	if _, err := c.HelloAll(); !errors.Is(err, ErrSpecMismatch) {
+	if _, err := c.HelloAll(context.Background()); !errors.Is(err, ErrSpecMismatch) {
 		t.Fatalf("HelloAll with wrong dim: %v, want ErrSpecMismatch", err)
 	}
 }
@@ -393,7 +394,7 @@ func TestHeartbeatReportsLiveness(t *testing.T) {
 	sc := testScenario()
 	shards, addrs := startShards(t, sc, 1, nil)
 	c := newTestClient(t, sc, addrs, 1)
-	st, err := c.Heartbeat(0)
+	st, err := c.Heartbeat(context.Background(), 0)
 	if err != nil {
 		t.Fatalf("Heartbeat: %v", err)
 	}
@@ -401,7 +402,7 @@ func TestHeartbeatReportsLiveness(t *testing.T) {
 		t.Fatalf("heartbeat status %+v, want restored and not draining", st)
 	}
 	shards[0].Close()
-	if _, err := c.Heartbeat(0); err == nil {
+	if _, err := c.Heartbeat(context.Background(), 0); err == nil {
 		t.Fatal("heartbeat to a dead shard must fail")
 	}
 }
@@ -416,7 +417,7 @@ func TestDeadShardExhaustsRetries(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close()
 	c := newTestClient(t, sc, []string{addr}, 1)
-	if _, err := c.HelloAll(); !errors.Is(err, ErrRPCFailed) {
+	if _, err := c.HelloAll(context.Background()); !errors.Is(err, ErrRPCFailed) {
 		t.Fatalf("HelloAll against a dead shard: %v, want ErrRPCFailed", err)
 	}
 	if got := c.m.retries.Value(); got != int64(fastBackoff().MaxRetries) {
@@ -428,7 +429,7 @@ func TestShardRejectsForeignRows(t *testing.T) {
 	sc := testScenario()
 	shards, addrs := startShards(t, sc, 2, nil)
 	c := newTestClient(t, sc, addrs, 1)
-	if _, err := c.AcquireLease(); err != nil {
+	if _, err := c.AcquireLease(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	spec := sc.HostSpecs()[0]
@@ -443,7 +444,7 @@ func TestShardRejectsForeignRows(t *testing.T) {
 	if foreign < 0 {
 		t.Skip("shard 0 owns every row at this seed")
 	}
-	if _, err := c.Gather(0, spec.Index, []int{foreign}); !errors.Is(err, ErrBadRequest) {
+	if _, err := c.Gather(context.Background(), 0, spec.Index, []int{foreign}); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("foreign gather: %v, want ErrBadRequest", err)
 	}
 	_ = shards
@@ -490,7 +491,7 @@ func TestRetryBackoffSequenceDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.HelloAll(); !errors.Is(err, ErrRPCFailed) {
+	if _, err := c.HelloAll(context.Background()); !errors.Is(err, ErrRPCFailed) {
 		t.Fatalf("HelloAll: %v, want ErrRPCFailed", err)
 	}
 	want := []time.Duration{2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond,

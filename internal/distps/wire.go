@@ -34,7 +34,13 @@ const (
 )
 
 // Message types. Requests are odd, their success responses follow at the
-// next value; msgError answers any request.
+// next value; msgError answers any request. The wireexhaustive analyzer
+// reads this block (and the odd-is-a-request convention) and requires
+// every //elrec:wireswitch dispatch/decode switch to handle its role's
+// full constant set — adding a type here without wiring both sides of the
+// protocol fails lint.
+//
+//elrec:wiretypes
 const (
 	msgHello         = uint8(1)
 	msgHelloAck      = uint8(2)

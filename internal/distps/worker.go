@@ -150,8 +150,8 @@ func (w *Worker) sleep(d time.Duration) {
 // buildPipeline assembles a fresh trainer wired to the shard set. Each
 // recovery round builds a new one: caches, adapters and queue state from a
 // torn round must not leak into the restored run.
-func (w *Worker) buildPipeline() (*ps.Pipeline, error) {
-	locs, err := w.cfg.Scenario.RemoteLocs(w.client)
+func (w *Worker) buildPipeline(ctx context.Context) (*ps.Pipeline, error) {
+	locs, err := w.cfg.Scenario.RemoteLocs(ctx, w.client)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +165,7 @@ func (w *Worker) buildPipeline() (*ps.Pipeline, error) {
 			Path:  w.cfg.CheckpointPath,
 			Every: w.cfg.CheckpointEvery,
 			Coordinate: func(nextIter int) error {
-				if err := w.client.CheckpointAll(int64(nextIter)); err != nil {
+				if err := w.client.CheckpointAll(ctx, int64(nextIter)); err != nil {
 					return err
 				}
 				if w.cfg.AfterCheckpoint != nil {
@@ -207,7 +207,7 @@ func (w *Worker) startRenewal(ctx context.Context) func() {
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				if err := w.client.RenewLease(); err != nil {
+				if err := w.client.RenewLease(ctx); err != nil {
 					w.cfg.Log.Warn("distps: lease renewal failed", "worker", w.cfg.ID, "err", err)
 				}
 			}
@@ -237,10 +237,10 @@ func (w *Worker) loadLocalVersion(p *ps.Pipeline) (int, error) {
 // the in-flight batch drains), or when recovery stops making progress.
 func (w *Worker) Run(ctx context.Context, src ps.BatchSource, steps, batch int) (*RunResult, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //elrec:rootctx nil-ctx compatibility default for direct Worker embedders
 	}
 	if w.cfg.HeartbeatEvery > 0 {
-		w.client.StartHeartbeats(w.cfg.HeartbeatEvery)
+		w.client.StartHeartbeats(ctx, w.cfg.HeartbeatEvery)
 	}
 	res := &RunResult{}
 	recoveries := 0 // consecutive failed rounds; reset on progress
@@ -250,7 +250,7 @@ func (w *Worker) Run(ctx context.Context, src ps.BatchSource, steps, batch int) 
 		}
 		// Phase 1: become the trainer. A standby worker parks here until
 		// the active worker's lease lapses.
-		epoch, err := w.client.AcquireLease()
+		epoch, err := w.client.AcquireLease(ctx)
 		if err != nil {
 			if !errors.Is(err, ErrLeaseHeld) {
 				w.cfg.Log.Warn("distps: lease acquisition failed", "worker", w.cfg.ID, "err", err)
@@ -272,14 +272,14 @@ func (w *Worker) Run(ctx context.Context, src ps.BatchSource, steps, batch int) 
 			w.cfg.Log.Warn("distps: recovery round failed", "worker", w.cfg.ID, "stage", stage, "attempt", recoveries, "err", err)
 			return recoveries <= w.cfg.MaxRecoveries
 		}
-		if _, err := w.client.HelloAll(); err != nil {
+		if _, err := w.client.HelloAll(ctx); err != nil {
 			if !fail("hello", err) {
 				return res, err
 			}
 			w.sleep(w.cfg.Retry.Delay(recoveries))
 			continue
 		}
-		p, err := w.buildPipeline()
+		p, err := w.buildPipeline(ctx)
 		if err != nil {
 			return res, err // configuration error; retrying cannot help
 		}
@@ -288,7 +288,7 @@ func (w *Worker) Run(ctx context.Context, src ps.BatchSource, steps, batch int) 
 		if err != nil {
 			return res, err // a corrupt local checkpoint needs the operator
 		}
-		if err := w.client.RestoreAll(int64(v)); err != nil {
+		if err := w.client.RestoreAll(ctx, int64(v)); err != nil {
 			if errors.Is(err, ErrFenced) {
 				w.cfg.Log.Info("distps: fenced during restore; standing down", "worker", w.cfg.ID)
 				continue

@@ -84,6 +84,7 @@ func (d *DebugServer) Shutdown(timeout time.Duration) error {
 	if timeout <= 0 {
 		return d.srv.Close()
 	}
+	//elrec:rootctx shutdown outlives any request context; bounded by the timeout itself
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	if err := d.srv.Shutdown(ctx); err != nil {

@@ -752,7 +752,7 @@ func (p *Pipeline) spawn(wg *sync.WaitGroup, fail *failSlot, stage string, fn fu
 // a drain barrier.
 func (p *Pipeline) Train(ctx context.Context, d BatchSource, startIter, steps, batchSize int) (*TrainResult, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //elrec:rootctx nil-ctx compatibility default for direct Pipeline embedders
 	}
 	p.tracer.SetThreadName(tidPrefetch, "prefetch")
 	p.tracer.SetThreadName(tidWorker, "worker")

@@ -33,6 +33,8 @@ func (r *Ranker) NewBatcher() *Batcher {
 
 // prepare resizes the scratch to n rows over numDense dense and numTables
 // sparse features, reusing prior capacity.
+//
+//elrec:coldpath amortized scratch growth; a steady stream of same-shaped batches reuses every buffer
 func (b *Batcher) prepare(n, numDense, numTables int) *data.Batch {
 	b.dense = tensor.Reuse(b.dense, n, numDense)
 	if cap(b.offsets) < n {
@@ -61,6 +63,8 @@ func (b *Batcher) prepare(n, numDense, numTables int) *data.Batch {
 
 // Build replicates ctx across len(candidates) rows, varying the item
 // feature — the single-context chunk path used by Ranker.Score.
+//
+//elrec:hotpath per-request batch assembly on the serving fast path
 func (b *Batcher) Build(ctx Context, candidates []int) *data.Batch {
 	n := len(candidates)
 	out := b.prepare(n, len(ctx.Dense), len(ctx.Sparse))
@@ -84,6 +88,8 @@ func (b *Batcher) Build(ctx Context, candidates []int) *data.Batch {
 // BuildRows builds a coalesced batch where every row carries its own
 // context — the micro-batch path that merges concurrent requests. All
 // contexts must already be validated against the same model.
+//
+//elrec:hotpath per-request batch assembly on the serving fast path
 func (b *Batcher) BuildRows(rows []Row) *data.Batch {
 	if len(rows) == 0 {
 		return b.prepare(0, 0, 0)

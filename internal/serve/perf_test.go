@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestBatcherZeroAllocSteadyState cross-checks hotalloc's static claim for
+// the serving batch assembly: once the Batcher scratch has grown to the
+// working shape, Build and BuildRows construct batches without heap
+// allocation.
+func TestBatcherZeroAllocSteadyState(t *testing.T) {
+	old := tensor.Workers()
+	tensor.SetMaxWorkers(1)
+	defer tensor.SetMaxWorkers(old)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	m := serveModel(t)
+	r, err := NewRanker(m, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := r.NewBatcher()
+	ctx := testContext()
+	candidates := []int{4, 9, 1, 12, 7, 3, 0, 8}
+
+	rows := make([]Row, len(candidates))
+	ctxs := make([]Context, len(candidates))
+	for i, item := range candidates {
+		ctxs[i] = Context{Dense: []float32{float32(i), -1, 0.2}, Sparse: []int{i % 3, 0}}
+		rows[i] = Row{Ctx: &ctxs[i], Item: item}
+	}
+
+	b.Build(ctx, candidates) // warmup: grows the scratch to batch shape
+	allocs := testing.AllocsPerRun(20, func() {
+		b.Build(ctx, candidates)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Build allocated %v times per call, want 0", allocs)
+	}
+
+	b.BuildRows(rows)
+	allocs = testing.AllocsPerRun(20, func() {
+		b.BuildRows(rows)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state BuildRows allocated %v times per call, want 0", allocs)
+	}
+}

@@ -61,6 +61,8 @@ func packTranspose(bt, b []float32, k, n int) {
 // gemmBlocked computes c = a·b (add=false) or c += a·b (add=true) for
 // row-major buffers: a is m×k, b is k×n, c is m×n. Buffers may be longer
 // than required; c must not alias a or b.
+//
+//elrec:hotpath register-blocked GEMM inner kernel
 func gemmBlocked(m, k, n int, a, b, c []float32, add bool) {
 	if !add {
 		z := c[:m*n]
@@ -79,6 +81,7 @@ func gemmBlocked(m, k, n int, a, b, c []float32, add bool) {
 		pp := packPool.Get().(*[]float32)
 		bt := *pp
 		if cap(bt) < k*n {
+			//elrec:coldpath pack-buffer growth on a pool miss; repeats reuse pooled storage
 			bt = make([]float32, k*n)
 		}
 		bt = bt[:k*n]
@@ -149,6 +152,8 @@ func gemmBlocked(m, k, n int, a, b, c []float32, add bool) {
 // m×k), b is k×n and c is m×n. Four rows of c accumulate per pass so each
 // streamed B row is read once per four outputs; the k-panel keeps the B
 // panel cache-resident across row tiles.
+//
+//elrec:hotpath transposed-A GEMM kernel
 func gemmTransABlocked(m, k, n int, a, b, c []float32) {
 	if m == 0 || n == 0 || k == 0 {
 		return
@@ -212,6 +217,8 @@ func gemmTransABlocked(m, k, n int, a, b, c []float32) {
 // where a is m×k, b is n×k row-major (bᵀ is k×n) and c is m×n. Both operand
 // rows are contiguous, so the kernel is a 2×4 tile of simultaneous dot
 // products: two A rows against four B rows, eight independent accumulators.
+//
+//elrec:hotpath transposed-B GEMM kernel
 func gemmTransBBlocked(m, k, n int, a, b, c []float32, add bool) {
 	if !add {
 		z := c[:m*n]

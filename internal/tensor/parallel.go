@@ -62,7 +62,7 @@ func (j *poolJob) run() {
 		if hi > j.n {
 			hi = j.n
 		}
-		j.body(lo, hi)
+		j.body(lo, hi) //elrec:coldpath body closures are checked at their hot creation sites
 		j.wg.Done()
 	}
 }
@@ -82,6 +82,8 @@ var pool struct {
 // ensureWorkers lazily tops the pool up to want persistent workers. Workers
 // are never torn down: they block on poolJobs between dispatches, which is
 // free, and keeping them avoids respawn churn when MaxWorkers oscillates.
+//
+//elrec:coldpath one-time worker-pool warm-up; steady state finds the pool already spawned
 func ensureWorkers(want int) {
 	pool.mu.Lock()
 	for pool.spawned < want {
@@ -102,6 +104,8 @@ func ensureWorkers(want int) {
 // always participates, so a saturated pool degrades to inline execution
 // rather than queueing behind other dispatches, and nested ParallelFor
 // calls cannot deadlock.
+//
+//elrec:hotpath fan-out driver for every blocked kernel
 func ParallelFor(n int, body func(lo, hi int)) {
 	workers := Workers()
 	if workers > n {
@@ -109,12 +113,13 @@ func ParallelFor(n int, body func(lo, hi int)) {
 	}
 	if workers <= 1 {
 		if n > 0 {
-			body(0, n)
+			body(0, n) //elrec:coldpath body closures are checked at their hot creation sites
 		}
 		return
 	}
 	chunk := (n + workers - 1) / workers
 	numChunks := (n + chunk - 1) / chunk
+	//elrec:coldpath one job header per parallel dispatch; the zero-alloc contract is the serial (workers=1) path
 	j := &poolJob{body: body, n: n, chunk: chunk}
 	j.wg.Add(numChunks)
 	ensureWorkers(workers - 1)

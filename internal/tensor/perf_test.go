@@ -1,0 +1,59 @@
+package tensor
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// fillSeq deterministically fills x with small values.
+func fillSeq(x []float32) {
+	for i := range x {
+		x[i] = float32(i%7) * 0.25
+	}
+}
+
+// TestGemmKernelsZeroAllocSteadyState cross-checks hotalloc's static claim
+// at runtime: after a warmup call (which may grow the Bᵀ pack pool), every
+// gemm kernel regime runs without heap allocation.
+func TestGemmKernelsZeroAllocSteadyState(t *testing.T) {
+	old := Workers()
+	SetMaxWorkers(1)
+	defer SetMaxWorkers(old)
+	// A GC pass mid-measurement could empty the pack pool and charge the
+	// refill to one run; pause collection for a stable count.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	const m, k, n = 48, 32, 24 // m ≥ gemmPackMinRows: exercises the packing path
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	bt := make([]float32, n*k)
+	fillSeq(a)
+	fillSeq(b)
+	fillSeq(bt)
+
+	batch := make([]GemmBatch, 4)
+	for i := range batch {
+		batch[i] = GemmBatch{A: a[:4*8], B: b[:8*6], C: c[i*24 : i*24+24]}
+	}
+
+	kernels := []struct {
+		name string
+		run  func()
+	}{
+		{"gemmBlocked-packed", func() { gemmBlocked(m, k, n, a, b, c, false) }},
+		{"gemmBlocked-streamed", func() { gemmBlocked(8, k, n, a, b, c, false) }},
+		{"gemmTransABlocked", func() { gemmTransABlocked(m, k, n, a[:k*m], b, c) }},
+		{"gemmTransBBlocked", func() { gemmTransBBlocked(m, k, n, a, bt, c, false) }},
+		{"BatchedMatMul", func() { BatchedMatMul(4, 8, 6, batch) }},
+	}
+	for _, tc := range kernels {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run() // warmup: fills the pack pool for this shape
+			allocs := testing.AllocsPerRun(20, tc.run)
+			if allocs != 0 {
+				t.Fatalf("steady-state %s allocated %v times per call, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ func Reuse(m *Matrix, r, c int) *Matrix {
 		panic("tensor: Reuse with negative shape")
 	}
 	if m == nil || cap(m.Data) < r*c {
+		//elrec:coldpath capacity growth; the steady state reuses m's storage
 		return New(r, c)
 	}
 	m.Rows, m.Cols = r, c

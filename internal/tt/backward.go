@@ -144,6 +144,8 @@ func (t *Table) backwardRange(cache *ForwardCache, workIdx []int, workGrad *tens
 // backward work list is the forward work list (the common case) the cached
 // slots are reused directly; otherwise (aggregation enabled on a
 // non-deduplicated forward) a prefix→slot map recovers them.
+//
+//elrec:coldpath map recovery only when the backward work list diverges from forward's; the common case returns cached slots
 func (t *Table) slotsFor(cache *ForwardCache, workIdx []int) []int {
 	if len(workIdx) == len(cache.WorkIdx) {
 		same := true
@@ -207,6 +209,8 @@ func (t *Table) aggregateGrads(cache *ForwardCache, dOut *tensor.Matrix) ([]int,
 // forward slot) in cache.bwSlots, sparing slotsFor its map fallback — so
 // steady-state batches allocate nothing. Fresh caches and huge tables keep
 // the map-based rebuild.
+//
+//elrec:coldpath map rebuild for fresh caches and beyond-cap tables; the arena path amortizes its stamped scratch
 func (t *Table) rebuildUnique(c *ForwardCache) ([]int, []int) {
 	if !c.arena || t.Shape.Rows > rowDenseCap {
 		pos := make(map[int]int, len(c.Indices))
@@ -289,8 +293,11 @@ func zero(x []float32) {
 // by the Table protocol and reuses every intermediate across batches —
 // including the returned matrix, which is only valid until the next Lookup
 // on this table — making steady-state training steps allocation-free.
+//
+//elrec:hotpath steady-state TT embedding lookup (paper: zero-alloc training step)
 func (t *Table) Lookup(indices, offsets []int) *tensor.Matrix {
 	if t.arena == nil {
+		//elrec:coldpath one-time arena construction on the first Lookup
 		t.arena = &ForwardCache{arena: true}
 	}
 	out := t.forwardInto(t.arena, indices, offsets)
@@ -301,9 +308,12 @@ func (t *Table) Lookup(indices, offsets []int) *tensor.Matrix {
 // Update applies gradients for the most recent Lookup batch. The batch
 // description must match that Lookup call; if it does not (or no Lookup ran)
 // a fresh forward pass rebuilds the intermediates.
+//
+//elrec:hotpath steady-state TT embedding update
 func (t *Table) Update(indices, offsets []int, dOut *tensor.Matrix, lr float32) {
 	cache := t.lastCache
 	if cache == nil || !sameBatch(cache, indices, offsets) {
+		//elrec:coldpath cache-miss fallback; the steady state reuses the preceding Lookup's cache
 		_, cache = t.Forward(indices, offsets)
 	}
 	t.lastCache = nil

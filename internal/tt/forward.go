@@ -62,6 +62,8 @@ type ForwardCache struct {
 }
 
 // growInts returns buf resized to n, reusing its storage when it fits.
+//
+//elrec:coldpath amortized scratch growth; steady state reslices in place
 func growInts(buf []int, n int) []int {
 	if cap(buf) < n {
 		return make([]int, n)
@@ -70,6 +72,8 @@ func growInts(buf []int, n int) []int {
 }
 
 // growFloats returns buf resized to n, reusing its storage when it fits.
+//
+//elrec:coldpath amortized scratch growth; steady state reslices in place
 func growFloats(buf []float32, n int) []float32 {
 	if cap(buf) < n {
 		return make([]float32, n)
@@ -120,7 +124,7 @@ func (t *Table) validateBatch(indices, offsets []int) {
 // serialized Lookup/Update path reuses a table-owned cache instead (see
 // Lookup) and additionally hits the cross-batch prefix cache.
 func (t *Table) Forward(indices, offsets []int) (*tensor.Matrix, *ForwardCache) {
-	c := &ForwardCache{}
+	c := &ForwardCache{} //elrec:coldpath fresh cache per call is Forward's contract; the hot path is Lookup's arena
 	out := t.forwardInto(c, indices, offsets)
 	return out, c
 }
@@ -159,6 +163,7 @@ func (t *Table) forwardInto(c *ForwardCache, indices, offsets []int) *tensor.Mat
 		tensor.ParallelFor(len(c.WorkIdx), func(lo, hi int) {
 			var scratch []float32
 			if prefixScratchSize > 0 {
+				//elrec:coldpath per-chunk prefix scratch only when ReusePrefix is off
 				scratch = make([]float32, prefixScratchSize)
 			}
 			t.materializeRows(c, scratch, lo, hi)
@@ -227,11 +232,14 @@ func (t *Table) poolRows(c *ForwardCache, out *tensor.Matrix, lo, hi int) {
 // embedding.Unique.
 func (t *Table) dedupRows(c *ForwardCache) {
 	if !c.arena || t.Shape.Rows > rowDenseCap {
+		//elrec:coldpath allocating map dedup: fresh caches and beyond-cap tables only
 		c.WorkIdx, c.WorkOf = embedding.Unique(c.Indices)
 		return
 	}
 	if len(c.rowStamp) < t.Shape.Rows {
+		//elrec:coldpath one-time stamp scratch sized to the table
 		c.rowStamp = make([]int64, t.Shape.Rows)
+		//elrec:coldpath one-time stamp scratch sized to the table
 		c.rowSlot = make([]int32, t.Shape.Rows)
 	}
 	c.workIdxBuf = c.workIdxBuf[:0]
@@ -240,6 +248,7 @@ func (t *Table) dedupRows(c *ForwardCache) {
 		if c.rowStamp[idx] != c.seq {
 			c.rowStamp[idx] = c.seq
 			c.rowSlot[idx] = int32(len(c.workIdxBuf))
+			//elrec:coldpath amortized: the work-item buffer keeps its capacity across batches
 			c.workIdxBuf = append(c.workIdxBuf, idx)
 		}
 		c.workOfBuf[p] = int(c.rowSlot[idx])
@@ -259,7 +268,15 @@ func (t *Table) fillPrefixBuffer(c *ForwardCache) {
 		t.fillFromPrefixCache(c, pc)
 		return
 	}
+	t.fillPrefixBatchLocal(c)
+}
 
+// fillPrefixBatchLocal recomputes every unique prefix of the batch into the
+// batch-local reuse buffer — the path taken by fresh caches and
+// Deterministic tables, which never touch the persistent cache.
+//
+//elrec:coldpath batch-local recompute: fresh caches and Deterministic mode; the training hot path uses the versioned cache
+func (t *Table) fillPrefixBatchLocal(c *ForwardCache) {
 	c.prefixes = c.prefixes[:0]
 	if np := t.Shape.NumPrefixes(); np <= 4*len(c.WorkIdx)+1024 || (c.arena && np <= prefixDenseCap) {
 		// Dense stamped slot map (Algorithm 1's Buf_flag): arena caches

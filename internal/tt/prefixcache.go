@@ -49,6 +49,8 @@ type prefixCache struct {
 // prefixCacheFor returns the table's persistent prefix cache when the call
 // may use it: arena caches only (the serialized path), never in
 // Deterministic mode, and only while the dense prefix map stays affordable.
+//
+//elrec:coldpath allocates only on first construction; steady state returns the existing cache
 func (t *Table) prefixCacheFor(c *ForwardCache) *prefixCache {
 	if !c.arena || t.Deterministic || t.Shape.NumPrefixes() > prefixDenseCap {
 		return nil
@@ -107,12 +109,14 @@ func (t *Table) fillFromPrefixCache(c *ForwardCache, pc *prefixCache) {
 		// every core mutation) and queue the slot for recompute.
 		pc.v1[s] = t.coreVer[0][i1]
 		pc.v2[s] = t.coreVer[1][i2]
+		//elrec:coldpath amortized: the miss list keeps its capacity across batches
 		c.prefixes = append(c.prefixes, int(s))
 		c.PrefixSlots[w] = int(s)
 	}
 
 	if len(c.prefixes) > 0 {
 		if cap(c.batch) < len(c.prefixes) {
+			//elrec:coldpath amortized batched-GEMM descriptor growth
 			c.batch = make([]tensor.GemmBatch, len(c.prefixes))
 		}
 		c.batch = c.batch[:len(c.prefixes)]
@@ -132,6 +136,8 @@ func (t *Table) fillFromPrefixCache(c *ForwardCache, pc *prefixCache) {
 // claimSlot returns a free slot index: a fresh one while under budget, an
 // evicted slot (round-robin over slots idle this batch) when at budget, or
 // growth past budget when every slot is live in the current batch.
+//
+//elrec:coldpath miss-path slot bookkeeping; growth is amortized by the budget and a stable working set stops missing
 func (pc *prefixCache) claimSlot(budget int) int32 {
 	if len(pc.key) >= budget {
 		n := len(pc.key)
