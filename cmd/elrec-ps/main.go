@@ -55,7 +55,7 @@ func run() int {
 
 		leaseTTL     = flag.Duration("lease-ttl", 3*time.Second, "default trainer-lease duration")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "max wait for in-flight requests on shutdown")
-		debugAddr    = flag.String("debug-addr", "", "debug endpoint address (/metrics, pprof); empty disables")
+		debugAddr    = flag.String("debug-addr", "", "debug endpoint address (/metrics, /trace, /healthz, /readyz, pprof); empty disables")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
@@ -78,10 +78,15 @@ func run() int {
 	}
 
 	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(nil)
+	// Shard span ids live in a per-shard id space so a merged cluster trace
+	// never collides them with the worker's (base 0) or another shard's.
+	tracer.SetSpanIDBase(uint64(*id+1) << 48)
 	cfg := sc.ShardConfig(*id, *shards, *dir)
 	cfg.LeaseTTL = *leaseTTL
 	cfg.DrainTimeout = *drainTimeout
 	cfg.Metrics = reg
+	cfg.Trace = tracer
 	cfg.Log = log
 	shard, err := distps.NewShard(cfg)
 	if err != nil {
@@ -91,7 +96,7 @@ func run() int {
 
 	var dbg *obs.DebugServer
 	if *debugAddr != "" {
-		dbg, err = obs.Serve(*debugAddr, reg, nil)
+		dbg, err = obs.ServeWith(*debugAddr, reg, tracer, distps.ShardHandlers(shard))
 		if err != nil {
 			log.Error("debug endpoint failed", "err", err)
 			return 1

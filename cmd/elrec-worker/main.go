@@ -70,7 +70,7 @@ func run() int {
 		leaseTTL   = flag.Duration("lease-ttl", 3*time.Second, "trainer lease duration")
 		rpcTimeout = flag.Duration("rpc-timeout", 5*time.Second, "per-RPC deadline")
 		hbEvery    = flag.Duration("heartbeat-every", time.Second, "shard liveness probe period (0 disables)")
-		debugAddr  = flag.String("debug-addr", "", "debug endpoint address (/metrics, pprof); empty disables")
+		debugAddr  = flag.String("debug-addr", "", "debug endpoint address (/metrics, /trace, /cluster, /cluster/trace, /healthz, /readyz, pprof); empty disables")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
@@ -94,28 +94,30 @@ func run() int {
 	}
 
 	reg := obs.NewRegistry()
-	var dbg *obs.DebugServer
-	if *debugAddr != "" {
-		dbg, err = obs.Serve(*debugAddr, reg, nil)
-		if err != nil {
-			log.Error("debug endpoint failed", "err", err)
-			return 1
-		}
-		log.Info("debug endpoint up", "addr", dbg.Addr())
-	}
-	defer dbg.Shutdown(time.Second)
+	tracer := obs.NewTracer(nil)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *refMode {
-		return runReference(ctx, sc, src, *steps, *batch, reg, log)
+		// No cluster to aggregate in reference mode: a plain debug endpoint.
+		if *debugAddr != "" {
+			dbg, derr := obs.Serve(*debugAddr, reg, tracer)
+			if derr != nil {
+				log.Error("debug endpoint failed", "err", derr)
+				return 1
+			}
+			log.Info("debug endpoint up", "addr", dbg.Addr())
+			defer dbg.Shutdown(time.Second)
+		}
+		return runReference(ctx, sc, src, *steps, *batch, reg, tracer, log)
 	}
 	return runDistributed(ctx, sc, src, workerFlags{
 		id: *id, shards: splitAddrs(*shardCSV), steps: *steps, batch: *batch,
 		ckptPath: *ckptPath, ckptEvery: *ckptEvery,
 		leaseTTL: *leaseTTL, rpcTimeout: *rpcTimeout, hbEvery: *hbEvery,
-	}, reg, log)
+		debugAddr: *debugAddr,
+	}, reg, tracer, log)
 }
 
 type workerFlags struct {
@@ -127,6 +129,7 @@ type workerFlags struct {
 	leaseTTL     time.Duration
 	rpcTimeout   time.Duration
 	hbEvery      time.Duration
+	debugAddr    string
 }
 
 func splitAddrs(csv string) []string {
@@ -141,7 +144,7 @@ func splitAddrs(csv string) []string {
 
 // runReference trains the identical scenario in one process — the oracle.
 func runReference(ctx context.Context, sc distps.Scenario, src *data.Dataset,
-	steps, batch int, reg *obs.Registry, log *obs.Logger) int {
+	steps, batch int, reg *obs.Registry, tracer *obs.Tracer, log *obs.Logger) int {
 	locs, err := sc.ReferenceLocs()
 	if err != nil {
 		log.Error("reference placement failed", "err", err)
@@ -149,6 +152,7 @@ func runReference(ctx context.Context, sc distps.Scenario, src *data.Dataset,
 	}
 	cfg := sc.PipelineConfig()
 	cfg.Metrics = reg
+	cfg.Trace = tracer
 	p, err := ps.NewPipeline(cfg, locs)
 	if err != nil {
 		log.Error("reference pipeline failed", "err", err)
@@ -177,19 +181,31 @@ func runReference(ctx context.Context, sc distps.Scenario, src *data.Dataset,
 }
 
 // runDistributed trains against the shard cluster via the recovery loop.
+// The debug endpoint starts after the worker exists: the /cluster and
+// /cluster/trace routes aggregate over the worker's shard client.
 func runDistributed(ctx context.Context, sc distps.Scenario, src *data.Dataset,
-	f workerFlags, reg *obs.Registry, log *obs.Logger) int {
+	f workerFlags, reg *obs.Registry, tracer *obs.Tracer, log *obs.Logger) int {
 	w, err := distps.NewWorker(distps.WorkerConfig{
 		ID: f.id, Shards: f.shards, Scenario: sc,
 		CheckpointPath: f.ckptPath, CheckpointEvery: f.ckptEvery,
 		LeaseTTL: f.leaseTTL, HeartbeatEvery: f.hbEvery, RPCTimeout: f.rpcTimeout,
-		Metrics: reg, Log: log,
+		Metrics: reg, Trace: tracer, Log: log,
 	})
 	if err != nil {
 		log.Error("worker build failed", "err", err)
 		return 1
 	}
 	defer w.Close()
+	if f.debugAddr != "" {
+		dbg, derr := obs.ServeWith(f.debugAddr, reg, tracer,
+			distps.ClusterHandlers(w, reg, tracer, f.rpcTimeout))
+		if derr != nil {
+			log.Error("debug endpoint failed", "err", derr)
+			return 1
+		}
+		log.Info("debug endpoint up", "addr", dbg.Addr())
+		defer dbg.Shutdown(time.Second)
+	}
 	start := time.Now()
 	res, err := w.Run(ctx, src, f.steps, f.batch)
 	if err != nil {

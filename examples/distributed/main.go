@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/distps"
+	"repro/internal/obs"
 	"repro/internal/ps"
 	"repro/internal/tensor"
 )
@@ -65,8 +67,11 @@ func main() {
 	// checkpoint commits — the most awkward moment, with the cluster ahead
 	// of the worker's local state file.
 	killed := false
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(nil) // span-id base 0: the worker's id space
 	w, err := distps.NewWorker(distps.WorkerConfig{
 		ID: 1, Shards: addrs, Scenario: sc,
+		Metrics: reg, Trace: tracer,
 		CheckpointPath:  filepath.Join(work, "worker.ckpt"),
 		CheckpointEvery: every,
 		AfterCheckpoint: func(v int64) {
@@ -91,6 +96,26 @@ func main() {
 	fmt.Printf("distributed run done: %d iterations trained (%d net), %d recovery\n",
 		res.Completed, steps, res.Recoveries)
 	distHash := hashWorker(sc, w) // gather the final rows back before the shards go away
+
+	// Pull every shard's spans over the msgStats RPC and write one merged
+	// Chrome trace — worker pid 1, shards pids 2 and 3, shard timelines
+	// offset-corrected onto the worker's clock — then verify the
+	// cross-process links survived the wire.
+	tracePath := filepath.Join(os.TempDir(), "elrec-cluster-trace.json")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := distps.WriteClusterTrace(context.Background(), tf, w.Client(), tracer,
+		tracer.Epoch().UnixNano()); err != nil {
+		log.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	verifyClusterTrace(tracePath)
+	fmt.Printf("cluster trace: %s (open in ui.perfetto.dev)\n", tracePath)
+
 	for _, s := range shards {
 		s.Close()
 	}
@@ -118,7 +143,13 @@ func main() {
 }
 
 func boot(sc distps.Scenario, id int, dir, addr string) (*distps.Shard, string) {
-	s, err := distps.NewShard(sc.ShardConfig(id, 2, dir))
+	cfg := sc.ShardConfig(id, 2, dir)
+	cfg.Metrics = obs.NewRegistry()
+	// Disjoint per-shard span-id bases keep parent links unambiguous when
+	// the worker merges all three processes' spans into one trace.
+	cfg.Trace = obs.NewTracer(nil)
+	cfg.Trace.SetSpanIDBase(uint64(id+1) << 48)
+	s, err := distps.NewShard(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -158,4 +189,71 @@ func hashReference(sc distps.Scenario, p *ps.Pipeline) uint64 {
 		log.Fatal(err)
 	}
 	return hash
+}
+
+// traceEvent mirrors the Chrome trace-event fields the verification needs.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	ID   uint64         `json:"id"`
+	Args map[string]any `json:"args"`
+}
+
+// verifyClusterTrace asserts the tentpole contract on the merged trace: a
+// worker-side gather span and a shard-side handle:gather span share a
+// trace id, the handler's parent is the gather span, and a flow event pair
+// (ph s/f) draws the arrow between them.
+func verifyClusterTrace(path string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		log.Fatalf("cluster trace is not valid JSON: %v", err)
+	}
+	// Worker-side gather spans, keyed by span id, with their trace id.
+	gatherTrace := map[string]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.PID == 1 && ev.Name == "gather" {
+			span, _ := ev.Args["span"].(string)
+			trace, _ := ev.Args["trace"].(string)
+			gatherTrace[span] = trace
+		}
+	}
+	linked := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.PID == 1 || ev.Name != "handle:gather" {
+			continue
+		}
+		parent, _ := ev.Args["parent"].(string)
+		trace, _ := ev.Args["trace"].(string)
+		if want, ok := gatherTrace[parent]; ok && want == trace {
+			linked = true
+			break
+		}
+	}
+	if !linked {
+		log.Fatal("no shard-side handle:gather span links under a worker-side gather span")
+	}
+	flowStarts := map[uint64]bool{}
+	flowPaired := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "s" {
+			flowStarts[ev.ID] = true
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "f" && flowStarts[ev.ID] {
+			flowPaired = true
+			break
+		}
+	}
+	if !flowPaired {
+		log.Fatal("no paired flow events (ph s/f) in the merged trace")
+	}
+	fmt.Println("trace verified: worker gather and shard handle:gather share a trace id and a flow arrow")
 }

@@ -3,6 +3,7 @@ package distps
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -101,6 +102,7 @@ type ClientConfig struct {
 
 	Clock   obs.Clock     // drives latency measurement; nil = system
 	Metrics *obs.Registry // distps_* client instruments; nil = off
+	Trace   *obs.Tracer   // per-attempt RPC spans, propagated to shards; nil = off
 	Log     *obs.Logger   // nil = silent
 }
 
@@ -109,8 +111,11 @@ type clientMetrics struct {
 	retries    *obs.Counter
 	reconnects *obs.Counter
 	hbMisses   *obs.Counter
+	bytesIn    *obs.Counter             // distps_rpc_bytes_in (frames received, header+payload)
+	bytesOut   *obs.Counter             // distps_rpc_bytes_out (frames sent)
 	latency    map[uint8]*obs.Histogram // request type -> RPC latency (ns)
 	up         []*obs.Gauge             // per shard: 1 = last heartbeat answered
+	offset     []*obs.Gauge             // per shard: estimated clock offset (ns, shard - worker)
 }
 
 // shardConn is one lazily-dialed connection to one shard. A connection
@@ -136,8 +141,15 @@ type Client struct {
 	retry Backoff
 	ring  *Ring
 	clock obs.Clock
+	trace *obs.Tracer
 	log   *obs.Logger
 	m     clientMetrics
+
+	// offsets[i] is the latest NTP-style estimate of shard i's wall clock
+	// minus this process's, in nanoseconds, refreshed by every heartbeat.
+	// The merged cluster trace subtracts it to place shard timelines on the
+	// worker's clock.
+	offsets []atomic.Int64
 
 	epoch atomic.Uint64 // current lease epoch (fencing token)
 	seq   atomic.Uint64 // push seq within the current epoch
@@ -164,28 +176,44 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg.MaxPayload = DefaultMaxPayload
 	}
 	c := &Client{
-		cfg:    cfg,
-		retry:  cfg.Retry.withDefaults(),
-		ring:   NewRing(len(cfg.Shards)),
-		clock:  obs.OrSystem(cfg.Clock),
-		log:    cfg.Log,
-		hbStop: make(chan struct{}),
+		cfg:     cfg,
+		retry:   cfg.Retry.withDefaults(),
+		ring:    NewRing(len(cfg.Shards)),
+		clock:   obs.OrSystem(cfg.Clock),
+		trace:   cfg.Trace,
+		log:     cfg.Log,
+		offsets: make([]atomic.Int64, len(cfg.Shards)),
+		hbStop:  make(chan struct{}),
 	}
 	r := cfg.Metrics
 	c.m = clientMetrics{
 		retries:    r.Counter("distps_rpc_retries"),
 		reconnects: r.Counter("distps_reconnects"),
 		hbMisses:   r.Counter("distps_heartbeat_misses"),
+		bytesIn:    r.Counter("distps_rpc_bytes_in"),
+		bytesOut:   r.Counter("distps_rpc_bytes_out"),
 		latency:    make(map[uint8]*obs.Histogram),
 	}
-	for _, typ := range []uint8{msgHello, msgGather, msgPush, msgCheckpoint, msgRestore, msgHeartbeat, msgLease} {
+	for _, typ := range []uint8{msgHello, msgGather, msgPush, msgCheckpoint, msgRestore, msgHeartbeat, msgLease, msgStats} {
 		c.m.latency[typ] = r.Histogram("distps_rpc_" + msgName(typ) + "_ns")
 	}
 	for i, addr := range cfg.Shards {
 		c.conns = append(c.conns, &shardConn{index: i, addr: addr})
 		c.m.up = append(c.m.up, r.Gauge(fmt.Sprintf("distps_shard%d_up", i)))
+		c.m.offset = append(c.m.offset, r.Gauge(fmt.Sprintf("distps_shard%d_clock_offset_ns", i)))
+		c.trace.SetThreadName(rpcTID(i), fmt.Sprintf("rpc:shard%d", i))
 	}
 	return c, nil
+}
+
+// rpcTID is the trace lane for RPCs against one shard.
+func rpcTID(shard int) int { return 10 + shard }
+
+// ShardOffset returns the latest clock-offset estimate for one shard
+// (shard wall clock minus this process's, nanoseconds; 0 until the first
+// heartbeat lands).
+func (c *Client) ShardOffset(shard int) int64 {
+	return c.offsets[shard].Load()
 }
 
 // Ring exposes the row-placement function (shared with the shards).
@@ -221,7 +249,7 @@ func (sc *shardConn) poisonLocked() {
 // connection. Any failure poisons the connection.
 //
 //elrec:locked mu roundTrip holds sc.mu across dial + exchange
-func (sc *shardConn) exchangeLocked(c *Client, typ uint8, payload []byte) (Frame, error) {
+func (sc *shardConn) exchangeLocked(c *Client, typ uint8, payload []byte, tctx obs.TraceContext) (Frame, error) {
 	sc.reqID++
 	id := sc.reqID
 	// Socket deadlines are kernel wall time by nature; the injected clock
@@ -231,15 +259,17 @@ func (sc *shardConn) exchangeLocked(c *Client, typ uint8, payload []byte) (Frame
 		sc.poisonLocked()
 		return Frame{}, err
 	}
-	if err := WriteFrame(sc.conn, Frame{Type: typ, ReqID: id, Payload: payload}); err != nil {
+	if err := WriteFrame(sc.conn, Frame{Type: typ, ReqID: id, Trace: tctx.Trace, Span: tctx.Span, Payload: payload}); err != nil {
 		sc.poisonLocked()
 		return Frame{}, err
 	}
+	c.m.bytesOut.Add(int64(headerSize + len(payload)))
 	f, err := ReadFrame(sc.br, c.cfg.MaxPayload)
 	if err != nil {
 		sc.poisonLocked()
 		return Frame{}, err
 	}
+	c.m.bytesIn.Add(int64(headerSize + len(f.Payload)))
 	if f.ReqID != id {
 		// A stale or duplicated frame desynchronized the stream (e.g. the
 		// fault proxy duplicated a response); nothing on this connection can
@@ -252,7 +282,7 @@ func (sc *shardConn) exchangeLocked(c *Client, typ uint8, payload []byte) (Frame
 
 // roundTrip runs one exchange, dialing (and re-validating the spec via
 // Hello) if the connection is down.
-func (sc *shardConn) roundTrip(c *Client, typ uint8, payload []byte) (Frame, error) {
+func (sc *shardConn) roundTrip(c *Client, typ uint8, payload []byte, tctx obs.TraceContext) (Frame, error) {
 	// sc.mu exists precisely to serialize this connection's dial and
 	// request/response exchange: holding it across the socket I/O is the
 	// invariant, not a bug. The I/O is deadline-bounded (dial timeout,
@@ -271,8 +301,11 @@ func (sc *shardConn) roundTrip(c *Client, typ uint8, payload []byte) (Frame, err
 		c.m.reconnects.Inc()
 		hello := helloMsg{WorkerID: c.cfg.WorkerID, Epoch: c.epoch.Load(), Seed: c.cfg.Seed,
 			Dim: c.cfg.Dim, Tables: c.cfg.Tables}
+		// The implicit re-dial Hello inherits the caller's trace context, so
+		// a reconnect shows up in the trace as a handle:hello child of the
+		// RPC that triggered it.
 		//elrec:lockorder per-connection mutex serializes deadline-bounded exchange
-		f, err := sc.exchangeLocked(c, msgHello, hello.encode())
+		f, err := sc.exchangeLocked(c, msgHello, hello.encode(), tctx)
 		if err != nil {
 			return Frame{}, err
 		}
@@ -294,7 +327,7 @@ func (sc *shardConn) roundTrip(c *Client, typ uint8, payload []byte) (Frame, err
 		}
 	}
 	//elrec:lockorder per-connection mutex serializes deadline-bounded exchange
-	return sc.exchangeLocked(c, typ, payload)
+	return sc.exchangeLocked(c, typ, payload, tctx)
 }
 
 // checkReply unwraps a response frame: msgError becomes the matching typed
@@ -333,6 +366,8 @@ func responseFor(typ uint8) uint8 {
 		return msgHeartbeatAck
 	case msgLease:
 		return msgLeaseAck
+	case msgStats:
+		return msgStatsAck
 	}
 	return msgError
 }
@@ -369,7 +404,12 @@ func (c *Client) call(ctx context.Context, shard int, typ uint8, payload []byte)
 			return nil, fmt.Errorf("shard %d %s: %w", shard, msgName(typ), err)
 		}
 		start := c.clock.Now()
-		f, err := sc.roundTrip(c, typ, payload)
+		// One span per attempt, each rooting its own trace: a retried RPC
+		// shows as separate worker-side slices, each flowing to its own
+		// shard-side handler span.
+		sp := c.trace.BeginTrace(msgName(typ), "rpc", rpcTID(shard))
+		f, err := sc.roundTrip(c, typ, payload, sp.Context())
+		sp.End()
 		if err == nil {
 			var body []byte
 			body, err = checkReply(f, want)
@@ -489,13 +529,24 @@ type ShardStatus struct {
 }
 
 // Heartbeat probes one shard (single attempt, no retries — liveness wants
-// the truth, not persistence).
+// the truth, not persistence). Each successful heartbeat doubles as an
+// NTP-style clock-offset sample: with t0/t1 the local send/receive
+// instants and ts the shard clock when the ack was built, the estimate is
+// ts − (t0 + (t1−t0)/2), i.e. the shard clock minus the local clock
+// assuming symmetric network delay. The midpoint is computed as
+// t0 + (t1−t0)/2 — never (t0+t1)/2, which overflows int64 for the
+// near-minimal UnixNanos a zeroed test clock reports.
 func (c *Client) Heartbeat(ctx context.Context, shard int) (ShardStatus, error) {
 	if err := ctx.Err(); err != nil {
 		return ShardStatus{}, err
 	}
 	sc := c.conns[shard]
-	f, err := sc.roundTrip(c, msgHeartbeat, heartbeatMsg{WorkerID: c.cfg.WorkerID}.encode())
+	sp := c.trace.BeginTrace("heartbeat", "rpc", rpcTID(shard))
+	t0 := c.clock.Now()
+	f, err := sc.roundTrip(c, msgHeartbeat,
+		heartbeatMsg{WorkerID: c.cfg.WorkerID, SendUnixNanos: t0.UnixNano()}.encode(), sp.Context())
+	t1 := c.clock.Now()
+	sp.End()
 	if err != nil {
 		return ShardStatus{}, err
 	}
@@ -507,7 +558,55 @@ func (c *Client) Heartbeat(ctx context.Context, shard int) (ShardStatus, error) 
 	if err != nil {
 		return ShardStatus{}, err
 	}
+	t0n, t1n := t0.UnixNano(), t1.UnixNano()
+	offset := ack.NowUnixNanos - (t0n + (t1n-t0n)/2)
+	c.offsets[shard].Store(offset)
+	c.m.offset[shard].Set(float64(offset))
 	return ShardStatus{Version: ack.Version, Restored: ack.Restored, Draining: ack.Draining, Epoch: ack.Epoch}, nil
+}
+
+// Stats fetches one shard's observability snapshot: its metrics registry,
+// thread table, and up to maxSpans most-recent completed spans (0 = all
+// retained). Stats is served even by an unrestored or draining shard.
+func (c *Client) Stats(ctx context.Context, shard, maxSpans int) (ShardStats, error) {
+	body, err := c.call(ctx, shard, msgStats, statsMsg{MaxSpans: maxSpans}.encode())
+	if err != nil {
+		return ShardStats{}, err
+	}
+	ack, err := decodeStatsAck(body)
+	if err != nil {
+		return ShardStats{}, err
+	}
+	st := ShardStats{
+		ShardID:        ack.ShardID,
+		NowUnixNanos:   ack.NowUnixNanos,
+		EpochUnixNanos: ack.EpochUnixNanos,
+		Dropped:        ack.Dropped,
+		Threads:        ack.Threads,
+		Spans:          make([]obs.Span, len(ack.Spans)),
+	}
+	for i, r := range ack.Spans {
+		st.Spans[i] = obs.Span{Name: r.Name, Cat: r.Cat, TID: r.TID,
+			Start: time.Duration(r.Start), Dur: time.Duration(r.Dur),
+			Trace: r.Trace, ID: r.ID, Parent: r.Parent}
+	}
+	if ack.MetricsJSON != "" {
+		if err := json.Unmarshal([]byte(ack.MetricsJSON), &st.Metrics); err != nil {
+			return ShardStats{}, fmt.Errorf("%w: shard %d metrics snapshot: %w", ErrBadFrame, shard, err)
+		}
+	}
+	return st, nil
+}
+
+// ShardStats is one shard's decoded observability snapshot.
+type ShardStats struct {
+	ShardID        int
+	NowUnixNanos   int64 // shard wall clock when the snapshot was built
+	EpochUnixNanos int64 // shard tracer epoch (span Starts are relative to it)
+	Dropped        int64 // span-ring overwrites on the shard
+	Metrics        obs.Snapshot
+	Threads        map[int]string
+	Spans          []obs.Span
 }
 
 // AcquireLease acquires the trainer lease from the lease-authority shard

@@ -1,0 +1,311 @@
+package distps
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// tracedShards boots n shards with per-shard registries and tracers whose
+// span-id spaces are disjoint (shard i gets base (i+1)<<48, matching the
+// binaries), plus a traced client over them.
+func tracedShards(t *testing.T, sc Scenario, n int) ([]*Shard, *Client) {
+	t.Helper()
+	shards, addrs := startShards(t, sc, n, func(cfg *ShardConfig) {
+		cfg.Trace = obs.NewTracer(nil)
+		cfg.Trace.SetSpanIDBase(uint64(cfg.ID+1) << 48)
+	})
+	ccfg := sc.ClientConfig(1, addrs)
+	ccfg.Timeout = 2 * time.Second
+	ccfg.Retry = fastBackoff()
+	ccfg.Metrics = obs.NewRegistry()
+	ccfg.Trace = obs.NewTracer(nil)
+	c, err := NewClient(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return shards, c
+}
+
+// TestStatsRPCRoundTrip exercises the msgStats exchange against a live
+// shard: the ack must carry the shard's metrics snapshot (including the
+// server-side per-type latency histograms fed by this very conversation),
+// its span window with trace context intact, and its thread names.
+func TestStatsRPCRoundTrip(t *testing.T) {
+	sc := testScenario()
+	_, c := tracedShards(t, sc, 1)
+	ctx := context.Background()
+
+	if _, err := c.HelloAll(ctx); err != nil {
+		t.Fatalf("HelloAll: %v", err)
+	}
+	if _, err := c.Heartbeat(ctx, 0); err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+
+	st, err := c.Stats(ctx, 0, 0)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.ShardID != 0 {
+		t.Fatalf("ShardID = %d, want 0", st.ShardID)
+	}
+	if st.NowUnixNanos == 0 || st.EpochUnixNanos == 0 {
+		t.Fatalf("timestamps missing: now=%d epoch=%d", st.NowUnixNanos, st.EpochUnixNanos)
+	}
+	// The hello and heartbeat we just sent must show up in the shard's own
+	// server-side telemetry.
+	for _, h := range []string{"distps_srv_hello_ns", "distps_srv_heartbeat_ns"} {
+		if got := st.Metrics.Histograms[h].Count; got == 0 {
+			t.Fatalf("%s count = 0, want the RPCs this test sent", h)
+		}
+	}
+	if st.Metrics.Counters["distps_srv_bytes_in"] == 0 || st.Metrics.Counters["distps_srv_bytes_out"] == 0 {
+		t.Fatalf("server byte counters empty: %v", st.Metrics.Counters)
+	}
+	var sawHandler bool
+	for _, sp := range st.Spans {
+		if !strings.HasPrefix(sp.Name, "handle:") {
+			continue
+		}
+		sawHandler = true
+		if sp.ID>>48 != 1 {
+			t.Fatalf("shard span id %#x does not carry the shard's id base", sp.ID)
+		}
+		if sp.Trace == 0 || sp.Parent == 0 {
+			t.Fatalf("handler span lost its propagated trace context: %+v", sp)
+		}
+	}
+	if !sawHandler {
+		t.Fatal("no handler spans in the stats window")
+	}
+	if len(st.Threads) == 0 {
+		t.Fatal("no thread names in the stats ack")
+	}
+
+	// A bounded window really bounds: ask for one span, get at most one,
+	// and the shard reports what fell off.
+	st1, err := c.Stats(ctx, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st1.Spans) > 1 {
+		t.Fatalf("MaxSpans=1 returned %d spans", len(st1.Spans))
+	}
+
+	// Client-side satellites of the same conversation: byte counters and
+	// the heartbeat-estimated clock offset gauge.
+	snap := c.cfg.Metrics.Snapshot()
+	if snap.Counters["distps_rpc_bytes_in"] == 0 || snap.Counters["distps_rpc_bytes_out"] == 0 {
+		t.Fatalf("client byte counters empty: %v", snap.Counters)
+	}
+	if _, ok := snap.Gauges["distps_shard0_clock_offset_ns"]; !ok {
+		t.Fatalf("clock offset gauge missing: %v", snap.Gauges)
+	}
+}
+
+// TestClusterStatsKeepsDeadShardVisible: the merged view must degrade, not
+// disappear, when a shard dies — the dead shard appears with Err set while
+// the live one still reports metrics.
+func TestClusterStatsKeepsDeadShardVisible(t *testing.T) {
+	sc := testScenario()
+	shards, c := tracedShards(t, sc, 2)
+	ctx := context.Background()
+	if _, err := c.HelloAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	shards[1].Close()
+
+	reg, tr := obs.NewRegistry(), obs.NewTracer(nil)
+	view := ClusterStats(ctx, c, reg, tr)
+	if len(view.Shards) != 2 {
+		t.Fatalf("view has %d shards, want 2", len(view.Shards))
+	}
+	if view.Shards[0].Err != "" {
+		t.Fatalf("live shard reports error: %q", view.Shards[0].Err)
+	}
+	if view.Shards[0].Metrics.Histograms["distps_srv_hello_ns"].Count == 0 {
+		t.Fatal("live shard's metrics missing from the view")
+	}
+	if view.Shards[1].Err == "" {
+		t.Fatal("dead shard must appear with Err set, not silently vanish")
+	}
+}
+
+// TestClusterTraceFromLiveRun drives a real distributed training run and
+// then asserts the acceptance-shaped property end to end: the merged
+// cluster trace contains a worker-side gather span and a shard-side
+// handle:gather span sharing a trace id, linked parent→child, with a flow
+// event pair drawn between them.
+func TestClusterTraceFromLiveRun(t *testing.T) {
+	sc := testScenario()
+	const steps, batch = 10, 16
+	_, addrs := startShards(t, sc, 2, func(cfg *ShardConfig) {
+		cfg.Trace = obs.NewTracer(nil)
+		cfg.Trace.SetSpanIDBase(uint64(cfg.ID+1) << 48)
+	})
+	src := testDataset(t, sc)
+
+	wcfg := testWorkerConfig(sc, 1, addrs)
+	w, err := NewWorker(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	if _, err := w.Run(context.Background(), src, steps, batch); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	var buf bytes.Buffer
+	epoch := wcfg.Trace.Epoch().UnixNano()
+	if err := WriteClusterTrace(context.Background(), &buf, w.Client(), wcfg.Trace, epoch); err != nil {
+		t.Fatalf("WriteClusterTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			ID   uint64         `json:"id"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+
+	// Index worker gather spans by span id, then find a shard handler span
+	// whose parent is one of them with a matching trace id.
+	workerGather := map[string]string{} // span id -> trace id (hex strings from Args)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.PID == 1 && ev.Name == "gather" {
+			span, _ := ev.Args["span"].(string)
+			trace, _ := ev.Args["trace"].(string)
+			workerGather[span] = trace
+		}
+	}
+	if len(workerGather) == 0 {
+		t.Fatal("merged trace has no worker-side gather spans")
+	}
+	linked := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.PID < 2 || ev.Name != "handle:gather" {
+			continue
+		}
+		parent, _ := ev.Args["parent"].(string)
+		trace, _ := ev.Args["trace"].(string)
+		if wantTrace, ok := workerGather[parent]; ok && wantTrace == trace {
+			linked = true
+			break
+		}
+	}
+	if !linked {
+		t.Fatal("no shard handle:gather span is parent-linked to a worker gather span with a shared trace id")
+	}
+
+	flows := map[uint64]int{} // flow id -> bitmask: 1 = start seen, 2 = finish seen
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			flows[ev.ID] |= 1
+		case "f":
+			flows[ev.ID] |= 2
+		}
+	}
+	paired := 0
+	for _, mask := range flows {
+		if mask == 3 {
+			paired++
+		}
+	}
+	if paired == 0 {
+		t.Fatal("no paired s/f flow events in the merged trace")
+	}
+}
+
+// TestClusterAndHealthHandlers checks the HTTP surface: /cluster serves
+// the merged JSON view, /healthz answers 200, and /readyz reflects
+// worker/shard readiness with 200 vs 503.
+func TestClusterAndHealthHandlers(t *testing.T) {
+	sc := testScenario()
+	shards, _ := tracedShards(t, sc, 1)
+
+	// Shard side: a fresh (first-boot) shard is restored → ready.
+	sh := ShardHandlers(shards[0])
+	for path, wantCode := range map[string]int{"/healthz": 200, "/readyz": 200} {
+		rec := httptest.NewRecorder()
+		sh[path](rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != wantCode {
+			t.Fatalf("shard %s = %d, want %d", path, rec.Code, wantCode)
+		}
+	}
+	// Drain the shard: /readyz must flip to 503 while /healthz stays 200.
+	shards[0].Close()
+	rec := httptest.NewRecorder()
+	sh["/readyz"](rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("closed shard /readyz = %d, want 503", rec.Code)
+	}
+
+	// Worker side: boot a fresh shard set and a real worker, but don't run
+	// it — /readyz is 503 outside Train, /cluster still serves a full view.
+	_, addrs := startShards(t, sc, 2, func(cfg *ShardConfig) {
+		cfg.Trace = obs.NewTracer(nil)
+		cfg.Trace.SetSpanIDBase(uint64(cfg.ID+1) << 48)
+	})
+	wcfg := testWorkerConfig(sc, 2, addrs)
+	w, err := NewWorker(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+
+	wh := ClusterHandlers(w, wcfg.Metrics, wcfg.Trace, time.Second)
+	rec = httptest.NewRecorder()
+	wh["/healthz"](rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("worker /healthz = %d, want 200", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	wh["/readyz"](rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("idle worker /readyz = %d, want 503", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	wh["/cluster"](rec, httptest.NewRequest("GET", "/cluster", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/cluster = %d, want 200", rec.Code)
+	}
+	var view ClusterView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatalf("/cluster body is not a ClusterView: %v", err)
+	}
+	if len(view.Shards) != 2 {
+		t.Fatalf("/cluster reports %d shards, want 2", len(view.Shards))
+	}
+	for _, sv := range view.Shards {
+		if sv.Err != "" {
+			t.Fatalf("shard %d unreachable through /cluster: %s", sv.Shard, sv.Err)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	wh["/cluster/trace"](rec, httptest.NewRequest("GET", "/cluster/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/cluster/trace = %d, want 200", rec.Code)
+	}
+	var tdoc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tdoc); err != nil {
+		t.Fatalf("/cluster/trace body is not a trace document: %v", err)
+	}
+}

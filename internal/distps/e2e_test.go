@@ -82,6 +82,10 @@ func bootShard(t *testing.T, sc Scenario, id, n int, dir, addr string) (*Shard, 
 	cfg := sc.ShardConfig(id, n, dir)
 	cfg.DrainTimeout = 50 * time.Millisecond
 	cfg.Metrics = obs.NewRegistry()
+	// Tracing rides along on every e2e scenario: the bit-exactness
+	// assertions double as proof that telemetry never perturbs training.
+	cfg.Trace = obs.NewTracer(nil)
+	cfg.Trace.SetSpanIDBase(uint64(id+1) << 48)
 	s, err := NewShard(cfg)
 	if err != nil {
 		t.Fatalf("NewShard(%d): %v", id, err)
@@ -107,6 +111,7 @@ func testWorkerConfig(sc Scenario, id uint64, shards []string) WorkerConfig {
 			MaxDelay: 2 * time.Millisecond, Sleep: instantSleep},
 		Sleep:   instantSleep,
 		Metrics: obs.NewRegistry(),
+		Trace:   obs.NewTracer(nil),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Message payload formats. Every payload is a flat little-endian record
@@ -352,27 +353,34 @@ func decodeVersionAck(b []byte) (versionAck, error) {
 
 // --- heartbeat -------------------------------------------------------------
 
+// heartbeatMsg carries the sender's wall-clock send instant so the ack can
+// be used for NTP-style clock-offset estimation: the client combines its
+// own send/receive instants with the shard's NowUnixNanos to place the
+// shard's timeline on the worker's clock when merging traces.
 type heartbeatMsg struct {
-	WorkerID uint64
+	WorkerID      uint64
+	SendUnixNanos int64
 }
 
 func (m heartbeatMsg) encode() []byte {
 	var e enc
 	e.u64(m.WorkerID)
+	e.i64(m.SendUnixNanos)
 	return e.buf
 }
 
 func decodeHeartbeat(b []byte) (heartbeatMsg, error) {
 	d := dec{buf: b}
-	m := heartbeatMsg{WorkerID: d.u64()}
+	m := heartbeatMsg{WorkerID: d.u64(), SendUnixNanos: d.i64()}
 	return m, d.done()
 }
 
 type heartbeatAck struct {
-	Version  int64
-	Restored bool
-	Draining bool
-	Epoch    uint64
+	Version      int64
+	Restored     bool
+	Draining     bool
+	Epoch        uint64
+	NowUnixNanos int64 // shard wall clock when the ack was built
 }
 
 func (m heartbeatAck) encode() []byte {
@@ -381,12 +389,118 @@ func (m heartbeatAck) encode() []byte {
 	e.bool(m.Restored)
 	e.bool(m.Draining)
 	e.u64(m.Epoch)
+	e.i64(m.NowUnixNanos)
 	return e.buf
 }
 
 func decodeHeartbeatAck(b []byte) (heartbeatAck, error) {
 	d := dec{buf: b}
-	m := heartbeatAck{Version: d.i64(), Restored: d.bool(), Draining: d.bool(), Epoch: d.u64()}
+	m := heartbeatAck{Version: d.i64(), Restored: d.bool(), Draining: d.bool(), Epoch: d.u64(),
+		NowUnixNanos: d.i64()}
+	return m, d.done()
+}
+
+// --- stats -----------------------------------------------------------------
+
+// statsMsg asks a shard for its observability state: metrics snapshot plus
+// up to MaxSpans most-recent completed spans. Stats is read-only and never
+// fenced or gated on restore, so a recovering or draining shard can still
+// be inspected — exactly when inspection matters most.
+type statsMsg struct {
+	MaxSpans int
+}
+
+func (m statsMsg) encode() []byte {
+	var e enc
+	e.u32(uint32(m.MaxSpans))
+	return e.buf
+}
+
+func decodeStats(b []byte) (statsMsg, error) {
+	d := dec{buf: b}
+	m := statsMsg{MaxSpans: int(d.u32())}
+	return m, d.done()
+}
+
+// statsAck is a shard's observability snapshot. MetricsJSON is the shard
+// registry's Snapshot in its canonical sorted-JSON form (the same bytes
+// the shard's own /metrics endpoint serves); spans are relative to
+// EpochUnixNanos on the shard's clock, and NowUnixNanos lets the caller
+// sanity-check offset estimates. Threads maps span TIDs to lane names.
+type statsAck struct {
+	ShardID        int
+	NowUnixNanos   int64
+	EpochUnixNanos int64
+	Dropped        int64
+	MetricsJSON    string
+	Threads        map[int]string
+	Spans          []spanRec
+}
+
+// spanRec is the wire form of one obs.Span.
+type spanRec struct {
+	Name   string
+	Cat    string
+	TID    int
+	Start  int64 // nanoseconds from the shard tracer's epoch
+	Dur    int64
+	Trace  uint64
+	ID     uint64
+	Parent uint64
+}
+
+func (m statsAck) encode() []byte {
+	var e enc
+	e.u32(uint32(m.ShardID))
+	e.i64(m.NowUnixNanos)
+	e.i64(m.EpochUnixNanos)
+	e.i64(m.Dropped)
+	e.str(m.MetricsJSON)
+	tids := make([]int, 0, len(m.Threads))
+	//elrec:orderless keys are sorted immediately below
+	for tid := range m.Threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	e.u32(uint32(len(tids)))
+	for _, tid := range tids {
+		e.u32(uint32(tid))
+		e.str(m.Threads[tid])
+	}
+	e.u32(uint32(len(m.Spans)))
+	for _, s := range m.Spans {
+		e.str(s.Name)
+		e.str(s.Cat)
+		e.u32(uint32(s.TID))
+		e.i64(s.Start)
+		e.i64(s.Dur)
+		e.u64(s.Trace)
+		e.u64(s.ID)
+		e.u64(s.Parent)
+	}
+	return e.buf
+}
+
+func decodeStatsAck(b []byte) (statsAck, error) {
+	d := dec{buf: b}
+	m := statsAck{ShardID: int(d.u32()), NowUnixNanos: d.i64(), EpochUnixNanos: d.i64(),
+		Dropped: d.i64(), MetricsJSON: d.str()}
+	nThreads := d.count()
+	if d.err == nil && nThreads > 0 {
+		m.Threads = make(map[int]string, nThreads)
+		for i := 0; i < nThreads; i++ {
+			tid := int(d.u32())
+			m.Threads[tid] = d.str()
+		}
+	}
+	nSpans := d.count()
+	if d.err == nil {
+		m.Spans = make([]spanRec, nSpans)
+		for i := range m.Spans {
+			m.Spans[i] = spanRec{Name: d.str(), Cat: d.str(), TID: int(d.u32()),
+				Start: d.i64(), Dur: d.i64(), Trace: d.u64(), ID: d.u64(), Parent: d.u64()}
+		}
+	}
 	return m, d.done()
 }
 
@@ -528,6 +642,8 @@ func msgName(t uint8) string {
 		return "heartbeat"
 	case msgLease, msgLeaseAck:
 		return "lease"
+	case msgStats, msgStatsAck:
+		return "stats"
 	case msgError:
 		return "error"
 	}

@@ -2,6 +2,7 @@ package distps
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -132,7 +133,8 @@ type ShardConfig struct {
 	MaxPayload int
 
 	Clock   obs.Clock     // drives lease/liveness decisions; nil = system
-	Metrics *obs.Registry // per-shard distps_shard<ID>_* instruments; nil = off
+	Metrics *obs.Registry // per-shard distps_shard<ID>_* and distps_srv_* instruments; nil = off
+	Trace   *obs.Tracer   // handler spans + the msgStats span export; nil = off
 	Log     *obs.Logger   // nil = silent
 }
 
@@ -157,6 +159,14 @@ type shardMetrics struct {
 	epoch         *obs.Gauge
 	draining      *obs.Gauge
 	conns         *obs.Gauge
+
+	// Server-side RPC telemetry. The distps_srv_* names carry no shard
+	// prefix: each shard owns its registry, and the cluster view keys the
+	// merged table by shard, so the names stay comparable across shards.
+	srvNS    map[uint8]*obs.Histogram // per request type, distps_srv_<name>_ns
+	bytesIn  *obs.Counter             // distps_srv_bytes_in (frames received, header+payload)
+	bytesOut *obs.Counter             // distps_srv_bytes_out (frames sent)
+	inflight *obs.Gauge               // distps_srv_inflight (requests between decode and flush)
 }
 
 // Shard is one PS shard server: it owns the consistent-hash slice of every
@@ -181,12 +191,17 @@ type Shard struct {
 	conns    map[net.Conn]*connEntry // guarded by mu
 	ln       net.Listener            // guarded by mu
 
+	trace    *obs.Tracer
+	connSeq  atomic.Int64 // trace lane allocator for connections
+	inflight atomic.Int64
+
 	wg sync.WaitGroup
 }
 
 // connEntry tracks one accepted connection for the drain protocol.
 type connEntry struct {
 	busy atomic.Bool // request in flight (between decode and response flush)
+	tid  int         // trace lane for this connection's handler spans
 }
 
 // NewShard builds the shard, materializes its owned rows, and establishes
@@ -227,6 +242,7 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 		ring:    NewRing(cfg.NumShards),
 		clock:   obs.OrSystem(cfg.Clock),
 		log:     cfg.Log,
+		trace:   cfg.Trace,
 		tables:  make(map[int]*shardTable),
 		lastSeq: make(map[uint64]uint64),
 		conns:   make(map[net.Conn]*connEntry),
@@ -246,6 +262,19 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 		epoch:         r.Gauge(prefix + "epoch"),
 		draining:      r.Gauge(prefix + "draining"),
 		conns:         r.Gauge(prefix + "conns"),
+		srvNS: map[uint8]*obs.Histogram{
+			msgHello:      r.Histogram("distps_srv_hello_ns"),
+			msgGather:     r.Histogram("distps_srv_gather_ns"),
+			msgPush:       r.Histogram("distps_srv_push_ns"),
+			msgCheckpoint: r.Histogram("distps_srv_checkpoint_ns"),
+			msgRestore:    r.Histogram("distps_srv_restore_ns"),
+			msgHeartbeat:  r.Histogram("distps_srv_heartbeat_ns"),
+			msgLease:      r.Histogram("distps_srv_lease_ns"),
+			msgStats:      r.Histogram("distps_srv_stats_ns"),
+		},
+		bytesIn:  r.Counter("distps_srv_bytes_in"),
+		bytesOut: r.Counter("distps_srv_bytes_out"),
+		inflight: r.Gauge("distps_srv_inflight"),
 	}
 	for _, spec := range cfg.Tables {
 		if spec.Rows <= 0 {
@@ -298,6 +327,14 @@ func (s *Shard) MaxEpoch() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.maxEpoch
+}
+
+// Ready reports whether the shard is serving data RPCs: restored and not
+// draining. The /readyz endpoint exposes it.
+func (s *Shard) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restored && !s.draining
 }
 
 // OwnedRows returns how many rows of table index this shard owns (tests
@@ -661,7 +698,38 @@ func (s *Shard) restoreRPC(m versionMsg) (versionAck, error) {
 func (s *Shard) heartbeat(heartbeatMsg) (heartbeatAck, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return heartbeatAck{Version: s.version, Restored: s.restored, Draining: s.draining, Epoch: s.maxEpoch}, nil
+	return heartbeatAck{Version: s.version, Restored: s.restored, Draining: s.draining,
+		Epoch: s.maxEpoch, NowUnixNanos: s.clock.Now().UnixNano()}, nil
+}
+
+// statsRPC exports the shard's observability state. It deliberately takes
+// no shard lock and skips every gate (restore, drain, fencing): stats must
+// stay readable exactly when the shard is unhealthy, and it only reads
+// self-locking structures (registry, tracer) plus immutable config.
+func (s *Shard) statsRPC(m statsMsg) (statsAck, error) {
+	metricsJSON, err := json.Marshal(s.cfg.Metrics.Snapshot())
+	if err != nil {
+		return statsAck{}, fmt.Errorf("%w: encoding metrics snapshot: %w", ErrInternal, err)
+	}
+	spans := s.trace.Spans()
+	if m.MaxSpans > 0 && len(spans) > m.MaxSpans {
+		spans = spans[len(spans)-m.MaxSpans:] // most recent window
+	}
+	recs := make([]spanRec, len(spans))
+	for i, sp := range spans {
+		recs[i] = spanRec{Name: sp.Name, Cat: sp.Cat, TID: sp.TID,
+			Start: int64(sp.Start), Dur: int64(sp.Dur),
+			Trace: sp.Trace, ID: sp.ID, Parent: sp.Parent}
+	}
+	return statsAck{
+		ShardID:        s.cfg.ID,
+		NowUnixNanos:   s.clock.Now().UnixNano(),
+		EpochUnixNanos: s.trace.Epoch().UnixNano(),
+		Dropped:        s.trace.Dropped(),
+		MetricsJSON:    string(metricsJSON),
+		Threads:        s.trace.Threads(),
+		Spans:          recs,
+	}, nil
 }
 
 func (s *Shard) leaseRPC(m leaseMsg) (leaseAck, error) {
@@ -719,7 +787,8 @@ func (s *Shard) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		ce := &connEntry{}
+		ce := &connEntry{tid: 100 + int(s.connSeq.Add(1))}
+		s.trace.SetThreadName(ce.tid, fmt.Sprintf("conn%d", ce.tid-100))
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -765,12 +834,16 @@ func (s *Shard) handleConn(c net.Conn, ce *connEntry) {
 			}
 			return
 		}
+		s.m.bytesIn.Add(int64(headerSize + len(f.Payload)))
 		ce.busy.Store(true)
-		rtype, payload := s.dispatch(f)
-		werr := WriteFrame(bw, Frame{Type: rtype, ReqID: f.ReqID, Payload: payload})
+		rtype, payload := s.dispatch(f, ce.tid)
+		// The response echoes the request's trace context so the client can
+		// associate it without extra bookkeeping.
+		werr := WriteFrame(bw, Frame{Type: rtype, ReqID: f.ReqID, Trace: f.Trace, Span: f.Span, Payload: payload})
 		if werr == nil {
 			werr = bw.Flush()
 		}
+		s.m.bytesOut.Add(int64(headerSize + len(payload)))
 		ce.busy.Store(false)
 		if werr != nil {
 			return
@@ -785,10 +858,19 @@ func (s *Shard) handleConn(c net.Conn, ce *connEntry) {
 }
 
 // dispatch decodes and executes one request, mapping handler errors to
-// msgError responses.
-func (s *Shard) dispatch(f Frame) (uint8, []byte) {
+// msgError responses. Every request runs under a handle:<type> span linked
+// to the caller's trace context from the frame header, and its service
+// time lands in the per-type distps_srv_<name>_ns histogram.
+func (s *Shard) dispatch(f Frame, tid int) (uint8, []byte) {
 	s.m.requests.Inc()
+	s.m.inflight.Set(float64(s.inflight.Add(1)))
+	sp := s.trace.BeginChild("handle:"+msgName(f.Type), "rpc", tid,
+		obs.TraceContext{Trace: f.Trace, Span: f.Span})
+	start := s.clock.Now()
 	payload, rtype, err := s.handle(f)
+	s.m.srvNS[f.Type].Observe(float64(s.clock.Now().Sub(start)))
+	sp.End()
+	s.m.inflight.Set(float64(s.inflight.Add(-1)))
 	if err != nil {
 		s.m.errors.Inc()
 		return msgError, errMsg{Code: codeFor(err), Msg: err.Error()}.encode()
@@ -872,6 +954,16 @@ func (s *Shard) handle(f Frame) ([]byte, uint8, error) {
 			return nil, 0, err
 		}
 		return ack.encode(), msgLeaseAck, nil
+	case msgStats:
+		m, err := decodeStats(f.Payload)
+		if err != nil {
+			return bad(err)
+		}
+		ack, err := s.statsRPC(m)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ack.encode(), msgStatsAck, nil
 	}
 	return nil, 0, fmt.Errorf("%w: unexpected message %s", ErrBadRequest, msgName(f.Type))
 }

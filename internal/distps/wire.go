@@ -12,12 +12,20 @@ import (
 //
 //	offset size field
 //	0      4    magic     0xE17D15F5
-//	4      1    version   wire protocol version (1)
+//	4      1    version   wire protocol version (2)
 //	5      1    type      message type (msg* constants)
 //	6      4    length    payload byte count
 //	10     8    reqID     request id (responses echo the request's)
-//	18     4    checksum  FNV-1a 32 of the payload
-//	22     n    payload
+//	18     8    trace     trace id (0 = untraced; responses echo it)
+//	26     8    span      caller span id (0 = untraced; responses echo it)
+//	34     4    checksum  FNV-1a 32 of the payload
+//	38     n    payload
+//
+// Version 2 grew the trace/span fields: every request carries the caller's
+// trace context in the header so a shard-side handler span can link under
+// the worker-side RPC span in a merged Chrome trace, and responses echo
+// both ids back. Carrying them in the header (not the payload) keeps
+// propagation uniform across all message types, including msgError.
 //
 // The checksum turns a corrupted-in-flight payload into a typed
 // ErrBadFrame instead of a silent mis-decode; a truncated frame surfaces
@@ -25,8 +33,8 @@ import (
 // poisoned and the caller retries on a fresh one.
 const (
 	frameMagic  = uint32(0xE17D15F5)
-	wireVersion = uint8(1)
-	headerSize  = 22
+	wireVersion = uint8(2)
+	headerSize  = 38
 
 	// DefaultMaxPayload bounds a single frame's payload; larger gathers
 	// and pushes must be split by the caller (the client chunks by rows).
@@ -57,12 +65,17 @@ const (
 	msgLease         = uint8(13)
 	msgLeaseAck      = uint8(14)
 	msgError         = uint8(15)
+	msgStats         = uint8(17)
+	msgStatsAck      = uint8(18)
 )
 
-// Frame is one decoded wire frame.
+// Frame is one decoded wire frame. Trace and Span carry the sender's
+// trace context (zero when untraced); a response echoes the request's.
 type Frame struct {
 	Type    uint8
 	ReqID   uint64
+	Trace   uint64
+	Span    uint64
 	Payload []byte
 }
 
@@ -86,7 +99,9 @@ func WriteFrame(w io.Writer, f Frame) error {
 	buf[5] = f.Type
 	binary.LittleEndian.PutUint32(buf[6:], uint32(len(f.Payload)))
 	binary.LittleEndian.PutUint64(buf[10:], f.ReqID)
-	binary.LittleEndian.PutUint32(buf[18:], fnv1a32(f.Payload))
+	binary.LittleEndian.PutUint64(buf[18:], f.Trace)
+	binary.LittleEndian.PutUint64(buf[26:], f.Span)
+	binary.LittleEndian.PutUint32(buf[34:], fnv1a32(f.Payload))
 	copy(buf[headerSize:], f.Payload)
 	_, err := w.Write(buf)
 	return err
@@ -119,12 +134,14 @@ func ReadFrame(r *bufio.Reader, maxPayload int) (Frame, error) {
 	f := Frame{
 		Type:    hdr[5],
 		ReqID:   binary.LittleEndian.Uint64(hdr[10:]),
+		Trace:   binary.LittleEndian.Uint64(hdr[18:]),
+		Span:    binary.LittleEndian.Uint64(hdr[26:]),
 		Payload: make([]byte, n),
 	}
 	if _, err := io.ReadFull(r, f.Payload); err != nil {
 		return Frame{}, fmt.Errorf("%w: truncated payload: %w", ErrBadFrame, err)
 	}
-	if sum := binary.LittleEndian.Uint32(hdr[18:]); sum != fnv1a32(f.Payload) {
+	if sum := binary.LittleEndian.Uint32(hdr[34:]); sum != fnv1a32(f.Payload) {
 		return Frame{}, fmt.Errorf("%w: payload checksum mismatch", ErrBadFrame)
 	}
 	return f, nil

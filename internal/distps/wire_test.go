@@ -12,7 +12,9 @@ func TestFrameRoundTrip(t *testing.T) {
 	payloads := [][]byte{nil, {}, {0x42}, bytes.Repeat([]byte{1, 2, 3}, 1000)}
 	var buf bytes.Buffer
 	for i, p := range payloads {
-		if err := WriteFrame(&buf, Frame{Type: uint8(i + 1), ReqID: uint64(100 + i), Payload: p}); err != nil {
+		f := Frame{Type: uint8(i + 1), ReqID: uint64(100 + i), Payload: p,
+			Trace: uint64(i) * 0x1000000000000001, Span: uint64(i) * 3}
+		if err := WriteFrame(&buf, f); err != nil {
 			t.Fatalf("WriteFrame(%d): %v", i, err)
 		}
 	}
@@ -24,6 +26,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		}
 		if f.Type != uint8(i+1) || f.ReqID != uint64(100+i) || !bytes.Equal(f.Payload, p) {
 			t.Fatalf("frame %d: got %+v, want payload %v", i, f, p)
+		}
+		if f.Trace != uint64(i)*0x1000000000000001 || f.Span != uint64(i)*3 {
+			t.Fatalf("frame %d: trace context %#x/%#x did not survive the round trip", i, f.Trace, f.Span)
 		}
 	}
 	if _, err := ReadFrame(br, 0); !errors.Is(err, io.EOF) {
@@ -46,7 +51,7 @@ func TestFrameRejectsCorruption(t *testing.T) {
 		mutate func([]byte)
 	}{
 		{"payload bit flip", func(b []byte) { b[headerSize] ^= 0x80 }},
-		{"checksum flip", func(b []byte) { b[18] ^= 1 }},
+		{"checksum flip", func(b []byte) { b[34] ^= 1 }},
 		{"bad magic", func(b []byte) { b[0] = 0 }},
 		{"wire version skew", func(b []byte) { b[4] = 99 }},
 	}

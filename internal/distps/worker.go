@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -85,7 +86,12 @@ type Worker struct {
 	client   *Client
 	pipeline *ps.Pipeline // latest built; read after Run returns (or from hooks on the Run goroutine)
 	m        workerMetrics
+	active   atomic.Bool // true while holding the lease and training
 }
+
+// Active reports whether the worker currently holds the trainer lease and
+// is inside a training round; /readyz exposes it.
+func (w *Worker) Active() bool { return w.active.Load() }
 
 // NewWorker validates cfg and builds the (lazily connecting) client.
 func NewWorker(cfg WorkerConfig) (*Worker, error) {
@@ -113,6 +119,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	ccfg.Retry = cfg.Retry
 	ccfg.Clock = cfg.Clock
 	ccfg.Metrics = cfg.Metrics
+	ccfg.Trace = cfg.Trace
 	ccfg.Log = cfg.Log
 	client, err := NewClient(ccfg)
 	if err != nil {
@@ -306,9 +313,11 @@ func (w *Worker) Run(ctx context.Context, src ps.BatchSource, steps, batch int) 
 
 		// Phase 3: train.
 		w.m.active.Set(1)
+		w.active.Store(true)
 		stopRenew := w.startRenewal(ctx)
 		tres, terr := p.Train(ctx, src, v, steps-v, batch)
 		stopRenew()
+		w.active.Store(false)
 		w.m.active.Set(0)
 		w.m.steps.Add(int64(tres.Completed))
 		res.Curve = tres.Curve

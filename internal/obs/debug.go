@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"time"
 )
 
@@ -20,6 +21,14 @@ import (
 // reg and tr may be nil; the corresponding endpoints then serve empty
 // documents, so a partially wired binary still exposes pprof.
 func Handler(reg *Registry, tr *Tracer) http.Handler {
+	return HandlerWith(reg, tr, nil)
+}
+
+// HandlerWith is Handler plus caller-supplied routes (path → handler),
+// letting a binary mount extra endpoints — /healthz, /cluster — on the
+// same debug mux. Extra routes are listed in the index and may not shadow
+// the built-in paths.
+func HandlerWith(reg *Registry, tr *Tracer, extra map[string]http.HandlerFunc) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -38,6 +47,15 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extraPaths := make([]string, 0, len(extra))
+	//elrec:orderless paths are sorted immediately below
+	for path := range extra {
+		extraPaths = append(extraPaths, path)
+	}
+	sort.Strings(extraPaths)
+	for _, path := range extraPaths {
+		mux.HandleFunc(path, extra[path])
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -48,6 +66,9 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		fmt.Fprintln(w, "  /metrics       metrics registry snapshot (JSON)")
 		fmt.Fprintln(w, "  /trace         Chrome trace-event JSON (open in ui.perfetto.dev)")
 		fmt.Fprintln(w, "  /debug/pprof/  runtime profiles")
+		for _, path := range extraPaths {
+			fmt.Fprintf(w, "  %s\n", path)
+		}
 	})
 	return mux
 }
@@ -97,12 +118,17 @@ func (d *DebugServer) Shutdown(timeout time.Duration) error {
 // goroutine until Close. The server carries header/idle timeouts so a
 // stalled or idle debug client cannot pin connections forever.
 func Serve(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+	return ServeWith(addr, reg, tr, nil)
+}
+
+// ServeWith is Serve with caller-supplied extra routes (see HandlerWith).
+func ServeWith(addr string, reg *Registry, tr *Tracer, extra map[string]http.HandlerFunc) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
 	}
 	srv := &http.Server{
-		Handler:           Handler(reg, tr),
+		Handler:           HandlerWith(reg, tr, extra),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProcessTrace is one process's contribution to a merged cluster trace: a
+// span set plus the anchoring needed to place it on a shared timeline.
+// EpochNS is the process's tracer epoch as Unix nanoseconds, already
+// corrected onto the merging process's clock (add the estimated clock
+// offset before building the ProcessTrace); span Starts are relative to
+// that epoch, exactly as Tracer.Spans reports them.
+type ProcessTrace struct {
+	Name    string // process label ("worker", "shard0", ...)
+	PID     int    // Chrome trace pid; must be unique across processes
+	EpochNS int64
+	Spans   []Span
+	Threads map[int]string
+	Inst    []Instant
+}
+
+// Instant is one exported zero-duration marker event for merging.
+type Instant struct {
+	Name string
+	Cat  string
+	TID  int
+	At   time.Duration // relative to the process's epoch
+}
+
+// Instants returns a copy of the retained instant events in recording
+// order, in the exported Instant shape.
+func (t *Tracer) Instants() []Instant {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	insts := t.inst.ordered()
+	t.mu.Unlock()
+	out := make([]Instant, len(insts))
+	for i, in := range insts {
+		out[i] = Instant{Name: in.name, Cat: in.cat, TID: in.tid, At: in.at}
+	}
+	return out
+}
+
+// WriteMergedChromeTrace writes one Chrome trace spanning several
+// processes. Every process's spans are rebased onto a shared timeline
+// (zero = the earliest event across all processes, so the trace opens at
+// t=0 regardless of absolute wall time), and parent links are resolved
+// across the whole set — a child span in one process draws a flow arrow
+// from its parent in another, which is the point of propagating trace
+// context over the wire. Span-id spaces must be disjoint across processes
+// (see Tracer.SetSpanIDBase) or links may resolve to the wrong span.
+func WriteMergedChromeTrace(w io.Writer, procs []ProcessTrace) error {
+	seen := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		if seen[p.PID] {
+			return fmt.Errorf("obs: merged trace: duplicate pid %d", p.PID)
+		}
+		seen[p.PID] = true
+	}
+
+	// The shared origin: the earliest absolute event time in the set.
+	var t0 int64
+	first := true
+	for _, p := range procs {
+		for _, sp := range p.Spans {
+			at := p.EpochNS + int64(sp.Start)
+			if first || at < t0 {
+				t0, first = at, false
+			}
+		}
+		for _, in := range p.Inst {
+			at := p.EpochNS + int64(in.At)
+			if first || at < t0 {
+				t0, first = at, false
+			}
+		}
+	}
+
+	var events []traceEvent
+	var placed []placedSpan
+	for _, p := range procs {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", PID: p.PID, TID: 0,
+			Args: map[string]any{"name": p.Name},
+		})
+		events = append(events, threadNameEvents(p.PID, p.Threads)...)
+		for _, sp := range p.Spans {
+			ts := usOf(time.Duration(p.EpochNS + int64(sp.Start) - t0))
+			placed = append(placed, placedSpan{span: sp, pid: p.PID, ts: ts})
+			events = append(events, spanEvent(sp, p.PID, ts))
+		}
+		for _, in := range p.Inst {
+			events = append(events, traceEvent{
+				Name: in.Name, Cat: in.Cat, Ph: "i", PID: p.PID, TID: in.TID, S: "t",
+				TS: usOf(time.Duration(p.EpochNS + int64(in.At) - t0)),
+			})
+		}
+	}
+	events = append(events, flowEvents(placed)...)
+	if events == nil {
+		events = []traceEvent{}
+	}
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+}

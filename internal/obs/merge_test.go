@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func decodeMerged(t *testing.T, procs []ProcessTrace) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, procs); err != nil {
+		t.Fatalf("WriteMergedChromeTrace: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// TestMergedTraceRebasesOntoSharedOrigin merges two processes whose epochs
+// sit 2ms apart and checks every event lands on one timeline anchored at
+// the earliest event (ts 0), with the later process's spans shifted by the
+// epoch gap.
+func TestMergedTraceRebasesOntoSharedOrigin(t *testing.T) {
+	procs := []ProcessTrace{
+		{
+			Name: "worker", PID: 1, EpochNS: 1_000_000,
+			Spans: []Span{{Name: "a", Cat: "t", TID: 1, Start: 0, Dur: time.Millisecond, Trace: 1, ID: 1}},
+		},
+		{
+			Name: "shard0", PID: 2, EpochNS: 3_000_000,
+			Spans: []Span{{Name: "b", Cat: "t", TID: 1, Start: 0, Dur: time.Millisecond, Trace: 2, ID: 2}},
+		},
+	}
+	doc := decodeMerged(t, procs)
+	ts := map[string]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			ts[ev.Name] = tsOf(t, doc, ev.Name)
+		}
+	}
+	if got := ts["a"]; got != 0 {
+		t.Fatalf("earliest span sits at ts %v, want 0", got)
+	}
+	// shard0's epoch is 2ms after the worker's → its span starts at 2000µs.
+	if got := ts["b"]; got != 2000 {
+		t.Fatalf("rebased span sits at ts %v µs, want 2000", got)
+	}
+}
+
+// tsOf returns the ts of the named X event.
+func tsOf(t *testing.T, doc chromeDoc, name string) float64 {
+	t.Helper()
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == name {
+			return ev.TS
+		}
+	}
+	t.Fatalf("no X event named %q", name)
+	return 0
+}
+
+// TestMergedTraceLinksSpansAcrossProcesses builds the cross-process shape
+// the wire protocol produces — a client span in pid 1, its handler span in
+// pid 2 carrying Parent = the client span id — and checks the merge draws
+// the flow arrow between them.
+func TestMergedTraceLinksSpansAcrossProcesses(t *testing.T) {
+	const clientSpan, serverSpan = uint64(0xA1), uint64(1<<48 | 0xB2)
+	procs := []ProcessTrace{
+		{
+			Name: "worker", PID: 1, EpochNS: 0,
+			Spans:   []Span{{Name: "gather", Cat: "rpc", TID: 10, Start: 0, Dur: 4 * time.Millisecond, Trace: clientSpan, ID: clientSpan}},
+			Threads: map[int]string{10: "rpc:shard0"},
+		},
+		{
+			Name: "shard0", PID: 2, EpochNS: 1_000_000,
+			Spans:   []Span{{Name: "handle:gather", Cat: "rpc", TID: 101, Start: 0, Dur: 2 * time.Millisecond, Trace: clientSpan, ID: serverSpan, Parent: clientSpan}},
+			Threads: map[int]string{101: "conn1"},
+		},
+	}
+	doc := decodeMerged(t, procs)
+
+	var sPID, fPID, flows int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			flows++
+			sPID = ev.PID
+			if ev.ID != serverSpan {
+				t.Fatalf("flow start id %#x, want child span id %#x", ev.ID, serverSpan)
+			}
+		case "f":
+			flows++
+			fPID = ev.PID
+			if ev.ID != serverSpan {
+				t.Fatalf("flow finish id %#x, want child span id %#x", ev.ID, serverSpan)
+			}
+		}
+	}
+	if flows != 2 {
+		t.Fatalf("got %d flow events, want a start/finish pair", flows)
+	}
+	if sPID != 1 || fPID != 2 {
+		t.Fatalf("flow runs pid %d → pid %d, want 1 → 2 (worker to shard)", sPID, fPID)
+	}
+
+	names := map[int][]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			if n, ok := ev.Args["name"].(string); ok {
+				names[ev.PID] = append(names[ev.PID], n)
+			}
+		}
+	}
+	if !contains(names[1], "worker") || !contains(names[2], "shard0") {
+		t.Fatalf("process metadata missing: %v", names)
+	}
+	if !contains(names[1], "rpc:shard0") || !contains(names[2], "conn1") {
+		t.Fatalf("thread metadata missing: %v", names)
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMergedTraceRejectsDuplicatePIDs: pid collisions would silently
+// interleave two processes into one lane, so the merge refuses them.
+func TestMergedTraceRejectsDuplicatePIDs(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteMergedChromeTrace(&buf, []ProcessTrace{
+		{Name: "a", PID: 3}, {Name: "b", PID: 3},
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate pid") {
+		t.Fatalf("err = %v, want duplicate-pid error", err)
+	}
+}
+
+// TestMergedTraceEmptyIsValid: an empty process list still yields a valid
+// document Perfetto can open.
+func TestMergedTraceEmptyIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("empty merge: %v", err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty merge is not valid JSON: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal(`empty merge must still carry "traceEvents": []`)
+	}
+}

@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -181,4 +183,56 @@ func TestRegistrySnapshotUpdateRace(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	snapWG.Wait()
+}
+
+// TestSnapshotJSONIsSortedAndDeterministic checks the scrape contract:
+// instrument names appear in ascending order inside every section, and two
+// scrapes of identical state are byte-identical regardless of the map
+// iteration order underneath.
+func TestSnapshotJSONIsSortedAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register in deliberately unsorted order.
+	for _, name := range []string{"zeta", "alpha", "mid", "beta_2", "beta_1"} {
+		r.Counter(name).Add(1)
+		r.Gauge(name).Set(2)
+		r.Histogram(name).Observe(3)
+	}
+	first, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("scrape %d differs from the first:\n%s\nvs\n%s", i, first, again)
+		}
+	}
+	// Key order inside each section must be ascending.
+	want := []string{"alpha", "beta_1", "beta_2", "mid", "zeta"}
+	doc := string(first)
+	for _, section := range []string{"counters", "gauges", "histograms"} {
+		at := strings.Index(doc, `"`+section+`"`)
+		if at < 0 {
+			t.Fatalf("section %q missing from %s", section, doc)
+		}
+		last := at
+		for _, name := range want {
+			idx := strings.Index(doc[last:], `"`+name+`"`)
+			if idx < 0 {
+				t.Fatalf("section %q: key %q missing or out of order in %s", section, name, doc)
+			}
+			last += idx + 1
+		}
+	}
+	// And the document must round-trip back into an equal snapshot.
+	var back Snapshot
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Counters["zeta"] != 1 || back.Gauges["alpha"] != 2 || back.Histograms["mid"].Count != 1 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
 }

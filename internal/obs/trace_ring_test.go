@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chromeDoc decodes the exported trace for assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		ID   uint64         `json:"id"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func decodeTrace(t *testing.T, tr *Tracer) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// TestTracerRingWraparoundConcurrent hammers Begin/End far past capacity
+// from several goroutines and checks the ring's accounting stays exact:
+// retained + dropped = recorded, and the export holds only complete spans
+// (every emitted span was Ended — spans left open never appear).
+func TestTracerRingWraparoundConcurrent(t *testing.T) {
+	const capN, workers, perWorker = 64, 8, 1000
+	tr := NewTracer(NewManual(time.Unix(0, 0)))
+	tr.SetCapacity(capN)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Begin(fmt.Sprintf("w%d-%d", w, i), "test", w)
+				sp.End()
+			}
+		}(w)
+	}
+	// An open span concurrent with the storm: it must never be exported.
+	open := tr.Begin("never-ended", "test", 99)
+	_ = open
+	wg.Wait()
+
+	spans := tr.Spans()
+	if len(spans) != capN {
+		t.Fatalf("retained %d spans, want the capacity %d", len(spans), capN)
+	}
+	const total = workers * perWorker
+	if got := tr.Dropped(); got != total-capN {
+		t.Fatalf("Dropped() = %d, want exactly %d (recorded %d, capacity %d)",
+			got, total-capN, total, capN)
+	}
+
+	doc := decodeTrace(t, tr)
+	emitted := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		emitted++
+		if ev.Name == "never-ended" {
+			t.Fatal("an un-Ended span leaked into the export")
+		}
+	}
+	if emitted != capN {
+		t.Fatalf("export holds %d complete spans, want %d", emitted, capN)
+	}
+}
+
+// TestTracerRingKeepsMostRecent records an ordered stream past capacity
+// and checks the survivors are exactly the most recent window, still in
+// recording order.
+func TestTracerRingKeepsMostRecent(t *testing.T) {
+	clock := NewManual(time.Unix(0, 0))
+	tr := NewTracer(clock)
+	tr.SetCapacity(4)
+	for i := 0; i < 10; i++ {
+		sp := tr.Begin(fmt.Sprintf("s%d", i), "test", 0)
+		clock.Advance(time.Millisecond)
+		sp.End()
+	}
+	spans := tr.Spans()
+	want := []string{"s6", "s7", "s8", "s9"}
+	if len(spans) != len(want) {
+		t.Fatalf("retained %d spans, want %d", len(spans), len(want))
+	}
+	for i, sp := range spans {
+		if sp.Name != want[i] {
+			t.Fatalf("spans[%d] = %q, want %q (recording order must survive the wrap)", i, sp.Name, want[i])
+		}
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped() = %d, want 6", got)
+	}
+}
+
+// TestTraceContextLinksAndFlowEvents checks BeginTrace/BeginChild identity
+// plumbing and the exported flow arrows: a child linked under a parent
+// produces a ph "s" event at the parent and a ph "f" event at the child,
+// bound by the child's span id.
+func TestTraceContextLinksAndFlowEvents(t *testing.T) {
+	clock := NewManual(time.Unix(0, 0))
+	tr := NewTracer(clock)
+	tr.SetSpanIDBase(7 << 48)
+
+	parent := tr.BeginTrace("rpc", "client", 1)
+	pctx := parent.Context()
+	if pctx.Trace == 0 || pctx.Trace != pctx.Span {
+		t.Fatalf("BeginTrace context %+v: trace id must be the root span id", pctx)
+	}
+	if pctx.Span>>48 != 7 {
+		t.Fatalf("span id %#x does not carry the id base", pctx.Span)
+	}
+	child := tr.BeginChild("handle", "server", 2, pctx)
+	cctx := child.Context()
+	if cctx.Trace != pctx.Trace {
+		t.Fatalf("child trace %#x, want parent trace %#x", cctx.Trace, pctx.Trace)
+	}
+	if cctx.Span == pctx.Span {
+		t.Fatal("child must get its own span id")
+	}
+	clock.Advance(time.Millisecond)
+	child.End()
+	clock.Advance(time.Millisecond)
+	parent.End()
+
+	doc := decodeTrace(t, tr)
+	var sFlows, fFlows []uint64
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			sFlows = append(sFlows, ev.ID)
+		case "f":
+			fFlows = append(fFlows, ev.ID)
+		}
+	}
+	if len(sFlows) != 1 || len(fFlows) != 1 {
+		t.Fatalf("flow events: %d starts, %d finishes, want 1 each", len(sFlows), len(fFlows))
+	}
+	if sFlows[0] != cctx.Span || fFlows[0] != cctx.Span {
+		t.Fatalf("flow id %#x/%#x, want the child span id %#x", sFlows[0], fFlows[0], cctx.Span)
+	}
+}
