@@ -64,6 +64,7 @@ func run() int {
 		lr           = flag.Float64("lr", 1.0, "learning rate")
 		ttThreshold  = flag.Int("tt-threshold", 10_000, "min rows for TT compression (-1 disables compression)")
 		queueDepth   = flag.Int("queue", 4, "pre-fetch/gradient queue depth (1 = sequential)")
+		lookahead    = flag.Int("lookahead", 0, "data-pipeline planning window in batches (0 or 1 disables oracle prefetching)")
 		noReorder    = flag.Bool("no-reorder", false, "disable locality-based index reordering")
 		adagrad      = flag.Bool("adagrad", false, "use Adagrad for embedding tables instead of SGD")
 		naiveTT      = flag.Bool("naive-tt", false, "use the TT-Rec baseline table instead of Eff-TT")
@@ -99,6 +100,7 @@ func run() int {
 	cfg.Rank = *rank
 	cfg.TTThreshold = *ttThreshold
 	cfg.QueueDepth = *queueDepth
+	cfg.Lookahead = *lookahead
 	cfg.Reorder = !*noReorder && *ttThreshold >= 0
 	cfg.Adagrad = *adagrad
 	if *naiveTT {
@@ -235,6 +237,12 @@ func run() int {
 			"pushed_mb", float64(st.BytesPushed)/1e6,
 			"cache_hit_rate", cacheHitRate(reg),
 			"cache_evictions", st.CacheEvictions)
+		if st.LookaheadWindows > 0 {
+			log.Info("lookahead totals",
+				"windows", st.LookaheadWindows,
+				"pinned_rows", st.LookaheadPinnedRows,
+				"prefetch_wait", st.PrefetchWait)
+		}
 		if st.Retries > 0 || st.Checkpoints > 0 {
 			log.Info("pipeline faults",
 				"retries", st.Retries, "backoff", st.BackoffTime, "checkpoints", st.Checkpoints)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -370,5 +371,64 @@ func TestExtOptimBothConverge(t *testing.T) {
 		if cellFloat(t, last[col]) >= cellFloat(t, first[col]) {
 			t.Fatalf("column %d loss did not decrease: %v -> %v", col, first[col], last[col])
 		}
+	}
+}
+
+// TestPipeCacheLookaheadBeatsLC runs the pipecache experiment with and
+// without lookahead at quick scale: the oracle cache must raise the
+// sequential-schedule hit rate (the deterministic policy counter — the
+// pipelined counters shift slightly with apply timing, so they are not
+// asserted strictly at this tiny scale), gather fewer bytes, and leave the
+// trained loss bit-identical.
+func TestPipeCacheLookaheadBeatsLC(t *testing.T) {
+	skipUnderRace(t)
+	if testing.Short() {
+		t.Skip("pipeline experiment skipped in -short")
+	}
+	cell := func(r *Result, name string) string {
+		for _, row := range r.Rows {
+			if row[0] == name {
+				return row[1]
+			}
+		}
+		t.Fatalf("row %q missing from %v", name, r.Rows)
+		return ""
+	}
+	// The hit-rate gain comes from oracle retention (entries kept past
+	// push-visibility until their promised reuse), which needs several
+	// windows' worth of steps to show up in the counters.
+	base := Quick()
+	base.Lookahead = 0
+	base.Steps = 24
+	la := Quick()
+	la.Lookahead = 8
+	la.Steps = 24
+	rb, rl := PipeCache(base), PipeCache(la)
+	if hb, hl := cellFloat(t, cell(rb, "seq_cache_hit_rate")), cellFloat(t, cell(rl, "seq_cache_hit_rate")); hl <= hb {
+		t.Fatalf("lookahead hit rate %.4f not above LC baseline %.4f", hl, hb)
+	}
+	if bb, bl := cellFloat(t, cell(rb, "bytes_prefetched")), cellFloat(t, cell(rl, "bytes_prefetched")); bl >= bb {
+		t.Fatalf("lookahead gathered %.0f bytes, baseline %.0f", bl, bb)
+	}
+	if cellFloat(t, cell(rl, "pinned_rows")) == 0 || cellFloat(t, cell(rl, "windows")) == 0 {
+		t.Fatalf("lookahead run recorded no planning activity: %v", rl.Rows)
+	}
+	if lb, ll := cell(rb, "final_loss"), cell(rl, "final_loss"); lb != ll {
+		t.Fatalf("final loss differs: %s vs %s — lookahead changed trained values", lb, ll)
+	}
+}
+
+// BenchmarkPipecache is the CI smoke hook (`-benchtime=1x`): one quick-scale
+// pipecache run per schedule, so the lookahead machinery is exercised on
+// every push without a full bench sweep.
+func BenchmarkPipecache(b *testing.B) {
+	for _, look := range []int{0, 8} {
+		b.Run(fmt.Sprintf("lookahead=%d", look), func(b *testing.B) {
+			sc := Quick()
+			sc.Lookahead = look
+			for i := 0; i < b.N; i++ {
+				PipeCache(sc)
+			}
+		})
 	}
 }

@@ -24,25 +24,34 @@ const faeCoverage = 0.998
 // profiling pass observes when sizing the hot sets.
 const faeProfileBatches = 30
 
-// statsDelta subtracts two pipeline stats snapshots.
+// statsDelta subtracts two pipeline stats snapshots; the hit rate is
+// recomputed over the delta's own lookups.
 func statsDelta(after, before ps.Stats) ps.Stats {
-	return ps.Stats{
-		Steps:           after.Steps - before.Steps,
-		BytesPrefetched: after.BytesPrefetched - before.BytesPrefetched,
-		BytesPushed:     after.BytesPushed - before.BytesPushed,
-		CacheSyncs:      after.CacheSyncs - before.CacheSyncs,
-		CacheHits:       after.CacheHits - before.CacheHits,
-		CacheEvictions:  after.CacheEvictions - before.CacheEvictions,
-		GatherTime:      after.GatherTime - before.GatherTime,
-		ApplyTime:       after.ApplyTime - before.ApplyTime,
-		TrainTime:       after.TrainTime - before.TrainTime,
-		AdapterTime:     after.AdapterTime - before.AdapterTime,
-		InjectedFaults:  after.InjectedFaults - before.InjectedFaults,
-		Retries:         after.Retries - before.Retries,
-		BackoffTime:     after.BackoffTime - before.BackoffTime,
-		StallTime:       after.StallTime - before.StallTime,
-		Checkpoints:     after.Checkpoints - before.Checkpoints,
+	d := ps.Stats{
+		Steps:               after.Steps - before.Steps,
+		BytesPrefetched:     after.BytesPrefetched - before.BytesPrefetched,
+		BytesPushed:         after.BytesPushed - before.BytesPushed,
+		CacheSyncs:          after.CacheSyncs - before.CacheSyncs,
+		CacheHits:           after.CacheHits - before.CacheHits,
+		CacheMisses:         after.CacheMisses - before.CacheMisses,
+		CacheEvictions:      after.CacheEvictions - before.CacheEvictions,
+		LookaheadWindows:    after.LookaheadWindows - before.LookaheadWindows,
+		LookaheadPinnedRows: after.LookaheadPinnedRows - before.LookaheadPinnedRows,
+		PrefetchWait:        after.PrefetchWait - before.PrefetchWait,
+		GatherTime:          after.GatherTime - before.GatherTime,
+		ApplyTime:           after.ApplyTime - before.ApplyTime,
+		TrainTime:           after.TrainTime - before.TrainTime,
+		AdapterTime:         after.AdapterTime - before.AdapterTime,
+		InjectedFaults:      after.InjectedFaults - before.InjectedFaults,
+		Retries:             after.Retries - before.Retries,
+		BackoffTime:         after.BackoffTime - before.BackoffTime,
+		StallTime:           after.StallTime - before.StallTime,
+		Checkpoints:         after.Checkpoints - before.Checkpoints,
 	}
+	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
+		d.CacheHitRate = float64(d.CacheHits) / float64(lookups)
+	}
+	return d
 }
 
 // pipelineTime converts one pipeline run's stats into modeled time on the

@@ -28,6 +28,7 @@ var registry = map[string]Runner{
 	"fig18":        Fig18,
 	"ttcore":       TTCore,
 	"servecore":    ServeCore,
+	"pipecache":    PipeCache,
 	"ext-ttdepth":  ExtTTDepth,
 	"ext-optim":    ExtOptim,
 	"ext-hotratio": ExtHotRatio,

@@ -32,6 +32,10 @@ type Scale struct {
 	TTThresholdRows int
 	// TrainSteps is the step count for accuracy/convergence experiments.
 	TrainSteps int
+	// Lookahead is the data-pipeline planning window for the pipecache
+	// experiment (0 = plain LC cache, N≥2 = oracle prefetching over N
+	// batches). Overridable with elrec-bench -lookahead.
+	Lookahead int
 	// Metrics, when non-nil, receives the instruments of every system the
 	// experiments build (pipeline ps_*, TT tt_* counters); cmd/elrec-bench
 	// snapshots it into the BENCH_<id>.json artifacts. Excluded from the
@@ -50,6 +54,7 @@ func Quick() Scale {
 		Rank:            8,
 		TTThresholdRows: 1000,
 		TrainSteps:      300,
+		Lookahead:       8,
 	}
 }
 
@@ -66,6 +71,7 @@ func Default() Scale {
 		Rank:            16,
 		TTThresholdRows: 10_000,
 		TrainSteps:      1500,
+		Lookahead:       16,
 	}
 }
 

@@ -64,6 +64,14 @@ type Config struct {
 	// placement is needed (1 = sequential).
 	QueueDepth int
 
+	// Lookahead sets the data-pipeline window size in batches: the
+	// pre-fetcher plans the exact sparse access set of the next Lookahead
+	// batches and uses it for oracle cache admission and cross-batch dedup
+	// (rows reused within a window are gathered once), plus TT prefix-cache
+	// protection on device tables. 0 or 1 disables the lookahead. Training
+	// is bit-exact for every setting.
+	Lookahead int
+
 	// Faults injects deterministic failures into the pipeline trainer
 	// (tests/chaos runs); nil trains fault-free.
 	Faults faults.Injector
@@ -253,6 +261,7 @@ func BuildWithDataset(cfg Config, d *data.Dataset) (*System, error) {
 	pcfg := ps.Config{
 		Model:      cfg.Model,
 		QueueDepth: cfg.QueueDepth,
+		Lookahead:  cfg.Lookahead,
 		Seed:       cfg.Seed,
 		Faults:     cfg.Faults,
 		Retry:      cfg.Retry,
@@ -298,6 +307,17 @@ func (r *remappedSource) Batch(iter, size int) *data.Batch {
 		}
 	}
 	return b
+}
+
+// BatchIndices generates one table's index stream for batch iter with the
+// same remapping Batch applies, so the lookahead planner (data.SparseSource)
+// sees exactly the ids the pipeline will train on.
+func (r *remappedSource) BatchIndices(iter, size, t int) []int {
+	ids := r.d.BatchIndices(iter, size, t)
+	if bij := r.bijections[t]; bij != nil {
+		bij.ApplyInPlace(ids)
+	}
+	return ids
 }
 
 // Model returns the underlying DLRM.

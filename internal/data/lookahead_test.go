@@ -1,0 +1,466 @@
+package data
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/embedding"
+)
+
+// lookaheadTestSpec is a small multi-table spec with enough reuse (tight
+// id space, high locality) that windows exercise pinning, next-use linking,
+// and Belady eviction on real Zipf-skewed streams.
+func lookaheadTestSpec() Spec {
+	return Spec{
+		Name:         "lookahead-test",
+		NumDense:     4,
+		TableRows:    []int{500, 120, 2000},
+		ZipfS:        1.2,
+		ZipfV:        1.5,
+		GroupSize:    16,
+		ActiveGroups: 4,
+		Locality:     0.8,
+		Samples:      1 << 20,
+		Seed:         991,
+	}
+}
+
+// fixedSource is a canned SparseSource over explicit per-batch id streams:
+// ids[iter][table]. It allocates nothing per call, which also makes it the
+// subject of the steady-state allocation test.
+type fixedSource struct {
+	ids [][][]int
+}
+
+func (f *fixedSource) BatchIndices(iter, size, table int) []int {
+	return f.ids[iter][table]
+}
+
+// planOver builds a planner over a fixedSource covering every table in ids
+// with the given per-table row bound and pin budget, and plans one full
+// window from iteration 0.
+func planOver(t *testing.T, ids [][][]int, rows, budget int) *WindowPlan {
+	t.Helper()
+	nt := len(ids[0])
+	cfg := LookaheadConfig{Window: len(ids), Batch: 1, Budget: budget}
+	for ti := 0; ti < nt; ti++ {
+		cfg.Tables = append(cfg.Tables, ti)
+		cfg.Rows = append(cfg.Rows, rows)
+	}
+	la, err := NewLookahead(&fixedSource{ids: ids}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return la.Advance(0, len(ids))
+}
+
+// TestLookaheadPlanEquivalence checks every field of a planned window
+// against a brute-force reference computed directly from the dataset's
+// batches: Uniq/Inverse must equal embedding.Unique of the index stream,
+// Fresh must mark exactly the first in-window use of each row (unlimited
+// budget), NextUse must link to the next batch using the row, and
+// FreshIDs/FreshPos must be the Fresh subset in order.
+func TestLookaheadPlanEquivalence(t *testing.T) {
+	d, err := New(lookaheadTestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		window = 6
+		batch  = 32
+		start  = 3 // windows need not start at iteration 0
+	)
+	spec := d.Spec
+	la, err := NewLookahead(d, LookaheadConfig{
+		Window: window,
+		Batch:  batch,
+		Tables: []int{0, 1, 2},
+		Rows:   spec.TableRows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := la.Advance(start, window)
+	if plan.Start != start || plan.N != window {
+		t.Fatalf("plan covers [%d,%d), want [%d,%d)", plan.Start, plan.Start+plan.N, start, start+window)
+	}
+
+	for ti := range spec.TableRows {
+		streams := make([][]int, window)
+		for j := 0; j < window; j++ {
+			streams[j] = d.BatchIndices(start+j, batch, ti)
+		}
+		seen := map[int]bool{}
+		for j := 0; j < window; j++ {
+			acc := plan.Access(ti, start+j)
+			uniq, inverse := embedding.Unique(streams[j])
+			if !equalInts(acc.Uniq, uniq) || !equalInts(acc.Inverse, inverse) {
+				t.Fatalf("table %d iter %d: Uniq/Inverse disagree with embedding.Unique", ti, start+j)
+			}
+			var wantFreshIDs, wantFreshPos []int
+			for i, id := range uniq {
+				wantFresh := !seen[id]
+				seen[id] = true
+				if acc.Fresh[i] != wantFresh {
+					t.Fatalf("table %d iter %d row %d: Fresh=%v, want %v (first window use)",
+						ti, start+j, id, acc.Fresh[i], wantFresh)
+				}
+				wantNext := int32(-1)
+				for k := j + 1; k < window; k++ {
+					if containsInt(streams[k], id) {
+						wantNext = int32(start + k)
+						break
+					}
+				}
+				if acc.NextUse[i] != wantNext {
+					t.Fatalf("table %d iter %d row %d: NextUse=%d, want %d",
+						ti, start+j, id, acc.NextUse[i], wantNext)
+				}
+				if wantFresh {
+					wantFreshIDs = append(wantFreshIDs, id)
+					wantFreshPos = append(wantFreshPos, i)
+				}
+			}
+			if !equalInts(acc.FreshIDs, wantFreshIDs) || !equalInts(acc.FreshPos, wantFreshPos) {
+				t.Fatalf("table %d iter %d: FreshIDs/FreshPos disagree with Fresh flags", ti, start+j)
+			}
+		}
+	}
+
+	// A second window starting where the first ended: rows carried over from
+	// the previous window must gather fresh again (pinning is per window).
+	plan2 := la.Advance(start+window, window)
+	for ti := range spec.TableRows {
+		acc := plan2.Access(ti, start+window)
+		for i := range acc.Uniq {
+			if !acc.Fresh[i] {
+				t.Fatalf("table %d: first batch of a new window served row %d from a stale pin", ti, acc.Uniq[i])
+			}
+		}
+	}
+	plan.Release()
+	plan2.Release()
+}
+
+// TestLookaheadBeladyEviction is the table-driven oracle-eviction test: when
+// the pin budget overflows, the planner must drop the pin whose next use is
+// farthest in the future (or rewrite nothing when capacity suffices), and
+// the victim's later accesses must come back as fresh gathers.
+func TestLookaheadBeladyEviction(t *testing.T) {
+	cases := []struct {
+		name   string
+		ids    [][]int // batch → stream of one table
+		budget int
+		// wantFresh[j] lists the expected Fresh flags of batch j's uniq rows.
+		wantFresh [][]bool
+		// wantNext[j] lists the expected (post-rewrite) NextUse values.
+		wantNext [][]int32
+	}{
+		{
+			// Row 1 next used at iter 1 (near), row 2 at iter 3 (far). With
+			// budget 1 the batch-0 pin of row 2 is Belady's victim: its
+			// NextUse is rewritten to -1 and iter 3 gathers it fresh.
+			name:      "farthest-next-use evicted",
+			ids:       [][]int{{1, 2}, {1}, {}, {2}},
+			budget:    1,
+			wantFresh: [][]bool{{true, true}, {false}, {}, {true}},
+			wantNext:  [][]int32{{1, -1}, {-1}, {}, {-1}},
+		},
+		{
+			// Same streams, budget 2: both pins fit, nothing is evicted.
+			name:      "no eviction under budget",
+			ids:       [][]int{{1, 2}, {1}, {}, {2}},
+			budget:    2,
+			wantFresh: [][]bool{{true, true}, {false}, {}, {false}},
+			wantNext:  [][]int32{{1, 3}, {-1}, {}, {-1}},
+		},
+		{
+			// Unlimited budget (0): every reuse is served from the pin set.
+			name:      "unlimited budget pins everything",
+			ids:       [][]int{{1, 2, 3}, {3, 1}, {2}},
+			budget:    0,
+			wantFresh: [][]bool{{true, true, true}, {false, false}, {false}},
+			wantNext:  [][]int32{{1, 2, 1}, {-1, -1}, {-1}},
+		},
+		{
+			// A row with NO future use never pins, so it cannot displace a
+			// row that does recur.
+			name:      "no-future-use row takes no budget",
+			ids:       [][]int{{7, 8}, {8}},
+			budget:    1,
+			wantFresh: [][]bool{{true, true}, {false}},
+			wantNext:  [][]int32{{-1, 1}, {-1}},
+		},
+		{
+			// Tie on next use: eviction is deterministic (first-listed max),
+			// and exactly one of the two promises survives.
+			name:      "deterministic tie break",
+			ids:       [][]int{{4, 5}, {4, 5}},
+			budget:    1,
+			wantFresh: [][]bool{{true, true}, {true, false}},
+			wantNext:  [][]int32{{-1, 1}, {-1, -1}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ids := make([][][]int, len(tc.ids))
+			for j := range tc.ids {
+				ids[j] = [][]int{tc.ids[j]}
+			}
+			plan := planOver(t, ids, 16, tc.budget)
+			defer plan.Release()
+			for j := range tc.ids {
+				acc := plan.Access(0, j)
+				if len(acc.Fresh) != len(tc.wantFresh[j]) {
+					t.Fatalf("iter %d: %d uniq rows, want %d", j, len(acc.Fresh), len(tc.wantFresh[j]))
+				}
+				for i := range acc.Fresh {
+					if acc.Fresh[i] != tc.wantFresh[j][i] {
+						t.Errorf("iter %d slot %d (row %d): Fresh=%v, want %v",
+							j, i, acc.Uniq[i], acc.Fresh[i], tc.wantFresh[j][i])
+					}
+					if acc.NextUse[i] != tc.wantNext[j][i] {
+						t.Errorf("iter %d slot %d (row %d): NextUse=%d, want %d",
+							j, i, acc.Uniq[i], acc.NextUse[i], tc.wantNext[j][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLookaheadWindowBoundary pins the window-edge contract: a row whose
+// last reference is the final batch of the window carries NextUse=-1 there
+// (its cache entry may expire with ordinary push-visibility), and the same
+// row in the next window is planned as a fresh gather — no promise crosses
+// the boundary.
+func TestLookaheadWindowBoundary(t *testing.T) {
+	// Row 9 is used in every batch of both windows; row 3 only at the edges.
+	// Batches 3-5 back the second window.
+	ids := [][][]int{
+		{{9, 3}}, {{9}}, {{9, 3}},
+		{{9, 3}}, {{9}}, {{9, 3}},
+	}
+	la, err := NewLookahead(&fixedSource{ids: ids}, LookaheadConfig{
+		Window: 3, Batch: 1, Tables: []int{0}, Rows: []int{16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := la.Advance(0, 3)
+	edge := plan.Access(0, 2)
+	for i, id := range edge.Uniq {
+		if edge.NextUse[i] != -1 {
+			t.Errorf("window-edge access of row %d promises NextUse=%d, want -1", id, edge.NextUse[i])
+		}
+	}
+	// Both rows were pinned by earlier batches; their last references land
+	// exactly on the window edge and are served from the pin set.
+	if edge.Fresh[0] || edge.Fresh[1] {
+		t.Errorf("edge batch: Fresh=%v, want both rows served from pins", edge.Fresh)
+	}
+	plan.Release()
+
+	// Next window reuses the same streams: everything in its first batch is
+	// fresh even though the previous window pinned row 9 throughout.
+	plan2 := la.Advance(3, 3)
+	first := plan2.Access(0, 3)
+	for i, id := range first.Uniq {
+		if !first.Fresh[i] {
+			t.Errorf("row %d carried a pin across the window boundary", id)
+		}
+	}
+	plan2.Release()
+}
+
+// TestLookaheadShortWindow covers the tail of a run: Advance with n smaller
+// than the configured window plans only the remaining batches.
+func TestLookaheadShortWindow(t *testing.T) {
+	ids := [][][]int{{{1, 2}}, {{2}}, {{1}}, {{2}}}
+	la, err := NewLookahead(&fixedSource{ids: ids}, LookaheadConfig{
+		Window: 4, Batch: 1, Tables: []int{0}, Rows: []int{8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := la.Advance(0, 2) // only batches 0 and 1 remain
+	if plan.N != 2 {
+		t.Fatalf("plan.N = %d, want 2", plan.N)
+	}
+	acc := plan.Access(0, 0)
+	// Row 1's next use (iter 2) is outside the short window: no promise.
+	if acc.NextUse[0] != -1 {
+		t.Errorf("row 1 NextUse=%d, want -1 (next use beyond plan)", acc.NextUse[0])
+	}
+	if acc.NextUse[1] != 1 {
+		t.Errorf("row 2 NextUse=%d, want 1", acc.NextUse[1])
+	}
+	plan.Release()
+}
+
+// TestLookaheadDeviceWindow checks protection-set collection: ids occurring
+// in more than one batch of the window are collected exactly once; ids
+// repeated only within a single batch are not.
+func TestLookaheadDeviceWindow(t *testing.T) {
+	ids := [][][]int{
+		{{5, 5, 1, 2}}, // 5 repeats within the batch only
+		{{2, 3}},
+		{{3, 2, 6}},
+	}
+	la, err := NewLookahead(&fixedSource{ids: ids}, LookaheadConfig{
+		Window: 3, Batch: 1,
+		DeviceTables: []int{0}, DeviceRows: []int{8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := la.Advance(0, 3)
+	got := map[int]int{}
+	for _, id := range plan.Device[0].IDs {
+		got[id]++
+	}
+	for _, id := range []int{2, 3} {
+		if got[id] != 1 {
+			t.Errorf("cross-batch id %d collected %d times, want 1", id, got[id])
+		}
+	}
+	for _, id := range []int{1, 5, 6} {
+		if got[id] != 0 {
+			t.Errorf("single-batch id %d collected %d times, want 0", id, got[id])
+		}
+	}
+	plan.Release()
+}
+
+// TestLookaheadFallbackSource exercises the full-batch fallback: a source
+// without BatchIndices gets its batches generated at plan time, cached on
+// the plan, and the planned access sets match the cached batches.
+func TestLookaheadFallbackSource(t *testing.T) {
+	d, err := New(lookaheadTestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := NewLookahead(batchOnly{d}, LookaheadConfig{
+		Window: 3, Batch: 8, Tables: []int{1}, Rows: []int{d.Spec.TableRows[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := la.Advance(0, 3)
+	for j := 0; j < 3; j++ {
+		b := plan.BatchAt(j)
+		if b == nil {
+			t.Fatalf("fallback plan cached no batch for iter %d", j)
+		}
+		uniq, _ := embedding.Unique(b.Sparse[1])
+		if !equalInts(plan.Access(0, j).Uniq, uniq) {
+			t.Fatalf("iter %d: plan Uniq disagrees with cached batch", j)
+		}
+	}
+	plan.Release()
+}
+
+// batchOnly hides Dataset.BatchIndices so only the fallback interface shows.
+type batchOnly struct{ d *Dataset }
+
+func (b batchOnly) Batch(iter, size int) *Batch { return b.d.Batch(iter, size) }
+
+// TestLookaheadConfigValidation covers NewLookahead's error paths.
+func TestLookaheadConfigValidation(t *testing.T) {
+	src := &fixedSource{ids: [][][]int{{{0}}, {{0}}}}
+	bad := []LookaheadConfig{
+		{Window: 1, Batch: 1},                                          // window too small
+		{Window: 2, Batch: 0},                                          // no batch size
+		{Window: 2, Batch: 1, Tables: []int{0}},                        // rows missing
+		{Window: 2, Batch: 1, Tables: []int{0}, Rows: []int{0}},        // non-positive rows
+		{Window: 2, Batch: 1, DeviceTables: []int{0}},                  // device rows missing
+		{Window: 2, Batch: 1, DeviceTables: []int{0}, DeviceRows: nil}, // device rows missing
+	}
+	for i, cfg := range bad {
+		if _, err := NewLookahead(src, cfg); err == nil {
+			t.Errorf("config %d: expected an error", i)
+		}
+	}
+	if _, err := NewLookahead(struct{}{}, LookaheadConfig{Window: 2, Batch: 1}); err == nil {
+		t.Error("expected an error for a source with neither interface")
+	}
+}
+
+// TestLookaheadZeroAllocSteadyState enforces the hot-path contract checked
+// statically by the hotalloc analyzer: once plan storage has grown to the
+// working set, Advance+Release over a non-allocating source performs zero
+// heap allocations per window.
+func TestLookaheadZeroAllocSteadyState(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	d, err := New(lookaheadTestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		window = 4
+		batch  = 16
+		rounds = 6
+	)
+	// Freeze the dataset's streams into a canned source: index generation is
+	// the dataset's cost, not the planner's.
+	ids := make([][][]int, window*rounds)
+	for j := range ids {
+		ids[j] = make([][]int, len(d.Spec.TableRows))
+		for ti := range ids[j] {
+			ids[j][ti] = d.BatchIndices(j, batch, ti)
+		}
+	}
+	la, err := NewLookahead(&fixedSource{ids: ids}, LookaheadConfig{
+		Window: window,
+		Batch:  batch,
+		Tables: []int{0, 1},
+		Rows:   []int{d.Spec.TableRows[0], d.Spec.TableRows[1]},
+		Budget: 64,
+		// Third table doubles as the device table to cover planDevice too.
+		DeviceTables: []int{2},
+		DeviceRows:   []int{d.Spec.TableRows[2]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup over every window position grows uniq/pin/protection storage to
+	// the full working set.
+	for r := 0; r < 2; r++ {
+		for j := 0; j+window <= len(ids); j += window {
+			la.Advance(j, window).Release()
+		}
+	}
+	pos := 0
+	allocs := testing.AllocsPerRun(rounds*2, func() {
+		la.Advance(pos, window).Release()
+		pos += window
+		if pos+window > len(ids) {
+			pos = 0
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Advance allocated %v times per window, want 0", allocs)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -61,6 +61,12 @@ type cacheEntry struct {
 	// PublishAt); entries published through plain Publish never expire by
 	// push visibility.
 	push int
+	// nextUse is the absolute iteration of the entry's next planned
+	// in-window use under lookahead (PublishWindow/SyncWindow): the entry
+	// is protected from push-visibility eviction until that iteration has
+	// been served. -1 (the value every non-lookahead path stores) means no
+	// protection.
+	nextUse int32
 }
 
 // NewCache builds a cache for rows of the given dimension. lifecycle is the
@@ -144,6 +150,38 @@ func (c *Cache) PublishAt(ids []int, values [][]float32, pushIter int) {
 		copy(e.value, values[i])
 		e.lc = c.capacity
 		e.push = pushIter
+		e.nextUse = -1
+	}
+}
+
+// PublishWindow is PublishAt with per-row retention hints from a lookahead
+// plan: nextUse[i] is the absolute iteration of the row's next planned
+// in-window use (-1 when there is none). Entries with a future next use
+// survive push-visibility eviction until SyncWindow has served that use, so
+// pinned rows are guaranteed present when their batch skips the host
+// gather.
+func (c *Cache) PublishWindow(ids []int, values [][]float32, pushIter int, nextUse []int32) {
+	if len(ids) != len(values) || len(ids) != len(nextUse) {
+		//elrec:invariant ids, rows and hints are built pairwise by the lookahead plan
+		panic(fmt.Sprintf("ps: PublishWindow %d ids vs %d rows vs %d hints", len(ids), len(values), len(nextUse)))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, id := range ids {
+		if len(values[i]) != c.dim {
+			//elrec:invariant ids and rows are built pairwise by the gather/update paths
+			panic(fmt.Sprintf("ps: Publish row %d has dim %d want %d", i, len(values[i]), c.dim))
+		}
+		e, ok := c.entries[id]
+		if !ok {
+			//elrec:coldpath entry storage is reused across publishes of the same row
+			e = &cacheEntry{value: make([]float32, c.dim)}
+			c.entries[id] = e
+		}
+		copy(e.value, values[i])
+		e.lc = c.capacity
+		e.push = pushIter
+		e.nextUse = nextUse[i]
 	}
 }
 
@@ -190,6 +228,65 @@ func (c *Cache) SyncAt(applied int, ids []int, values [][]float32) int {
 	c.mirrorSync(patched, len(ids)-patched)
 	c.shared.evictions.Add(int64(evicted))
 	return patched
+}
+
+// SyncWindow is the lookahead-plan variant of SyncAt, serving batch iter
+// whose access pattern was planned by data.Lookahead. Rows with fresh[i]
+// true were gathered from the host store and are patched from live entries
+// exactly as SyncAt would (the read-after-write fix of Figure 10); rows
+// with fresh[i] false were skipped by the gather and are served wholly from
+// the pinned working set — their entries are guaranteed present because the
+// plan only pins rows published earlier in the window and the sweep below
+// never evicts an entry before its promised use. Served entries adopt
+// nextUse[i] as their new retention hint.
+//
+// The eviction sweep is SyncAt's push-visibility rule restricted by the
+// oracle: an entry is dropped when the host has absorbed its update AND the
+// plan promises no further use at or before the batch being served. A
+// pinned row whose last reference is the window's final batch therefore
+// expires exactly at the window edge, and rows with no future reference
+// expire as in SyncAt — Belady's "farthest (or no) next use" applied with
+// an exact future access set.
+//
+// The serve loop runs before the sweep: entries whose hint pointed at this
+// batch are refreshed (or released) by serving, never evicted unserved.
+//
+//elrec:hotpath lookahead oracle admission: serving and sweeping must not allocate at steady state
+func (c *Cache) SyncWindow(applied, iter int, ids []int, values [][]float32, fresh []bool, nextUse []int32) (int, error) {
+	if len(ids) != len(values) || len(ids) != len(fresh) || len(ids) != len(nextUse) {
+		//elrec:invariant ids, rows and hints are built pairwise by the lookahead plan
+		panic(fmt.Sprintf("ps: SyncWindow %d ids vs %d rows vs %d/%d hints", len(ids), len(values), len(fresh), len(nextUse)))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	patched := 0
+	for i, id := range ids {
+		e, ok := c.entries[id]
+		if !ok {
+			if !fresh[i] {
+				//elrec:coldpath broken-invariant error construction
+				return patched, fmt.Errorf("%w: row %d pinned for iteration %d has no cache entry", ErrLookaheadMiss, id, iter)
+			}
+			c.misses++
+			continue
+		}
+		copy(values[i], e.value)
+		e.nextUse = nextUse[i]
+		patched++
+		c.hits++
+	}
+	evicted := 0
+	for id, e := range c.entries {
+		if e.push < applied && (e.nextUse < 0 || int(e.nextUse) <= iter) {
+			delete(c.entries, id)
+			c.evictions++
+			evicted++
+		}
+	}
+	c.syncs++
+	c.mirrorSync(patched, len(ids)-patched)
+	c.shared.evictions.Add(int64(evicted))
+	return patched, nil
 }
 
 // Tick lowers the LC of every cached row by one, evicting rows that reach

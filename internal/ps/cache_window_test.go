@@ -1,0 +1,165 @@
+package ps
+
+import (
+	"errors"
+	"testing"
+)
+
+// syncWin drives SyncWindow with per-call literal slices; out receives the
+// patched rows.
+func syncWin(t *testing.T, c *Cache, applied, iter int, ids []int, out [][]float32, fresh []bool, next []int32) int {
+	t.Helper()
+	patched, err := c.SyncWindow(applied, iter, ids, out, fresh, next)
+	if err != nil {
+		t.Fatalf("SyncWindow(applied=%d, iter=%d): %v", applied, iter, err)
+	}
+	return patched
+}
+
+// TestCacheSyncWindowServesPinned: a row published with a future next-use
+// hint is served to a batch that skipped the host gather (fresh=false), and
+// serving adopts the batch's own hint for the entry.
+func TestCacheSyncWindowServesPinned(t *testing.T) {
+	c := NewCache(2, 4)
+	c.PublishWindow([]int{7}, rowsOf(42), 0, []int32{3})
+
+	out := rowsOf(0)
+	patched := syncWin(t, c, 0, 3, []int{7}, out, []bool{false}, []int32{-1})
+	if patched != 1 || out[0][0] != 42 {
+		t.Fatalf("pinned serve: patched=%d value=%v, want 1 row of 42s", patched, out[0])
+	}
+}
+
+// TestCacheSyncWindowMissIsError: a pinned row with no cache entry is an
+// invariant violation surfaced as ErrLookaheadMiss, not a silent zero row.
+func TestCacheSyncWindowMissIsError(t *testing.T) {
+	c := NewCache(2, 4)
+	_, err := c.SyncWindow(0, 5, []int{9}, rowsOf(0), []bool{false}, []int32{-1})
+	if !errors.Is(err, ErrLookaheadMiss) {
+		t.Fatalf("got %v, want ErrLookaheadMiss", err)
+	}
+	// A fresh row's absence is an ordinary miss, not an error.
+	if _, err := c.SyncWindow(0, 5, []int{9}, rowsOf(0), []bool{true}, []int32{-1}); err != nil {
+		t.Fatalf("fresh miss errored: %v", err)
+	}
+}
+
+// TestCacheSyncWindowOracleEviction is the Belady-style sweep table: an
+// entry is evicted exactly when its push is host-visible AND the plan
+// promises no use after the batch being served. Farthest-future entries
+// survive; no-future entries go as under plain push visibility.
+func TestCacheSyncWindowOracleEviction(t *testing.T) {
+	cases := []struct {
+		name        string
+		push        int   // entry's gradient-push iteration
+		nextUse     int32 // entry's retention hint
+		applied     int   // host-visible pushes at sync time
+		iter        int   // batch being served
+		wantEvicted bool
+	}{
+		{"push not visible: retained regardless of hint", 5, -1, 5, 9, false},
+		{"visible, no future use: evicted (SyncAt rule)", 5, -1, 6, 9, true},
+		{"visible, next use is this batch: served then evicted", 5, 9, 6, 9, true},
+		{"visible, next use in the future: retained", 5, 12, 6, 9, false},
+		{"visible, farthest next use: retained", 5, 100, 6, 9, false},
+		{"visible, hint already behind the batch: evicted", 5, 8, 6, 9, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCache(2, 4)
+			c.PublishWindow([]int{1}, rowsOf(11), tc.push, []int32{tc.nextUse})
+			// Sync an unrelated fresh row so the sweep runs without serving
+			// (and thus rewriting the hint of) row 1.
+			syncWin(t, c, tc.applied, tc.iter, []int{2}, rowsOf(0), []bool{true}, []int32{-1})
+			if _, ok := c.Lookup(1); ok == tc.wantEvicted {
+				t.Fatalf("entry present=%v, want evicted=%v", ok, tc.wantEvicted)
+			}
+		})
+	}
+}
+
+// TestCacheSyncWindowEdgeExpiry covers the window boundary: a pin whose last
+// reference is the window's final batch is served there with a -1 hint and
+// swept in the same call — the entry expires exactly at the window edge,
+// leaving nothing for the next window (whose plan gathers the row fresh).
+func TestCacheSyncWindowEdgeExpiry(t *testing.T) {
+	const edge = 7
+	c := NewCache(2, 4)
+	c.PublishWindow([]int{3}, rowsOf(30), 4, []int32{edge})
+
+	// Before the edge, host visibility alone must not evict the pin.
+	syncWin(t, c, 6, 6, []int{8}, rowsOf(0), []bool{true}, []int32{-1})
+	if _, ok := c.Lookup(3); !ok {
+		t.Fatal("pinned entry evicted before its promised use")
+	}
+
+	// The edge batch serves the pin (fresh=false) and hints -1: no further
+	// in-window use, so the same call's sweep drops the entry.
+	out := rowsOf(0)
+	patched := syncWin(t, c, 6, edge, []int{3}, out, []bool{false}, []int32{-1})
+	if patched != 1 || out[0][0] != 30 {
+		t.Fatalf("edge serve: patched=%d value=%v, want 1 row of 30s", patched, out[0])
+	}
+	if _, ok := c.Lookup(3); ok {
+		t.Fatal("entry survived past the window edge with no future reference")
+	}
+}
+
+// TestCacheSyncWindowChainedPromises: serving a pinned row with a further
+// future hint re-arms its protection — a row used in three batches of one
+// window rides the cache through all of them on one gather.
+func TestCacheSyncWindowChainedPromises(t *testing.T) {
+	c := NewCache(2, 4)
+	c.PublishWindow([]int{5}, rowsOf(50), 0, []int32{2})
+
+	// Batch 2 serves the pin and promises batch 4.
+	syncWin(t, c, 1, 2, []int{5}, rowsOf(0), []bool{false}, []int32{4})
+	if _, ok := c.Lookup(5); !ok {
+		t.Fatal("re-armed pin evicted")
+	}
+	// Batch 3 does not use the row; the sweep must still honor the new hint.
+	syncWin(t, c, 1, 3, []int{6}, rowsOf(0), []bool{true}, []int32{-1})
+	if _, ok := c.Lookup(5); !ok {
+		t.Fatal("re-armed pin evicted by an intervening batch")
+	}
+	// Batch 4 consumes the final promise.
+	out := rowsOf(0)
+	if p := syncWin(t, c, 1, 4, []int{5}, out, []bool{false}, []int32{-1}); p != 1 || out[0][0] != 50 {
+		t.Fatalf("final serve: patched=%d value=%v, want 1 row of 50s", p, out[0])
+	}
+}
+
+// TestCachePublishWindowValidation: mismatched id/row/hint lengths panic
+// like the other publish paths.
+func TestCachePublishWindowValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache(2, 1).PublishWindow([]int{1}, rowsOf(1), 0, nil) },
+		func() { NewCache(2, 1).PublishWindow([]int{1}, nil, 0, []int32{-1}) },
+		func() { NewCache(2, 1).PublishWindow([]int{1}, [][]float32{{1}}, 0, []int32{-1}) }, // wrong dim
+		func() { NewCache(2, 1).SyncWindow(0, 0, []int{1}, rowsOf(0), nil, []int32{-1}) },   //nolint:errcheck
+		func() { NewCache(2, 1).SyncWindow(0, 0, []int{1}, rowsOf(0), []bool{true}, nil) },  //nolint:errcheck
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid window call did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestCachePublishAtClearsHint: republishing a row through a non-lookahead
+// path resets its retention hint, so stale promises from an earlier window
+// cannot outlive a mode switch.
+func TestCachePublishAtClearsHint(t *testing.T) {
+	c := NewCache(2, 4)
+	c.PublishWindow([]int{1}, rowsOf(10), 0, []int32{50})
+	c.PublishAt([]int{1}, rowsOf(11), 1)
+	// Push visible, hint cleared: plain sweep evicts.
+	syncWin(t, c, 2, 0, []int{2}, rowsOf(0), []bool{true}, []int32{-1})
+	if _, ok := c.Lookup(1); ok {
+		t.Fatal("PublishAt left a stale lookahead hint protecting the entry")
+	}
+}

@@ -25,7 +25,7 @@ func TestStatsRegistryEquivalence(t *testing.T) {
 	inj := faults.NewSeeded(faults.Config{Seed: 99,
 		GatherFailProb: 0.2, ApplyFailProb: 0.2,
 		StallProb: 0.1, StallFor: 100 * time.Microsecond})
-	p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 4, Seed: 4,
+	p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 4, Seed: 4, Lookahead: 4,
 		Faults: inj, Retry: fastRetry(), Metrics: reg}, allHostLocs(spec))
 	if err != nil {
 		t.Fatal(err)
@@ -38,6 +38,9 @@ func TestStatsRegistryEquivalence(t *testing.T) {
 	}
 	if st.CacheHits == 0 || st.CacheMisses == 0 {
 		t.Fatalf("cache saw no traffic, test has no power: %+v", st)
+	}
+	if st.LookaheadWindows == 0 || st.LookaheadPinnedRows == 0 || st.PrefetchWait == 0 {
+		t.Fatalf("lookahead instruments saw no traffic, test has no power: %+v", st)
 	}
 
 	snap := reg.Snapshot()
@@ -58,11 +61,18 @@ func TestStatsRegistryEquivalence(t *testing.T) {
 		"ps_backoff_ns":       int64(st.BackoffTime),
 		"ps_stall_ns":         int64(st.StallTime),
 		"ps_checkpoints":      st.Checkpoints,
+
+		"ps_lookahead_windows":     st.LookaheadWindows,
+		"ps_lookahead_pinned_rows": st.LookaheadPinnedRows,
+		"ps_prefetch_wait_ns":      int64(st.PrefetchWait),
 	}
 	for name, v := range want {
 		if got := snap.Counter(name); got != v {
 			t.Errorf("registry %s = %d, Stats() says %d", name, got, v)
 		}
+	}
+	if got, ok := snap.Gauges["ps_cache_hit_rate"]; !ok || got != st.CacheHitRate {
+		t.Errorf("registry ps_cache_hit_rate = %v (present=%v), Stats() says %v", got, ok, st.CacheHitRate)
 	}
 }
 

@@ -27,9 +27,17 @@ const (
 )
 
 // BatchSource produces training batches; data.Dataset satisfies it, and the
-// core package wraps it with the index-reordering bijection.
+// core package wraps it with the index-reordering bijection. Sources that
+// additionally implement data.SparseSource let the lookahead planner read
+// per-table index streams without materializing full batches.
 type BatchSource interface {
 	Batch(iter, size int) *data.Batch
+}
+
+// prefixProtector is implemented by device tables (tt.Table) whose internal
+// caches can shield the rows recurring in a lookahead window from eviction.
+type prefixProtector interface {
+	ProtectPrefixes(ids []int)
 }
 
 // TableLoc places one embedding table: resident on the device (Device
@@ -116,6 +124,21 @@ type Config struct {
 	QueueDepth int
 	Seed       uint64
 
+	// Lookahead is the data-pipeline window size in batches: the pre-fetcher
+	// plans the exact sparse access set of the next Lookahead batches
+	// (data.Lookahead) and uses it for oracle cache admission — rows reused
+	// within the window are gathered once and served from the pinned working
+	// set, rows with no future reference expire Belady-style, and TT device
+	// tables protect recurring rows' prefix-cache slots. 0 or 1 disables the
+	// lookahead (the reactive LC baseline). Training is bit-exact for every
+	// setting.
+	Lookahead int
+
+	// LookaheadBudget caps simultaneously pinned rows per host table within
+	// a window (0 = unlimited); on overflow the plan evicts the pin with the
+	// farthest next use.
+	LookaheadBudget int
+
 	// Faults injects deterministic failures into the gather/apply/worker
 	// paths; nil (production) injects nothing.
 	Faults faults.Injector
@@ -152,6 +175,17 @@ type Stats struct {
 	CacheHits       int64
 	CacheMisses     int64
 	CacheEvictions  int64
+
+	// CacheHitRate is CacheHits/(CacheHits+CacheMisses), 0 when there were
+	// no lookups. Stats() also publishes it as the ps_cache_hit_rate gauge.
+	CacheHitRate float64
+
+	// Lookahead counters: windows planned, rows served from the pinned
+	// working set instead of being re-gathered, and the time the worker
+	// spent waiting for pre-fetched batches (the pipeline's prefetch stall).
+	LookaheadWindows    int64
+	LookaheadPinnedRows int64
+	PrefetchWait        time.Duration
 
 	// Wall-time split for the hw cost model: GatherTime and ApplyTime are
 	// host-side parameter-server work, TrainTime is worker-side compute,
@@ -200,20 +234,35 @@ type hostBatch struct {
 	// visible in the host tables when the rows were read; the cache uses it
 	// to decide which published entries the gathered values already cover.
 	gathered int64
+	// plan is the lookahead window plan this batch was gathered under (nil
+	// outside lookahead mode). planLast marks the window's final batch: its
+	// gradient push carries the plan so the apply stage can release it once
+	// no consumer can still reference the plan's slices.
+	plan     *data.WindowPlan
+	planLast bool
 }
 
-// hostRows carries the unique rows of one host table for one batch.
+// hostRows carries the unique rows of one host table for one batch. Under
+// lookahead, fresh/nextUse alias the window plan's access arrays (valid
+// until the plan is released): fresh[i] marks rows gathered from the store
+// (the remaining rows are served from the cache's pinned working set, left
+// zero in values until SyncWindow fills them), and nextUse[i] is the cache
+// retention hint forwarded to PublishWindow. freshN counts fresh rows.
 type hostRows struct {
 	uniq    []int
 	inverse []int
 	values  *tensor.Matrix // len(uniq) × dim
+	fresh   []bool         // nil outside lookahead mode
+	nextUse []int32        // nil outside lookahead mode
+	freshN  int
 }
 
 // gradPush is one gradient queue element.
 type gradPush struct {
 	iter  int
 	rows  []gradRows
-	donec chan struct{} // closed once handled (used for drain barriers)
+	donec chan struct{}    // closed once handled (used for drain barriers)
+	plan  *data.WindowPlan // non-nil on a window's last push: released after apply
 }
 
 type gradRows struct {
@@ -235,6 +284,12 @@ type Pipeline struct {
 	hostIdx  []int // host table order -> model table position
 	stores   []HostStore
 	adapters []*hostAdapter
+
+	// Device tables that accept lookahead protection sets (tt.Table), with
+	// their dataset positions and row counts for the window planner.
+	protectors  []prefixProtector
+	protectPos  []int
+	protectRows []int
 
 	// applied counts gradient pushes fully scattered into the host tables.
 	// The gather side reads it before touching any table, so it is a safe
@@ -281,6 +336,14 @@ type pipelineMetrics struct {
 	cacheHits      obs.Counter
 	cacheMisses    obs.Counter
 	cacheEvictions obs.Counter
+
+	lookaheadWindows obs.Counter
+	lookaheadPinned  obs.Counter
+	prefetchWaitNS   obs.Counter
+
+	// cacheHitRate is registry-owned (gauges are derived, not accumulated);
+	// nil when no registry is attached. Stats() recomputes and sets it.
+	cacheHitRate *obs.Gauge
 }
 
 // registerMetrics adopts the pipeline's instruments into r (no-op when r is
@@ -305,6 +368,10 @@ func (p *Pipeline) registerMetrics(r *obs.Registry) {
 	r.RegisterCounter("ps_cache_hits", &p.m.cacheHits)
 	r.RegisterCounter("ps_cache_misses", &p.m.cacheMisses)
 	r.RegisterCounter("ps_cache_evictions", &p.m.cacheEvictions)
+	r.RegisterCounter("ps_lookahead_windows", &p.m.lookaheadWindows)
+	r.RegisterCounter("ps_lookahead_pinned_rows", &p.m.lookaheadPinned)
+	r.RegisterCounter("ps_prefetch_wait_ns", &p.m.prefetchWaitNS)
+	p.m.cacheHitRate = r.Gauge("ps_cache_hit_rate")
 }
 
 // NewPipeline builds the trainer. locs must list every embedding table in
@@ -324,6 +391,9 @@ func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
 	if cfg.Checkpoint.Every < 0 || (cfg.Checkpoint.Every > 0 && cfg.Checkpoint.Path == "") {
 		return nil, fmt.Errorf("%w: checkpoint interval %d without a path", ErrInvalidConfig, cfg.Checkpoint.Every)
 	}
+	if cfg.Lookahead < 0 || cfg.LookaheadBudget < 0 {
+		return nil, fmt.Errorf("%w: lookahead window %d / budget %d must be non-negative", ErrInvalidConfig, cfg.Lookahead, cfg.LookaheadBudget)
+	}
 	p := &Pipeline{cfg: cfg, retry: cfg.Retry.withDefaults(), clock: obs.OrSystem(cfg.Clock), tracer: cfg.Trace}
 	p.registerMetrics(cfg.Metrics)
 	tables := make([]dlrm.Table, len(locs))
@@ -340,6 +410,11 @@ func NewPipeline(cfg Config, locs []TableLoc) (*Pipeline, error) {
 		switch {
 		case loc.Device != nil:
 			tables[i] = loc.Device
+			if prot, ok := loc.Device.(prefixProtector); ok {
+				p.protectors = append(p.protectors, prot)
+				p.protectPos = append(p.protectPos, i)
+				p.protectRows = append(p.protectRows, loc.Device.NumRows())
+			}
 		case loc.HostRows > 0 || loc.Store != nil:
 			slot := len(p.stores)
 			var store HostStore
@@ -382,24 +457,32 @@ func (p *Pipeline) Model() *dlrm.Model { return p.model }
 // summed over tables). Safe to call concurrently with Train: each counter
 // is read atomically, though the set is not a global atomic cut.
 func (p *Pipeline) Stats() Stats {
-	return Stats{
-		Steps:           int(p.m.steps.Value()),
-		BytesPrefetched: p.m.bytesPrefetched.Value(),
-		BytesPushed:     p.m.bytesPushed.Value(),
-		CacheSyncs:      p.m.cacheSyncs.Value(),
-		CacheHits:       p.m.cacheHits.Value(),
-		CacheMisses:     p.m.cacheMisses.Value(),
-		CacheEvictions:  p.m.cacheEvictions.Value(),
-		GatherTime:      time.Duration(p.m.gatherNS.Value()),
-		ApplyTime:       time.Duration(p.m.applyNS.Value()),
-		TrainTime:       time.Duration(p.m.trainNS.Value()),
-		AdapterTime:     time.Duration(p.m.adapterNS.Value()),
-		InjectedFaults:  p.m.injectedFaults.Value(),
-		Retries:         p.m.retries.Value(),
-		BackoffTime:     time.Duration(p.m.backoffNS.Value()),
-		StallTime:       time.Duration(p.m.stallNS.Value()),
-		Checkpoints:     p.m.checkpoints.Value(),
+	s := Stats{
+		Steps:               int(p.m.steps.Value()),
+		BytesPrefetched:     p.m.bytesPrefetched.Value(),
+		BytesPushed:         p.m.bytesPushed.Value(),
+		CacheSyncs:          p.m.cacheSyncs.Value(),
+		CacheHits:           p.m.cacheHits.Value(),
+		CacheMisses:         p.m.cacheMisses.Value(),
+		CacheEvictions:      p.m.cacheEvictions.Value(),
+		LookaheadWindows:    p.m.lookaheadWindows.Value(),
+		LookaheadPinnedRows: p.m.lookaheadPinned.Value(),
+		PrefetchWait:        time.Duration(p.m.prefetchWaitNS.Value()),
+		GatherTime:          time.Duration(p.m.gatherNS.Value()),
+		ApplyTime:           time.Duration(p.m.applyNS.Value()),
+		TrainTime:           time.Duration(p.m.trainNS.Value()),
+		AdapterTime:         time.Duration(p.m.adapterNS.Value()),
+		InjectedFaults:      p.m.injectedFaults.Value(),
+		Retries:             p.m.retries.Value(),
+		BackoffTime:         time.Duration(p.m.backoffNS.Value()),
+		StallTime:           time.Duration(p.m.stallNS.Value()),
+		Checkpoints:         p.m.checkpoints.Value(),
 	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	p.m.cacheHitRate.Set(s.CacheHitRate)
+	return s
 }
 
 // NumHostTables returns how many tables live in host memory.
@@ -510,21 +593,66 @@ func (p *Pipeline) gather(iter int, b *data.Batch) (*hostBatch, error) {
 	return hb, nil
 }
 
+// gatherWindow is gather under a lookahead plan: the batch's uniq/inverse
+// come from the plan, and only the rows whose first in-window use this is
+// (acc.FreshIDs) are read from the store — the cross-batch dedup. Pinned
+// rows' slots stay zero here; SyncWindow fills them from the cache on the
+// worker, where their presence is guaranteed.
+func (p *Pipeline) gatherWindow(iter int, b *data.Batch, plan *data.WindowPlan) (*hostBatch, error) {
+	start := p.clock.Now()
+	sp := p.tracer.Begin("gather", "ps", tidPrefetch)
+	defer func() {
+		sp.End()
+		p.m.gatherNS.Add(int64(obs.Since(p.clock, start)))
+	}()
+	hb := &hostBatch{iter: iter, batch: b, rows: make([]hostRows, len(p.stores)), gathered: p.applied.Load(), plan: plan}
+	for h := range p.hostIdx {
+		acc := plan.Access(h, iter)
+		values := tensor.New(len(acc.Uniq), p.cfg.Model.EmbDim)
+		if len(acc.FreshIDs) > 0 {
+			freshVals, err := p.stores[h].GatherRows(acc.FreshIDs)
+			if err != nil {
+				return nil, fmt.Errorf("host table %d: %w", h, err)
+			}
+			for k, pos := range acc.FreshPos {
+				copy(values.Row(pos), freshVals.Row(k))
+			}
+		}
+		hb.rows[h] = hostRows{
+			uniq: acc.Uniq, inverse: acc.Inverse, values: values,
+			fresh: acc.Fresh, nextUse: acc.NextUse, freshN: len(acc.FreshIDs),
+		}
+	}
+	return hb, nil
+}
+
 // gatherBatch is the fault-tolerant gather: it generates the batch, retries
 // injected transient faults with capped backoff, and converts panics from
 // the data or embedding layers into errors so a faulty pre-fetcher cannot
 // wedge the pipeline.
-func (p *Pipeline) gatherBatch(ctx context.Context, d BatchSource, iter, batchSize int) (hb *hostBatch, err error) {
+func (p *Pipeline) gatherBatch(ctx context.Context, d BatchSource, iter, batchSize int, plan *data.WindowPlan) (hb *hostBatch, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			hb, err = nil, fmt.Errorf("%w: iter %d: %w", ErrGatherFailed, iter, recoveredErr(r))
 		}
 	}()
-	b := d.Batch(iter, batchSize)
+	var b *data.Batch
+	if plan != nil {
+		b = plan.BatchAt(iter) // non-nil only when the planner cached full batches
+	}
+	if b == nil {
+		b = d.Batch(iter, batchSize)
+	}
 	for attempt := 0; ; attempt++ {
 		ferr := p.injectFault(faults.OpGather, iter, attempt)
 		if ferr == nil {
-			hb, gerr := p.gather(iter, b)
+			var hb *hostBatch
+			var gerr error
+			if plan != nil {
+				hb, gerr = p.gatherWindow(iter, b, plan)
+			} else {
+				hb, gerr = p.gather(iter, b)
+			}
 			if gerr == nil {
 				return hb, nil
 			}
@@ -591,6 +719,10 @@ func (p *Pipeline) applyPush(g *gradPush) (err error) {
 			if aerr := p.apply(g); aerr != nil {
 				return fmt.Errorf("%w: iter %d: %w", ErrApplyFailed, g.iter, aerr)
 			}
+			// The gradient queue is FIFO, so when a window's last push has
+			// been applied no earlier consumer can still hold the plan's
+			// slices: it is safe to recycle the plan for a future window.
+			g.plan.Release()
 			return nil
 		}
 		if attempt >= p.retry.MaxRetries {
@@ -635,22 +767,37 @@ func (p *Pipeline) trainOne(hb *hostBatch) (loss float32, push *gradPush, err er
 		sp.End()
 		p.m.trainNS.Add(int64(obs.Since(p.clock, start)))
 	}()
-	var prefetched int64
+	var prefetched, pinned int64
 	for h := range hb.rows {
-		rows := make([][]float32, len(hb.rows[h].uniq))
+		hr := &hb.rows[h]
+		rows := make([][]float32, len(hr.uniq))
 		for i := range rows {
-			rows[i] = hb.rows[h].values.Row(i)
+			rows[i] = hr.values.Row(i)
 		}
-		p.caches[h].SyncAt(int(hb.gathered), hb.rows[h].uniq, rows)
-		prefetched += int64(len(rows)) * int64(p.cfg.Model.EmbDim) * 4
+		if hr.fresh != nil {
+			if _, serr := p.caches[h].SyncWindow(int(hb.gathered), hb.iter, hr.uniq, rows, hr.fresh, hr.nextUse); serr != nil {
+				return 0, nil, fmt.Errorf("%w: iter %d: %w", ErrWorkerFault, hb.iter, serr)
+			}
+			// Only fresh rows crossed the host→device link; pinned rows were
+			// deduplicated across batches and served from the cache.
+			prefetched += int64(hr.freshN) * int64(p.cfg.Model.EmbDim) * 4
+			pinned += int64(len(hr.uniq) - hr.freshN)
+		} else {
+			p.caches[h].SyncAt(int(hb.gathered), hr.uniq, rows)
+			prefetched += int64(len(rows)) * int64(p.cfg.Model.EmbDim) * 4
+		}
 	}
 	p.m.bytesPrefetched.Add(prefetched)
+	p.m.lookaheadPinned.Add(pinned)
 	for h, ad := range p.adapters {
 		ad.current = &hb.rows[h]
 		ad.pending = nil
 	}
 	loss = p.model.TrainStep(hb.batch)
 	push = &gradPush{iter: hb.iter, rows: make([]gradRows, len(p.adapters)), donec: make(chan struct{})}
+	if hb.planLast {
+		push.plan = hb.plan
+	}
 	var pushed int64
 	for h, ad := range p.adapters {
 		if ad.pending == nil {
@@ -689,6 +836,80 @@ func (p *Pipeline) writeCheckpoint(nextIter int) error {
 	}
 	p.m.checkpoints.Inc()
 	return nil
+}
+
+// newLookahead builds the per-Train window planner, or nil when lookahead
+// is disabled or there is nothing to plan. The planner is per Train call:
+// windows are aligned to startIter and plan storage is recycled through the
+// window pool for the duration of the run.
+func (p *Pipeline) newLookahead(d BatchSource, batchSize int) (*data.Lookahead, error) {
+	if p.cfg.Lookahead <= 1 || (len(p.stores) == 0 && len(p.protectors) == 0) {
+		return nil, nil
+	}
+	cfg := data.LookaheadConfig{
+		Window: p.cfg.Lookahead,
+		Batch:  batchSize,
+		Budget: p.cfg.LookaheadBudget,
+	}
+	for h, pos := range p.hostIdx {
+		cfg.Tables = append(cfg.Tables, pos)
+		cfg.Rows = append(cfg.Rows, p.stores[h].NumRows())
+	}
+	cfg.DeviceTables = append(cfg.DeviceTables, p.protectPos...)
+	cfg.DeviceRows = append(cfg.DeviceRows, p.protectRows...)
+	la, err := data.NewLookahead(d, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	return la, nil
+}
+
+// nextWindow returns the size of the next planning window given the
+// previous one (0 for the first window of a Train call). Windows start
+// only at iteration 1 — batch 0 rides the plain LC-cache path so the
+// pre-fetcher can hand it to the worker immediately and plan the first
+// window during that step's compute. The first window is clipped near the
+// queue depth and subsequent windows double up to the configured size:
+// planning a full window on a cold pipeline stalls the worker behind
+// Window×Tables index-stream generation, while the ramp lets full-window
+// planning overlap with training once the prefetch queue has filled. The
+// schedule depends only on configuration, never on timing, so ramped runs
+// stay bit-exact.
+func (p *Pipeline) nextWindow(prev int) int {
+	n := 2 * prev
+	if prev == 0 {
+		n = p.cfg.QueueDepth
+		if n < 2 {
+			n = 2
+		}
+	}
+	if n > p.cfg.Lookahead {
+		n = p.cfg.Lookahead
+	}
+	return n
+}
+
+// advanceWindow plans an n-batch window starting at iter (truncated to the
+// remaining steps), counts it, and installs each device table's protection
+// set — the window's recurring rows, shielded from device-cache recycling.
+func (p *Pipeline) advanceWindow(la *data.Lookahead, iter, n, remaining int) *data.WindowPlan {
+	if remaining < n {
+		n = remaining
+	}
+	plan := la.Advance(iter, n)
+	p.m.lookaheadWindows.Inc()
+	for k, prot := range p.protectors {
+		prot.ProtectPrefixes(plan.Device[k].IDs)
+	}
+	return plan
+}
+
+// clearProtection drops the device tables' lookahead protection sets so a
+// finished run's last window cannot pin device-cache slots indefinitely.
+func (p *Pipeline) clearProtection() {
+	for _, prot := range p.protectors {
+		prot.ProtectPrefixes(nil)
+	}
 }
 
 // failSlot records the first failure observed by any pipeline goroutine.
@@ -767,19 +988,40 @@ func (p *Pipeline) Train(ctx context.Context, d BatchSource, startIter, steps, b
 		return res, err
 	}
 
+	la, lerr := p.newLookahead(d, batchSize)
+	if lerr != nil {
+		return fail(res, lerr, true)
+	}
+	if la != nil {
+		defer p.clearProtection()
+	}
+
 	if p.cfg.QueueDepth == 1 {
+		var plan *data.WindowPlan
+		nextAdvance, winSize := 1, 0 // batch 0 is unplanned: see nextWindow
 		for it := 0; it < steps; it++ {
 			if err := ctx.Err(); err != nil {
 				return res, err
 			}
 			iter := startIter + it
-			hb, err := p.gatherBatch(ctx, d, iter, batchSize)
+			if la != nil && it == nextAdvance {
+				winSize = p.nextWindow(winSize)
+				plan = p.advanceWindow(la, iter, winSize, steps-it)
+				nextAdvance = it + plan.N
+			}
+			// In the sequential schedule the worker waits out the entire
+			// gather: record it as prefetch stall so depth-1 runs expose the
+			// same lookahead win the pipelined queue wait does.
+			waitStart := p.clock.Now()
+			hb, err := p.gatherBatch(ctx, d, iter, batchSize, plan)
+			p.m.prefetchWaitNS.Add(int64(obs.Since(p.clock, waitStart)))
 			if err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return res, cerr
 				}
 				return res, err
 			}
+			hb.planLast = plan != nil && iter-plan.Start == plan.N-1
 			loss, push, err := p.trainOne(hb)
 			if err != nil {
 				return fail(res, err, faults.IsInjected(err))
@@ -808,11 +1050,18 @@ func (p *Pipeline) Train(ctx context.Context, d BatchSource, startIter, steps, b
 
 	p.spawn(&wg, &async, "prefetch", func() { // pre-fetcher (server pull side)
 		defer close(prefetchQ)
+		var plan *data.WindowPlan
+		nextAdvance, winSize := 1, 0 // batch 0 is unplanned: see nextWindow
 		for it := 0; it < steps; it++ {
 			if ctx.Err() != nil {
 				return
 			}
-			hb, err := p.gatherBatch(ctx, d, startIter+it, batchSize)
+			if la != nil && it == nextAdvance {
+				winSize = p.nextWindow(winSize)
+				plan = p.advanceWindow(la, startIter+it, winSize, steps-it)
+				nextAdvance = it + plan.N
+			}
+			hb, err := p.gatherBatch(ctx, d, startIter+it, batchSize, plan)
 			if err != nil {
 				// A gather failure leaves state consistent (the batch never
 				// reached the worker); pure cancellation is reported by
@@ -822,6 +1071,7 @@ func (p *Pipeline) Train(ctx context.Context, d BatchSource, startIter, steps, b
 				}
 				return
 			}
+			hb.planLast = plan != nil && hb.iter-plan.Start == plan.N-1
 			select {
 			case prefetchQ <- hb:
 			case <-stop:
@@ -856,11 +1106,13 @@ worker:
 		}
 		var hb *hostBatch
 		var ok bool
+		waitStart := p.clock.Now()
 		select {
 		case hb, ok = <-prefetchQ:
 		case <-ctx.Done():
 			break worker
 		}
+		p.m.prefetchWaitNS.Add(int64(obs.Since(p.clock, waitStart)))
 		if !ok { // pre-fetcher finished (all steps gathered) or aborted
 			break
 		}
@@ -996,7 +1248,11 @@ func (a *hostAdapter) Update(indices, offsets []int, dOut *tensor.Matrix, lr flo
 		tensor.Axpy(-lr, grads.Row(i), row)
 		updated[i] = row
 	}
-	a.pipeline.caches[a.slot].PublishAt(cur.uniq, updated, int(a.pipeline.trained.Load()))
+	if cur.nextUse != nil {
+		a.pipeline.caches[a.slot].PublishWindow(cur.uniq, updated, int(a.pipeline.trained.Load()), cur.nextUse)
+	} else {
+		a.pipeline.caches[a.slot].PublishAt(cur.uniq, updated, int(a.pipeline.trained.Load()))
+	}
 	a.pending = &gradRows{uniq: cur.uniq, grads: grads}
 }
 

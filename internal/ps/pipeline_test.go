@@ -253,3 +253,53 @@ func TestPipelineAllDeviceTables(t *testing.T) {
 		t.Fatalf("NumHostTables = %d", p.NumHostTables())
 	}
 }
+
+// TestPipelineLookaheadWithDeviceTTBitExact runs the Figure 16 mixed
+// placement with lookahead planning: the device table's prefix-cache
+// protection set is driven by the window plans, and training must stay
+// bit-exact with the non-lookahead schedule (protection changes slot
+// recycling, never values; host-side pinning changes gather sources, never
+// values).
+func TestPipelineLookaheadWithDeviceTTBitExact(t *testing.T) {
+	spec := psSpec()
+	d, _ := data.New(spec)
+	run := func(lookahead int) (*Pipeline, []float64) {
+		shape, err := tt.NewShape(spec.TableRows[0], 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := tt.NewTable(shape, tensor.NewRNG(2), 0.05)
+		locs := []TableLoc{{Device: dev}, {HostRows: spec.TableRows[1]}}
+		p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: 4, Seed: 4, Lookahead: lookahead}, locs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, mustTrain(t, p, d, 0, 120, 64).Losses
+	}
+	base, baseLoss := run(0)
+	la, laLoss := run(6)
+	for i := range baseLoss {
+		if baseLoss[i] != laLoss[i] {
+			t.Fatalf("loss diverges at step %d: %v vs %v", i, baseLoss[i], laLoss[i])
+		}
+	}
+	if diff := base.HostBag(0).Weights.MaxAbsDiff(la.HostBag(0).Weights); diff != 0 {
+		t.Fatalf("host table differs by %v", diff)
+	}
+	if st := la.Stats(); st.LookaheadWindows == 0 {
+		t.Fatalf("lookahead never advanced: %+v", st)
+	}
+}
+
+// TestNewPipelineLookaheadValidation: negative knobs are config errors.
+func TestNewPipelineLookaheadValidation(t *testing.T) {
+	spec := psSpec()
+	for _, cfg := range []Config{
+		{Model: psModelCfg(), QueueDepth: 1, Lookahead: -1},
+		{Model: psModelCfg(), QueueDepth: 1, LookaheadBudget: -1},
+	} {
+		if _, err := NewPipeline(cfg, allHostLocs(spec)); !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("config %+v: got %v, want ErrInvalidConfig", cfg, err)
+		}
+	}
+}

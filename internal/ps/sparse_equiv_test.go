@@ -4,38 +4,138 @@ import (
 	"testing"
 
 	"repro/internal/data"
+	"repro/internal/metrics"
 )
 
-// TestPipelineEquivalenceSparseTables stresses the embedding cache with
-// sparse large tables (many evictions between reuses) and checks exact
-// pipelined/sequential equivalence.
-func TestPipelineEquivalenceSparseTables(t *testing.T) {
-	spec := data.Spec{
+// sparseSpec stresses the embedding cache: sparse large tables mean many
+// evictions between reuses.
+func sparseSpec() data.Spec {
+	return data.Spec{
 		Name: "ps-sparse", NumDense: 3, TableRows: []int{4000, 2500},
 		ZipfS: 1.2, ZipfV: 2, GroupSize: 16, ActiveGroups: 4, Locality: 0.8,
 		Samples: 1 << 20, Seed: 77,
 	}
+}
+
+// TestPipelineEquivalenceSparseTables checks exact equivalence of every
+// schedule the pipeline supports: sequential vs pipelined, with and without
+// lookahead planning, at several window sizes. Lookahead changes WHERE a
+// batch's rows come from (host gather vs pinned cache entries) but never
+// their values, so weights, MLP params and the loss curve must be
+// bit-identical across all variants.
+func TestPipelineEquivalenceSparseTables(t *testing.T) {
+	spec := sparseSpec()
 	d, _ := data.New(spec)
-	run := func(depth int) *Pipeline {
-		p, err := NewPipeline(Config{Model: psModelCfg(), QueueDepth: depth, Seed: 4}, allHostLocs(spec))
+	run := func(depth, lookahead int) (*Pipeline, *metrics.LossCurve) {
+		p, err := NewPipeline(Config{
+			Model: psModelCfg(), QueueDepth: depth, Seed: 4, Lookahead: lookahead,
+		}, allHostLocs(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, mustTrain(t, p, d, 0, 200, 32)
+	}
+	ref, refCurve := run(1, 0)
+
+	cases := []struct {
+		name             string
+		depth, lookahead int
+	}{
+		{"pipelined", 4, 0},
+		{"seq+lookahead", 1, 8},
+		{"pipelined+lookahead", 4, 8},
+		{"pipelined+short-window", 4, 3},
+		{"pipelined+window-beyond-depth", 2, 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, curve := run(tc.depth, tc.lookahead)
+			t.Logf("stats: %+v", p.Stats())
+			for h := 0; h < ref.NumHostTables(); h++ {
+				if diff := ref.HostBag(h).Weights.MaxAbsDiff(p.HostBag(h).Weights); diff != 0 {
+					t.Fatalf("host table %d differs by %v", h, diff)
+				}
+			}
+			sp, pp := ref.Model().MLPParams(), p.Model().MLPParams()
+			for i := range sp {
+				if diff := sp[i].Value.MaxAbsDiff(pp[i].Value); diff != 0 {
+					t.Fatalf("MLP param %d differs by %v", i, diff)
+				}
+			}
+			if len(curve.Losses) != len(refCurve.Losses) {
+				t.Fatalf("loss curve length %d vs %d", len(curve.Losses), len(refCurve.Losses))
+			}
+			for i := range curve.Losses {
+				if curve.Losses[i] != refCurve.Losses[i] {
+					t.Fatalf("loss at step %d: %v vs %v", i, curve.Losses[i], refCurve.Losses[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineLookaheadBudgetBitExact: a constrained pin budget changes only
+// the gather schedule (evicted pins re-gather), never trained values.
+func TestPipelineLookaheadBudgetBitExact(t *testing.T) {
+	spec := sparseSpec()
+	d, _ := data.New(spec)
+	run := func(budget int) *Pipeline {
+		p, err := NewPipeline(Config{
+			Model: psModelCfg(), QueueDepth: 4, Seed: 4,
+			Lookahead: 8, LookaheadBudget: budget,
+		}, allHostLocs(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustTrain(t, p, d, 0, 120, 32)
+		return p
+	}
+	free := run(0)
+	tight := run(5) // far below the window working set: constant eviction
+	for h := 0; h < free.NumHostTables(); h++ {
+		if diff := free.HostBag(h).Weights.MaxAbsDiff(tight.HostBag(h).Weights); diff != 0 {
+			t.Fatalf("host table %d differs by %v under a tight pin budget", h, diff)
+		}
+	}
+	fs, ts := free.Stats(), tight.Stats()
+	if ts.LookaheadPinnedRows >= fs.LookaheadPinnedRows {
+		t.Fatalf("tight budget pinned %d rows, unlimited pinned %d — budget not enforced",
+			ts.LookaheadPinnedRows, fs.LookaheadPinnedRows)
+	}
+}
+
+// TestPipelineLookaheadStats: with lookahead on, the oracle must beat the
+// plain LC cache — higher hit rate, fewer bytes gathered — and the lookahead
+// instruments must move.
+func TestPipelineLookaheadStats(t *testing.T) {
+	spec := sparseSpec()
+	d, _ := data.New(spec)
+	run := func(lookahead int) Stats {
+		p, err := NewPipeline(Config{
+			Model: psModelCfg(), QueueDepth: 4, Seed: 4, Lookahead: lookahead,
+		}, allHostLocs(spec))
 		if err != nil {
 			t.Fatal(err)
 		}
 		mustTrain(t, p, d, 0, 200, 32)
-		return p
+		return p.Stats()
 	}
-	seq := run(1)
-	pipe := run(4)
-	t.Logf("pipe stats: %+v", pipe.Stats())
-	for h := 0; h < seq.NumHostTables(); h++ {
-		if diff := seq.HostBag(h).Weights.MaxAbsDiff(pipe.HostBag(h).Weights); diff != 0 {
-			t.Fatalf("host table %d differs by %v", h, diff)
-		}
+	base := run(0)
+	la := run(12)
+	t.Logf("baseline: hit-rate=%.4f prefetched=%d", base.CacheHitRate, base.BytesPrefetched)
+	t.Logf("lookahead: hit-rate=%.4f prefetched=%d pinned=%d windows=%d",
+		la.CacheHitRate, la.BytesPrefetched, la.LookaheadPinnedRows, la.LookaheadWindows)
+	if la.LookaheadWindows == 0 || la.LookaheadPinnedRows == 0 {
+		t.Fatalf("lookahead instruments did not move: %+v", la)
 	}
-	sp, pp := seq.Model().MLPParams(), pipe.Model().MLPParams()
-	for i := range sp {
-		if diff := sp[i].Value.MaxAbsDiff(pp[i].Value); diff != 0 {
-			t.Fatalf("MLP param %d differs by %v", i, diff)
-		}
+	if base.LookaheadWindows != 0 || base.LookaheadPinnedRows != 0 {
+		t.Fatalf("baseline run counted lookahead activity: %+v", base)
+	}
+	if la.CacheHitRate <= base.CacheHitRate {
+		t.Fatalf("lookahead hit rate %.4f not above baseline %.4f", la.CacheHitRate, base.CacheHitRate)
+	}
+	if la.BytesPrefetched >= base.BytesPrefetched {
+		t.Fatalf("lookahead gathered %d bytes, baseline %d — dedup saved nothing",
+			la.BytesPrefetched, base.BytesPrefetched)
 	}
 }

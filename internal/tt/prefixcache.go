@@ -83,6 +83,10 @@ func (t *Table) fillFromPrefixCache(c *ForwardCache, pc *prefixCache) {
 	if budget < 64 {
 		budget = 64
 	}
+	// One snapshot per batch: ProtectPrefixes publishes immutable bitmaps,
+	// so the scan sees a consistent protection set even while the
+	// pre-fetcher advances to the next window.
+	prot := t.protected.Load()
 	for w, idx := range c.WorkIdx {
 		pfx := t.Shape.Prefix(idx)
 		s := pc.slotOf[pfx]
@@ -100,7 +104,7 @@ func (t *Table) fillFromPrefixCache(c *ForwardCache, pc *prefixCache) {
 				continue
 			}
 		} else {
-			s = pc.claimSlot(budget)
+			s = pc.claimSlot(budget, prot)
 			pc.slotOf[pfx] = s
 			pc.key[s] = pfx
 			pc.lastUse[s] = pc.seq
@@ -135,10 +139,14 @@ func (t *Table) fillFromPrefixCache(c *ForwardCache, pc *prefixCache) {
 
 // claimSlot returns a free slot index: a fresh one while under budget, an
 // evicted slot (round-robin over slots idle this batch) when at budget, or
-// growth past budget when every slot is live in the current batch.
+// growth past budget when every slot is live in the current batch. Slots
+// whose prefix is in the lookahead protection set prot are skipped by the
+// eviction scan — their rows recur in the planned window, so recycling them
+// would trade a certain future hit for an uncertain one; when every idle
+// slot is protected the cache grows instead.
 //
 //elrec:coldpath miss-path slot bookkeeping; growth is amortized by the budget and a stable working set stops missing
-func (pc *prefixCache) claimSlot(budget int) int32 {
+func (pc *prefixCache) claimSlot(budget int, prot *protectedPrefixes) int32 {
 	if len(pc.key) >= budget {
 		n := len(pc.key)
 		for i := 0; i < n; i++ {
@@ -147,7 +155,7 @@ func (pc *prefixCache) claimSlot(budget int) int32 {
 			if pc.cursor == n {
 				pc.cursor = 0
 			}
-			if pc.lastUse[s] != pc.seq {
+			if pc.lastUse[s] != pc.seq && !prot.has(pc.key[s]) {
 				pc.slotOf[pc.key[s]] = -1
 				return int32(s)
 			}
@@ -201,6 +209,45 @@ func (t *Table) ensureCoreVersions() {
 			t.coreVer[k] = make([]uint64, t.Shape.RowFactors[k])
 		}
 	}
+}
+
+// protectedPrefixes is an immutable bitmap over the prefix space marking
+// slots the eviction scan must skip. Instances are never mutated after
+// publication (ProtectPrefixes builds a fresh one per window), so readers
+// holding an old snapshot stay consistent.
+type protectedPrefixes struct {
+	bits []uint64
+}
+
+// has reports whether prefix pfx is protected (false on a nil set).
+func (p *protectedPrefixes) has(pfx int) bool {
+	if p == nil {
+		return false
+	}
+	return p.bits[pfx>>6]&(1<<(uint(pfx)&63)) != 0
+}
+
+// ProtectPrefixes installs the lookahead protection set: the TT prefixes of
+// ids (logical row ids) are shielded from prefix-cache slot recycling until
+// the next call. The pipeline's pre-fetcher calls this once per window with
+// the rows that recur within it; nil or empty ids clears the set. Safe to
+// call concurrently with lookups: the bitmap is immutable once published
+// and readers snapshot it per batch. On tables whose prefix space exceeds
+// the dense cache cap the call is a no-op (there is no cache to protect).
+func (t *Table) ProtectPrefixes(ids []int) {
+	if t.Shape.NumPrefixes() > prefixDenseCap {
+		return
+	}
+	if len(ids) == 0 {
+		t.protected.Store(nil)
+		return
+	}
+	p := &protectedPrefixes{bits: make([]uint64, (t.Shape.NumPrefixes()+63)/64)}
+	for _, id := range ids {
+		pfx := t.Shape.Prefix(id)
+		p.bits[pfx>>6] |= 1 << (uint(pfx) & 63)
+	}
+	t.protected.Store(p)
 }
 
 // bumpAllCoreVersions invalidates every cached prefix by advancing all

@@ -163,7 +163,7 @@ func TestPrefixCacheEvictionRecycling(t *testing.T) {
 	}
 	budget := 4
 	for i := 0; i < budget; i++ {
-		s := pc.claimSlot(budget)
+		s := pc.claimSlot(budget, nil)
 		pc.slotOf[i] = s
 		pc.key[s] = i
 		pc.lastUse[s] = pc.seq
@@ -175,7 +175,7 @@ func TestPrefixCacheEvictionRecycling(t *testing.T) {
 	// recycle an idle slot, not grow the arrays.
 	pc.seq++
 	pc.lastUse[pc.slotOf[0]] = pc.seq
-	s := pc.claimSlot(budget)
+	s := pc.claimSlot(budget, nil)
 	if len(pc.key) != budget {
 		t.Fatalf("claimSlot grew to %d slots at budget with idle slots available", len(pc.key))
 	}
@@ -187,7 +187,103 @@ func TestPrefixCacheEvictionRecycling(t *testing.T) {
 	for i := range pc.lastUse {
 		pc.lastUse[i] = pc.seq
 	}
-	if s := pc.claimSlot(budget); int(s) != budget {
+	if s := pc.claimSlot(budget, nil); int(s) != budget {
 		t.Fatalf("expected growth slot %d when all slots are live, got %d", budget, s)
+	}
+}
+
+// TestProtectPrefixesBitmap checks the id→prefix mapping and clear semantics
+// of the lookahead protection set.
+func TestProtectPrefixesBitmap(t *testing.T) {
+	tbl := newTestTable(t, 510)
+	tbl.ProtectPrefixes([]int{idxFor(1, 2, 3), idxFor(3, 0, 4)})
+	prot := tbl.protected.Load()
+	if prot == nil {
+		t.Fatal("ProtectPrefixes stored nothing")
+	}
+	for pfx := 0; pfx < tbl.Shape.NumPrefixes(); pfx++ {
+		want := pfx == 1*5+2 || pfx == 3*5+0
+		if prot.has(pfx) != want {
+			t.Errorf("prefix %d protected=%v, want %v", pfx, prot.has(pfx), want)
+		}
+	}
+	// Rows sharing a prefix map to the same bit.
+	tbl.ProtectPrefixes([]int{idxFor(2, 2, 0), idxFor(2, 2, 4)})
+	prot = tbl.protected.Load()
+	if !prot.has(2*5 + 2) {
+		t.Error("shared prefix not protected")
+	}
+	tbl.ProtectPrefixes(nil)
+	if tbl.protected.Load() != nil {
+		t.Error("nil ids did not clear the protection set")
+	}
+	if (*protectedPrefixes)(nil).has(0) {
+		t.Error("nil set protects prefixes")
+	}
+}
+
+// TestClaimSlotSkipsProtected checks the eviction scan honors the protection
+// set: idle-but-protected slots are passed over, and when every idle slot is
+// protected the cache grows instead of recycling one.
+func TestClaimSlotSkipsProtected(t *testing.T) {
+	tbl := newTestTable(t, 511)
+	pc := tbl.prefixCacheFor(&ForwardCache{arena: true})
+	budget := 4
+	for i := 0; i < budget; i++ {
+		s := pc.claimSlot(budget, nil)
+		pc.slotOf[i] = s
+		pc.key[s] = i
+		pc.lastUse[s] = pc.seq
+	}
+	// New batch: all slots idle, prefixes 0..2 protected. Only slot holding
+	// prefix 3 may be recycled.
+	pc.seq++
+	prot := &protectedPrefixes{bits: make([]uint64, 1)}
+	for pfx := 0; pfx < 3; pfx++ {
+		prot.bits[0] |= 1 << uint(pfx)
+	}
+	s := pc.claimSlot(budget, prot)
+	if len(pc.key) != budget {
+		t.Fatalf("claimSlot grew to %d slots with an evictable unprotected slot", len(pc.key))
+	}
+	if pc.key[s] != 3 {
+		t.Fatalf("claimSlot recycled the slot of protected prefix %d", pc.key[s])
+	}
+	// Protect everything: the only legal move is growth past budget.
+	pc.slotOf[3] = s
+	pc.key[s] = 3
+	pc.lastUse[s] = pc.seq - 1 // idle again
+	prot.bits[0] |= 1 << 3
+	if s := pc.claimSlot(budget, prot); int(s) != budget {
+		t.Fatalf("expected growth slot %d when every idle slot is protected, got %d", budget, s)
+	}
+}
+
+// TestProtectPrefixesBitExactTraining: protection changes only which slots
+// are recycled, never cached bytes — training with a protection set active
+// matches an unprotected run exactly.
+func TestProtectPrefixesBitExactTraining(t *testing.T) {
+	run := func(protect bool) *Table {
+		tbl := newTestTable(t, 512)
+		r := tensor.NewRNG(513)
+		indices, offsets := randomBatch(r, tbl.NumRows(), 12, 4)
+		dOut := tensor.New(len(offsets), tbl.Dim())
+		for step := 0; step < 8; step++ {
+			if protect && step%3 == 0 {
+				tbl.ProtectPrefixes(indices[:4])
+			} else if protect {
+				tbl.ProtectPrefixes(nil)
+			}
+			out := tbl.Lookup(indices, offsets)
+			copy(dOut.Data, out.Data)
+			tbl.Update(indices, offsets, dOut, 0.01)
+		}
+		return tbl
+	}
+	a, b := run(false), run(true)
+	for k := range a.Cores {
+		if diff := a.Cores[k].MaxAbsDiff(b.Cores[k]); diff != 0 {
+			t.Fatalf("core %d differs by %v under protection", k, diff)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/tensor"
@@ -77,6 +78,13 @@ type Table struct {
 	// nil until the arena path first runs with ReusePrefix on a
 	// non-Deterministic table.
 	pcache *prefixCache
+
+	// protected is the current lookahead protection set: an immutable
+	// bitmap of prefixes whose cache slots must not be recycled because
+	// their rows recur in the planned window. Written by ProtectPrefixes
+	// (the pipeline's pre-fetcher), read by the serialized arena path —
+	// hence an atomic pointer to immutable storage rather than a lock.
+	protected atomic.Pointer[protectedPrefixes]
 
 	// coreVer[k][row] counts mutations of core k's slice row (k < 2, the
 	// prefix sources). The fused backward kernel bumps rows under the same
