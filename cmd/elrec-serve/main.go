@@ -20,8 +20,18 @@
 //	              → {"scores":[...]}               calibrated CTR per candidate
 //	POST /topk    same body plus "k"
 //	              → {"items":[{"item":i,"score":s},...]} ranked top-k
-//	GET  /metrics registry snapshot (serve_* queue/shed/latency instruments)
+//	POST /reload  {"path":"model.bin"} (empty body: the -load path)
+//	              → {"version":n}       hot-swap a new checkpoint, zero drops
+//	GET  /healthz process liveness (always 200 while the server runs)
+//	GET  /readyz  200 when serving a stable model version, 503 mid-swap
+//	GET  /metrics registry snapshot (serve_* instruments + model_version)
 //	GET  /debug/pprof/  runtime profiles
+//
+// A continuously retraining trainer pairs with /reload: it checkpoints with
+// `elrec-train -save` (or this binary's -save after startup training) and
+// POSTs /reload; the pool rebuilds every replica from the checkpoint bytes
+// and swaps them in at micro-batch boundaries, so serving never aliases
+// trainer memory and no request is dropped.
 //
 // Overload sheds with 503 (queue full), expired requests with 504; send
 // "timeout_ms" in the body to override the default per-request deadline.
@@ -70,6 +80,7 @@ func run() int {
 		lr           = flag.Float64("lr", 1.0, "learning rate for startup training")
 		ttThreshold  = flag.Int("tt-threshold", 10_000, "min rows for TT compression (-1 disables)")
 		loadPath     = flag.String("load", "", "load model weights saved by elrec-train -save instead of training")
+		savePath     = flag.String("save", "", "save the startup-trained model to this checkpoint (ignored with -load)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
@@ -87,18 +98,41 @@ func run() int {
 		return 2
 	}
 
-	model, err := buildModel(spec, *dim, *rank, *ttThreshold, float32(*lr))
-	if err != nil {
-		log.Error("model build failed", "err", err)
-		return 1
+	// The factory rebuilds the serving architecture from flags; every
+	// checkpoint load (-load at startup, POST /reload afterwards)
+	// materializes into a fresh skeleton it returns, so the pool never
+	// aliases another process's (or the startup trainer's) memory.
+	factory := func() (*dlrm.Model, error) {
+		return buildModel(spec, *dim, *rank, *ttThreshold, float32(*lr))
 	}
+	item := *itemFeat
+	if item < 0 {
+		item = largestFeature(spec)
+	}
+	reg := obs.NewRegistry()
+	opts := served.Options{
+		Replicas:    *replicas,
+		QueueDepth:  *queue,
+		MaxCoalesce: *coalesce,
+		Timeout:     time.Duration(*timeoutMS) * time.Millisecond,
+		Metrics:     reg,
+		Factory:     factory,
+	}
+
+	var pool *served.Pool
 	if *loadPath != "" {
-		if err := elrec.LoadModel(*loadPath, model); err != nil {
+		pool, err = served.NewFromCheckpoint(*loadPath, item, *scoreBat, opts)
+		if err != nil {
 			log.Error("load failed", "path", *loadPath, "err", err)
 			return 1
 		}
 		log.Info("model loaded", "path", *loadPath)
 	} else {
+		model, err := factory()
+		if err != nil {
+			log.Error("model build failed", "err", err)
+			return 1
+		}
 		d, err := data.New(spec)
 		if err != nil {
 			log.Error("dataset failed", "err", err)
@@ -111,32 +145,29 @@ func run() int {
 		}
 		log.Info("startup training done", "steps", *steps, "final_loss", loss,
 			"elapsed", time.Since(start).Round(time.Millisecond))
-	}
-
-	item := *itemFeat
-	if item < 0 {
-		item = largestTable(model)
-	}
-	log.Info("serving model", "dataset", spec.Name, "tables", len(model.Tables),
-		"item_feature", item, "embedding_mb", float64(model.EmbeddingBytes())/1e6)
-
-	reg := obs.NewRegistry()
-	pool, err := served.New(model, item, *scoreBat, served.Options{
-		Replicas:    *replicas,
-		QueueDepth:  *queue,
-		MaxCoalesce: *coalesce,
-		Timeout:     time.Duration(*timeoutMS) * time.Millisecond,
-		Metrics:     reg,
-	})
-	if err != nil {
-		log.Error("pool build failed", "err", err)
-		return 1
+		if *savePath != "" {
+			if err := elrec.SaveModel(*savePath, model); err != nil {
+				log.Error("save failed", "path", *savePath, "err", err)
+				return 1
+			}
+			log.Info("model saved", "path", *savePath)
+		}
+		log.Info("serving model", "dataset", spec.Name, "tables", len(model.Tables),
+			"item_feature", item, "embedding_mb", float64(model.EmbeddingBytes())/1e6)
+		pool, err = served.New(model, item, *scoreBat, opts)
+		if err != nil {
+			log.Error("pool build failed", "err", err)
+			return 1
+		}
 	}
 
 	mux := http.NewServeMux()
 	api := pool.Handler()
 	mux.Handle("/score", api)
 	mux.Handle("/topk", api)
+	mux.Handle("/reload", api)
+	mux.Handle("/healthz", api)
+	mux.Handle("/readyz", api)
 	mux.Handle("/", obs.Handler(reg, nil))
 
 	ln, err := net.Listen("tcp", *addr)
@@ -196,12 +227,14 @@ func buildModel(spec data.Spec, dim, rank, ttThreshold int, lr float32) (*dlrm.M
 	return dlrm.NewModel(cfg, tables)
 }
 
-// largestTable picks the highest-cardinality table as the item feature —
-// the candidate-item table in every preset.
-func largestTable(m *dlrm.Model) int {
+// largestFeature picks the highest-cardinality sparse feature as the item
+// feature — the candidate-item table in every preset. Decided from the
+// dataset spec, not a model instance, because the pool may rebuild its model
+// from checkpoints the binary never holds directly.
+func largestFeature(spec data.Spec) int {
 	best := 0
-	for i, t := range m.Tables {
-		if t.NumRows() > m.Tables[best].NumRows() {
+	for i, rows := range spec.TableRows {
+		if rows > spec.TableRows[best] {
 			best = i
 		}
 	}

@@ -139,8 +139,13 @@ func DefaultReorderConfig() ReorderConfig { return reorder.DefaultConfig() }
 // rate, embedding dimension).
 type ModelConfig = dlrm.Config
 
+// DLRMModel is the trainable/servable DLRM model — the type NewDLRM and
+// System.Model return. Exported as an alias so callers outside the module
+// can name it, e.g. when writing a ServingModelFactory closure.
+type DLRMModel = dlrm.Model
+
 // NewDLRM assembles a DLRM over the given embedding tables.
-func NewDLRM(cfg ModelConfig, tables []EmbeddingBag) (*dlrm.Model, error) {
+func NewDLRM(cfg ModelConfig, tables []EmbeddingBag) (*DLRMModel, error) {
 	return dlrm.NewModel(cfg, tables)
 }
 
@@ -200,11 +205,27 @@ type ServingPool = served.Pool
 // width, default deadline, clock, metrics registry).
 type ServingOptions = served.Options
 
+// ServingModelFactory builds a fresh model skeleton for checkpoint-backed
+// serving; see ServingOptions.Factory and NewServingPoolFromCheckpoint.
+type ServingModelFactory = served.ModelFactory
+
 // NewServingPool clones model into Options.Replicas serving replicas. The
-// model must not train while the pool serves; train a new version and build
-// a new pool to update.
+// pool's clones share model's embedding cores read-only, so model must not
+// train while this pool serves it; a continuously retraining trainer should
+// checkpoint and go through NewServingPoolFromCheckpoint plus
+// ServingPool.SwapFromCheckpoint (or POST /reload on the HTTP handler),
+// which hot-swap new versions in with zero dropped requests.
 func NewServingPool(m *dlrm.Model, itemFeature, batchSize int, opts ServingOptions) (*ServingPool, error) {
 	return served.New(m, itemFeature, batchSize, opts)
+}
+
+// NewServingPoolFromCheckpoint builds a serving pool whose first model
+// version is loaded from a SaveModel checkpoint: opts.Factory constructs
+// the architecture skeleton and the checkpoint bytes fill it, so the pool
+// owns every parameter it serves and never aliases a live trainer's memory.
+// The path becomes the default SwapFromCheckpoint / POST /reload source.
+func NewServingPoolFromCheckpoint(path string, itemFeature, batchSize int, opts ServingOptions) (*ServingPool, error) {
+	return served.NewFromCheckpoint(path, itemFeature, batchSize, opts)
 }
 
 // Typed serving-pool shedding errors (match with errors.Is): a full

@@ -86,13 +86,19 @@ func SaveModel(w io.Writer, m *dlrm.Model) error {
 }
 
 // LoadModel restores state saved by SaveModel into a model with the same
-// architecture (same parameter shapes, table kinds and table shapes).
+// architecture (same parameter shapes, table kinds and table shapes). The
+// body must be followed by EOF: trailing bytes mean the file is not one
+// clean checkpoint (a concatenation, a torn rename, a partially overwritten
+// file) and are rejected with ErrCorruptCheckpoint.
 func LoadModel(r io.Reader, m *dlrm.Model) error {
 	br := bufio.NewReader(r)
 	if err := readHeader(br, magic); err != nil {
 		return err
 	}
-	return corrupt(readModelBody(br, m, nil))
+	if err := corrupt(readModelBody(br, m, nil)); err != nil {
+		return err
+	}
+	return expectEOF(br)
 }
 
 // SaveTraining writes a training-state checkpoint: the iteration counter
@@ -114,7 +120,8 @@ func SaveTraining(w io.Writer, m *dlrm.Model, resolve TableResolver, st TrainSta
 }
 
 // LoadTraining restores a checkpoint saved by SaveTraining and returns the
-// recorded training state.
+// recorded training state. Like LoadModel, it requires EOF after the body:
+// trailing bytes are rejected with ErrCorruptCheckpoint.
 func LoadTraining(r io.Reader, m *dlrm.Model, resolve TableResolver) (TrainState, error) {
 	br := bufio.NewReader(r)
 	if err := readHeader(br, trainMagic); err != nil {
@@ -127,7 +134,23 @@ func LoadTraining(r io.Reader, m *dlrm.Model, resolve TableResolver) (TrainState
 	if err := readModelBody(br, m, resolve); err != nil {
 		return TrainState{}, corrupt(err)
 	}
+	if err := expectEOF(br); err != nil {
+		return TrainState{}, err
+	}
 	return TrainState{NextIter: next}, nil
+}
+
+// expectEOF rejects bytes after the checkpoint body. A format that reads
+// exactly what it wrote would otherwise silently accept a concatenated or
+// torn-rename file as "the prefix parsed fine" — the same class of
+// corruption the truncation checks catch at the other end of the file.
+func expectEOF(br *bufio.Reader) error {
+	if _, err := br.ReadByte(); err == nil {
+		return fmt.Errorf("%w: trailing bytes after checkpoint body", ErrCorruptCheckpoint)
+	} else if !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
 }
 
 // writeModelBody serializes the dense parameters and tables (post-resolve).

@@ -337,6 +337,45 @@ func TestLoadTruncationTable(t *testing.T) {
 	if st.NextIter != 17 {
 		t.Fatalf("NextIter = %d, want 17", st.NextIter)
 	}
+
+	// The other direction of the same corruption class: trailing bytes
+	// after the body (a concatenated or torn-rename file) must be rejected
+	// with the same typed sentinel, not loaded "successfully".
+	for _, extra := range [][]byte{{0x00}, {0xFF, 0xFE}, append([]byte(nil), whole[:32]...)} {
+		dst := buildModel(t, 24)
+		glued := append(append([]byte(nil), whole...), extra...)
+		_, err := LoadTraining(bytes.NewReader(glued), dst, nil)
+		if err == nil {
+			t.Errorf("%d trailing bytes accepted", len(extra))
+			continue
+		}
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Errorf("%d trailing bytes: err = %v, want ErrCorruptCheckpoint", len(extra), err)
+		}
+	}
+}
+
+// TestLoadModelRejectsTrailingBytes covers the model-only envelope: a valid
+// SaveModel body followed by garbage must fail with ErrCorruptCheckpoint.
+func TestLoadModelRejectsTrailingBytes(t *testing.T) {
+	src := buildModel(t, 25)
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	glued := append(append([]byte(nil), buf.Bytes()...), 'x')
+	dst := buildModel(t, 26)
+	err := LoadModel(bytes.NewReader(glued), dst)
+	if err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+	}
+	// The clean file still loads.
+	if err := LoadModel(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatalf("clean load: %v", err)
+	}
 }
 
 // TestWriteFileAtomicDurability covers the crash-consistency contract: the

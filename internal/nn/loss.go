@@ -77,8 +77,20 @@ func BCE(probs *tensor.Matrix, labels []float32) (float32, *tensor.Matrix) {
 // probabilities (for evaluation/AUC).
 func SigmoidSlice(logits []float32) []float32 {
 	out := make([]float32, len(logits))
-	for i, v := range logits {
-		out[i] = sigmoid(v)
-	}
+	SigmoidInto(out, logits)
 	return out
+}
+
+// SigmoidInto writes the logistic function of logits into dst, which must
+// have the same length — the allocation-free form of SigmoidSlice for hot
+// serving paths that own their output scratch. Element results are
+// bit-identical to SigmoidSlice.
+func SigmoidInto(dst, logits []float32) {
+	if len(dst) != len(logits) {
+		//elrec:invariant caller sizes dst to logits; serving scratch is resliced to the row count
+		panic(shapeErr("SigmoidInto dst len %d, logits len %d", len(dst), len(logits)))
+	}
+	for i, v := range logits {
+		dst[i] = sigmoid(v)
+	}
 }

@@ -3,7 +3,10 @@ package served
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/serve"
@@ -45,9 +48,24 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// ReloadRequest is the JSON body of POST /reload. An empty body (or empty
+// path) reloads from the pool's NewFromCheckpoint path.
+type ReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResponse is the JSON body answering a successful /reload.
+type ReloadResponse struct {
+	Version int64 `json:"version"`
+}
+
 // Handler exposes the pool over HTTP JSON: POST /score returns calibrated
-// CTRs in candidate order, POST /topk the ranked top k. Shedding maps to
-// status codes a load balancer can act on: 503 for ErrOverloaded and
+// CTRs in candidate order, POST /topk the ranked top k, POST /reload
+// hot-swaps in a new checkpoint and returns the new model version. GET
+// /healthz answers 200 while the process lives; GET /readyz answers 200
+// only when the pool is serving a stable version (503 mid-swap and after
+// Close) so load balancers route around a node that is reloading. Shedding
+// maps to status codes a balancer can act on: 503 for ErrOverloaded and
 // ErrShutdown, 504 for ErrDeadline, 400 for invalid requests.
 func (p *Pool) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -57,7 +75,54 @@ func (p *Pool) Handler() http.Handler {
 	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
 		p.handle(w, r, true)
 	})
+	mux.HandleFunc("/reload", p.handleReload)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statusResponse{Status: "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !p.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, statusResponse{Status: "not ready"})
+			return
+		}
+		writeJSON(w, http.StatusOK, statusResponse{Status: "ready"})
+	})
 	return mux
+}
+
+// statusResponse is the JSON body of /healthz and /readyz.
+type statusResponse struct {
+	Status string `json:"status"`
+}
+
+// handleReload serves POST /reload: swap the pool to the checkpoint named
+// in the body (default: the pool's construction checkpoint). 404 for a
+// missing file, 400 for a pool without a reload surface, 503 once shut
+// down, 500 for a corrupt checkpoint — in every failure case the pool keeps
+// serving the old version.
+func (p *Pool) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req ReloadRequest
+	if r.Body != nil {
+		// An empty body means "reload the default path"; only malformed
+		// JSON is an error.
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+			return
+		}
+	}
+	version, err := p.SwapFromCheckpoint(req.Path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Version: version})
 }
 
 func (p *Pool) handle(w http.ResponseWriter, r *http.Request, topK bool) {
@@ -72,6 +137,13 @@ func (p *Pool) handle(w http.ResponseWriter, r *http.Request, topK bool) {
 	}
 	ctx := serve.Context{Dense: req.Dense, Sparse: req.Sparse}
 	timeout := p.opts.Timeout
+	if req.TimeoutMS < 0 {
+		// A negative deadline must not silently fall back to the pool
+		// default — that would let clients smuggle "no deadline" past the
+		// shedding policy.
+		writeError(w, fmt.Errorf("%w: negative timeout_ms %d", serve.ErrInvalidConfig, req.TimeoutMS))
+		return
+	}
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}

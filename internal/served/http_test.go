@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/serve"
 )
@@ -78,6 +80,186 @@ func TestHTTPScoreAndTopK(t *testing.T) {
 		if tr.Items[i].Item != wantTop[i].Item || tr.Items[i].Score != wantTop[i].Score {
 			t.Fatalf("top[%d] = %+v want %+v", i, tr.Items[i], wantTop[i])
 		}
+	}
+}
+
+func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// TestHTTPNegativeTimeoutRejected pins the deadline-policy fix: a negative
+// timeout_ms must 400 instead of silently falling back to the pool default.
+func TestHTTPNegativeTimeoutRejected(t *testing.T) {
+	m := poolModel(t)
+	p, err := New(m, 1, 16, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	h := p.Handler()
+	ctx := poolContext(0)
+	for _, path := range []string{"/score", "/topk"} {
+		rec := postJSON(t, h, path, ScoreRequest{
+			Dense: ctx.Dense, Sparse: ctx.Sparse, Candidates: []int{1}, K: 1, TimeoutMS: -1,
+		})
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s with timeout_ms=-1: status %d want 400: %s", path, rec.Code, rec.Body.String())
+		}
+	}
+	// 0 still means "pool default", not an error.
+	rec := postJSON(t, h, "/score", ScoreRequest{Dense: ctx.Dense, Sparse: ctx.Sparse, Candidates: []int{1}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("timeout_ms=0 status %d want 200: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestHTTPReload exercises the admin surface end to end: /healthz and
+// /readyz answer, POST /reload (explicit path, then empty body for the
+// default path) bumps the version, scoring works before and after, and the
+// failure mappings (404 missing file, 405 GET) hold.
+func TestHTTPReload(t *testing.T) {
+	v1, v2 := saveVersions(t)
+	p, err := NewFromCheckpoint(v1, 1, 16, Options{Replicas: 2, Factory: poolFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	h := p.Handler()
+	ctx := poolContext(0)
+	score := func() *httptest.ResponseRecorder {
+		return postJSON(t, h, "/score", ScoreRequest{Dense: ctx.Dense, Sparse: ctx.Sparse, Candidates: poolCandidates(0)})
+	}
+
+	if rec := getPath(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status %d want 200", rec.Code)
+	}
+	if rec := getPath(t, h, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz status %d want 200", rec.Code)
+	}
+	if rec := score(); rec.Code != http.StatusOK {
+		t.Fatalf("pre-reload score status %d", rec.Code)
+	}
+
+	rec := postJSON(t, h, "/reload", ReloadRequest{Path: v2})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/reload status %d: %s", rec.Code, rec.Body.String())
+	}
+	var rr ReloadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Version != 2 {
+		t.Fatalf("/reload version %d want 2", rr.Version)
+	}
+	if rec := score(); rec.Code != http.StatusOK {
+		t.Fatalf("post-reload score status %d", rec.Code)
+	}
+
+	// Empty body reloads the construction checkpoint (v1) → version 3.
+	req := httptest.NewRequest(http.MethodPost, "/reload", nil)
+	raw := httptest.NewRecorder()
+	h.ServeHTTP(raw, req)
+	if raw.Code != http.StatusOK {
+		t.Fatalf("empty-body /reload status %d: %s", raw.Code, raw.Body.String())
+	}
+	if p.Version() != 3 {
+		t.Fatalf("version after default reload %d want 3", p.Version())
+	}
+
+	// Missing checkpoint → 404; version and serving untouched.
+	rec = postJSON(t, h, "/reload", ReloadRequest{Path: v2 + ".missing"})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing-checkpoint /reload status %d want 404", rec.Code)
+	}
+	if p.Version() != 3 {
+		t.Fatalf("failed reload bumped version to %d", p.Version())
+	}
+	if rec := score(); rec.Code != http.StatusOK {
+		t.Fatalf("score after failed reload status %d", rec.Code)
+	}
+
+	// GET /reload → 405.
+	if rec := getPath(t, h, "/reload"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /reload status %d want 405", rec.Code)
+	}
+
+	// Factoryless pool → 400 (no reload surface).
+	m := poolModel(t)
+	plain, err := New(m, 1, 16, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	rec = postJSON(t, plain.Handler(), "/reload", ReloadRequest{Path: v1})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("factoryless /reload status %d want 400", rec.Code)
+	}
+}
+
+// TestHTTPReadyzFlipsMidSwap pins the drain/readiness state machine under a
+// live handoff: while a swap is blocked on a worker that is mid-micro-batch
+// (parked in Hydrate), /readyz must answer 503 without blocking; once the
+// batch finishes and the swap completes, readiness recovers.
+func TestHTTPReadyzFlipsMidSwap(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	m := poolModel(t)
+	p, err := New(m, 1, 16, Options{
+		Replicas: 1,
+		Hydrate: func(batch []HydrateRequest) error {
+			entered <- struct{}{}
+			<-release
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	h := p.Handler()
+	ctx := poolContext(0)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		// Parks the only worker inside the micro-batch.
+		postJSON(t, h, "/score", ScoreRequest{Dense: ctx.Dense, Sparse: ctx.Sparse, Candidates: poolCandidates(0)})
+	}()
+	<-entered
+	swapped := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		defer close(swapped)
+		if _, err := p.Swap(m); err != nil {
+			t.Errorf("swap: %v", err)
+		}
+	}()
+
+	// The swap cannot hand off until the worker leaves Hydrate, so poll
+	// until readiness drops (it flips as soon as Swap enters distribution).
+	for getPath(t, h, "/readyz").Code != http.StatusServiceUnavailable {
+		select {
+		case <-swapped:
+			t.Fatal("swap completed while its worker was parked in Hydrate")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if rec := getPath(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatal("/healthz must stay 200 mid-swap")
+	}
+
+	close(release)
+	wg.Wait()
+	if rec := getPath(t, h, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz after swap status %d want 200", rec.Code)
+	}
+	if p.Version() != 2 {
+		t.Fatalf("version %d want 2", p.Version())
 	}
 }
 

@@ -19,6 +19,13 @@
 // k-order, a sample's score does not depend on its micro-batch neighbours:
 // pooled results are bit-identical to the serial path, which the -race tests
 // assert.
+//
+// The pool also supports hot model reload (see swap.go): Swap hands every
+// worker a freshly cloned replica of a new model version between
+// micro-batches — in-flight batches finish on the old clones, no request is
+// ever dropped — and SwapFromCheckpoint rebuilds that new version from the
+// checkpoint codec, so a continuously retraining trainer and a serving pool
+// never share mutable memory.
 package served
 
 import (
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/dlrm"
+	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -76,6 +84,15 @@ type Options struct {
 	// Instrumentation is fixed at construction so workers never race an
 	// attach.
 	Metrics *obs.Registry
+	// Factory builds a fresh model skeleton with the serving architecture
+	// (same parameter shapes, table kinds and table shapes as the
+	// checkpoints the pool will load). NewFromCheckpoint and
+	// SwapFromCheckpoint call it once per load, so the pool materializes
+	// every model version from checkpoint bytes into memory it owns —
+	// never aliasing the live trainer's parameters. Nil disables the
+	// checkpoint-reload surface; Swap with a caller-built model still
+	// works.
+	Factory ModelFactory
 }
 
 func (o Options) withDefaults() Options {
@@ -92,11 +109,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Pool serves Score/TopK traffic over N isolated replicas of one model.
+// Pool serves Score/TopK traffic over N isolated replicas of one model and
+// hot-swaps in new model versions without dropping requests.
 type Pool struct {
-	opts     Options
-	clock    obs.Clock
-	replicas []*replica
+	opts        Options
+	clock       obs.Clock
+	itemFeature int // Ranker item feature, fixed across swaps
+	batchSize   int // Ranker scoring chunk size, fixed across swaps
+	workers     []*worker
 
 	queue chan *request
 	depth atomic.Int64 // admitted but not yet claimed by a worker
@@ -104,8 +124,42 @@ type Pool struct {
 	mu     sync.RWMutex
 	closed bool // guarded by mu
 
+	// swapMu serializes Swap/SwapFromCheckpoint so two concurrent reloads
+	// cannot interleave their replica distributions.
+	swapMu sync.Mutex
+	// swapping is true while a swap distributes replicas; Ready reports
+	// false then (and checks it before touching mu, so readiness probes
+	// never block behind a swap in progress).
+	swapping atomic.Bool
+	// version counts model versions served: 1 at construction, +1 per
+	// completed swap. Mirrored into the model_version gauge.
+	version atomic.Int64
+	// reloadPath is the default SwapFromCheckpoint source, set by
+	// NewFromCheckpoint before the pool is exposed; immutable afterwards.
+	reloadPath string
+
 	wg  sync.WaitGroup
 	met poolMetrics
+}
+
+// worker is one serving goroutine. It owns exactly one replica at a time;
+// ownership transfers only through the swap channel, at micro-batch
+// boundaries, so replica scratch is never shared.
+type worker struct {
+	// rep is the worker's current replica. Written by newPool before the
+	// goroutine starts and by the worker itself when it adopts a swap;
+	// never touched by any other goroutine while the worker runs.
+	rep *replica
+	// swap delivers the next replica; unbuffered, so a send completes
+	// exactly when the worker is between micro-batches.
+	swap chan swapMsg
+}
+
+// swapMsg hands a worker its next replica; the worker confirms adoption on
+// adopted (buffered to the worker count, so the ack never blocks).
+type swapMsg struct {
+	rep     *replica
+	adopted chan<- struct{}
 }
 
 // replica is one isolated copy of the model plus its scoring scratch; it is
@@ -116,9 +170,10 @@ type replica struct {
 	batcher *serve.Batcher
 	batch   int // scoring chunk size (rows per forward pass)
 
-	reqs []*request       // coalesce scratch, reused across micro-batches
-	rows []serve.Row      // flattened row scratch, reused across micro-batches
-	hyd  []HydrateRequest // hydration scratch, reused across micro-batches
+	reqs   []*request       // coalesce scratch, reused across micro-batches
+	rows   []serve.Row      // flattened row scratch, reused across micro-batches
+	hyd    []HydrateRequest // hydration scratch, reused across micro-batches
+	scores []float32        // micro-batch score scratch, reused across micro-batches
 }
 
 // HydrateRequest is one live request handed to the Options.Hydrate stage.
@@ -138,10 +193,12 @@ type poolMetrics struct {
 	shedOverload *obs.Counter   // serve_shed_overload
 	shedDeadline *obs.Counter   // serve_shed_deadline
 	queueDepth   *obs.Gauge     // serve_queue_depth
+	modelVersion *obs.Gauge     // model_version: 1 at construction, +1 per swap
 	coalesced    *obs.Histogram // serve_coalesced_batch_size: requests per micro-batch
 	queueWaitNS  *obs.Histogram // serve_queue_wait_ns: admission → worker pickup
 	hydrateNS    *obs.Histogram // serve_hydrate_ns: Hydrate stage per micro-batch
 	execNS       *obs.Histogram // serve_exec_ns: micro-batch hydrate+build+forward+rank
+	swapNS       *obs.Histogram // serve_swap_ns: Swap clone-build + distribution latency
 }
 
 func newPoolMetrics(reg *obs.Registry) poolMetrics {
@@ -154,26 +211,33 @@ func newPoolMetrics(reg *obs.Registry) poolMetrics {
 		shedOverload: reg.Counter("serve_shed_overload"),
 		shedDeadline: reg.Counter("serve_shed_deadline"),
 		queueDepth:   reg.Gauge("serve_queue_depth"),
+		modelVersion: reg.Gauge("model_version"),
 		coalesced:    reg.Histogram("serve_coalesced_batch_size"),
 		queueWaitNS:  reg.Histogram("serve_queue_wait_ns"),
 		hydrateNS:    reg.Histogram("serve_hydrate_ns"),
 		execNS:       reg.Histogram("serve_exec_ns"),
+		swapNS:       reg.Histogram("serve_swap_ns"),
 	}
 }
 
 // New builds a pool over model: Options.Replicas serving clones, each
 // validated through its own serve.Ranker. itemFeature and batchSize have
 // Ranker semantics (which sparse feature carries the candidate id, and the
-// rows-per-forward-pass chunk size). The source model must not train while
-// the pool serves — the clones share its embedding cores read-only.
+// rows-per-forward-pass chunk size). The clones share model's embedding
+// cores read-only, so model must not train while this pool still serves
+// clones of it. To retrain continuously, do not train the served model
+// in place: checkpoint the trainer and reload through NewFromCheckpoint /
+// SwapFromCheckpoint, which rebuild serving state from checkpoint bytes
+// instead of aliasing live trainer memory (Swap with a freshly built model
+// works too — the handed-over model must simply never train afterwards).
 func New(model *dlrm.Model, itemFeature, batchSize int, opts Options) (*Pool, error) {
 	p, err := newPool(model, itemFeature, batchSize, opts)
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range p.replicas {
-		r := r
-		p.spawn(func() { p.run(r) })
+	for _, w := range p.workers {
+		w := w
+		p.spawn(func() { p.run(w) })
 	}
 	return p, nil
 }
@@ -183,32 +247,63 @@ func New(model *dlrm.Model, itemFeature, batchSize int, opts Options) (*Pool, er
 func newPool(model *dlrm.Model, itemFeature, batchSize int, opts Options) (*Pool, error) {
 	opts = opts.withDefaults()
 	p := &Pool{
-		opts:  opts,
-		clock: opts.Clock,
-		queue: make(chan *request, opts.QueueDepth),
-		met:   newPoolMetrics(opts.Metrics),
+		opts:        opts,
+		clock:       opts.Clock,
+		itemFeature: itemFeature,
+		batchSize:   batchSize,
+		queue:       make(chan *request, opts.QueueDepth),
+		met:         newPoolMetrics(opts.Metrics),
 	}
 	for i := 0; i < opts.Replicas; i++ {
-		clone, err := model.CloneForServing()
+		r, err := p.buildReplica(model)
 		if err != nil {
 			return nil, fmt.Errorf("served: replica %d: %w", i, err)
 		}
-		ranker, err := serve.NewRanker(clone, itemFeature, batchSize)
-		if err != nil {
-			return nil, fmt.Errorf("served: replica %d: %w", i, err)
-		}
-		p.replicas = append(p.replicas, &replica{
-			model:   clone,
-			ranker:  ranker,
-			batcher: ranker.NewBatcher(),
-			batch:   batchSize,
-		})
+		p.workers = append(p.workers, &worker{rep: r, swap: make(chan swapMsg)})
 	}
+	p.version.Store(1)
+	p.met.modelVersion.Set(1)
 	return p, nil
 }
 
+// buildReplica clones model into one isolated serving replica with its own
+// validated Ranker and pooled scratch.
+func (p *Pool) buildReplica(model *dlrm.Model) (*replica, error) {
+	clone, err := model.CloneForServing()
+	if err != nil {
+		return nil, err
+	}
+	ranker, err := serve.NewRanker(clone, p.itemFeature, p.batchSize)
+	if err != nil {
+		return nil, err
+	}
+	return &replica{
+		model:   clone,
+		ranker:  ranker,
+		batcher: ranker.NewBatcher(),
+		batch:   p.batchSize,
+	}, nil
+}
+
 // Replicas returns the number of serving replicas.
-func (p *Pool) Replicas() int { return len(p.replicas) }
+func (p *Pool) Replicas() int { return len(p.workers) }
+
+// Version returns the model version currently served: 1 for the model the
+// pool was built over, incremented by every completed Swap.
+func (p *Pool) Version() int64 { return p.version.Load() }
+
+// Ready reports whether the pool is serving at a stable model version:
+// false while a swap is mid-flight and after Close. Load balancers poll
+// this through the /readyz route. The swapping check comes first so a
+// readiness probe answers immediately even while Swap holds the pool lock.
+func (p *Pool) Ready() bool {
+	if p.swapping.Load() {
+		return false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return !p.closed
+}
 
 // spawn starts fn on a pool goroutine tracked by the drain barrier. Every
 // pool goroutine is born here (the gospawn analyzer enforces it), so worker
@@ -314,21 +409,41 @@ func (p *Pool) admit(req *request) error {
 	}
 }
 
-// run is a replica's worker loop: serve micro-batches until the queue
-// closes and drains.
-func (p *Pool) run(r *replica) {
-	for p.serveOne(r) {
+// run is a worker loop: serve micro-batches until the queue closes and
+// drains, adopting a new replica whenever a swap delivers one. The select
+// makes the swap boundary exact: a handoff can only land between
+// micro-batches, so an in-flight batch always finishes on the clone it
+// started on.
+func (p *Pool) run(w *worker) {
+	for {
+		select {
+		case msg := <-w.swap:
+			w.rep = msg.rep
+			msg.adopted <- struct{}{}
+		case req, ok := <-p.queue:
+			if !ok {
+				return
+			}
+			p.serveAdmitted(w.rep, req)
+		}
 	}
 }
 
-// serveOne blocks for one request, coalesces whatever else is waiting (up
-// to MaxCoalesce) into a micro-batch, and processes it. Returns false once
-// the queue is closed and fully drained.
+// serveOne blocks for one request and serves one micro-batch on r.
+// Returns false once the queue is closed and fully drained. Tests drive it
+// synchronously against a stopped pool; the live path is run's select.
 func (p *Pool) serveOne(r *replica) bool {
 	req, ok := <-p.queue
 	if !ok {
 		return false
 	}
+	p.serveAdmitted(r, req)
+	return true
+}
+
+// serveAdmitted coalesces whatever else is waiting behind req (up to
+// MaxCoalesce) into a micro-batch on r and processes it.
+func (p *Pool) serveAdmitted(r *replica, req *request) {
 	r.reqs = r.reqs[:0]
 	r.reqs = append(r.reqs, req)
 coalesce:
@@ -345,7 +460,6 @@ coalesce:
 	}
 	p.met.queueDepth.Set(float64(p.depth.Add(int64(-len(r.reqs)))))
 	p.process(r, r.reqs)
-	return true
 }
 
 // process scores one coalesced micro-batch on r: shed expired requests,
@@ -409,14 +523,7 @@ func (p *Pool) process(r *replica, reqs []*request) {
 			r.rows = append(r.rows, serve.Row{Ctx: &req.ctx, Item: c})
 		}
 	}
-	scores := make([]float32, 0, len(r.rows))
-	for s := 0; s < len(r.rows); s += r.batch {
-		e := s + r.batch
-		if e > len(r.rows) {
-			e = len(r.rows)
-		}
-		scores = append(scores, r.model.Predict(r.batcher.BuildRows(r.rows[s:e]))...)
-	}
+	scores := r.scoreRows()
 	off := 0
 	for _, req := range live {
 		n := len(req.candidates)
@@ -429,6 +536,31 @@ func (p *Pool) process(r *replica, reqs []*request) {
 		}
 	}
 	p.met.execNS.Observe(float64(obs.Since(p.clock, start)))
+}
+
+// scoreRows scores r.rows in Ranker-sized chunks into the replica's pooled
+// scores scratch and returns the scratch resliced to the row count. Steady
+// state allocates nothing (the AllocsPerRun test pins it; elrec-lint's
+// hotalloc pass keeps the scratch management honest): the scratch grows once
+// to the high-water row count, then every micro-batch reuses it. Results are
+// bit-identical to per-chunk Predict — Forward fills the same logits buffer
+// and SigmoidInto applies the same per-element sigmoid.
+//
+//elrec:hotpath
+func (r *replica) scoreRows() []float32 {
+	if cap(r.scores) < len(r.rows) {
+		r.scores = make([]float32, len(r.rows)) //elrec:coldpath amortized scratch growth to the high-water micro-batch size
+	}
+	scores := r.scores[:len(r.rows)]
+	for s := 0; s < len(r.rows); s += r.batch {
+		e := s + r.batch
+		if e > len(r.rows) {
+			e = len(r.rows)
+		}
+		logits := r.model.Forward(r.batcher.BuildRows(r.rows[s:e])) //elrec:coldpath forward reuses model-owned buffers; its steady-state allocations are pinned by runtime AllocsPerRun tests
+		nn.SigmoidInto(scores[s:e], logits.Data)
+	}
+	return scores
 }
 
 // Close stops admission (new requests shed with ErrShutdown) and drains:

@@ -185,7 +185,7 @@ func TestPoolDeadlineSheds(t *testing.T) {
 		t.Fatal(err)
 	}
 	clock.Advance(5 * time.Millisecond)
-	if !p.serveOne(p.replicas[0]) {
+	if !p.serveOne(p.workers[0].rep) {
 		t.Fatal("serveOne reported a closed queue")
 	}
 	resp := <-expired.done
@@ -225,7 +225,7 @@ func TestPoolCoalescesWaitingRequests(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if !p.serveOne(p.replicas[0]) {
+	if !p.serveOne(p.workers[0].rep) {
 		t.Fatal("serveOne reported a closed queue")
 	}
 	for i, req := range reqs {
@@ -290,7 +290,7 @@ func TestPoolHydrateStage(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if !p.serveOne(p.replicas[0]) {
+	if !p.serveOne(p.workers[0].rep) {
 		t.Fatal("serveOne reported a closed queue")
 	}
 	if len(batches) != 1 || len(batches[0]) != 2 {
@@ -326,7 +326,7 @@ func TestPoolHydrateStage(t *testing.T) {
 	if err := p.admit(bad); err != nil {
 		t.Fatal(err)
 	}
-	if !p.serveOne(p.replicas[0]) {
+	if !p.serveOne(p.workers[0].rep) {
 		t.Fatal("serveOne reported a closed queue")
 	}
 	resp := <-bad.done

@@ -1,0 +1,136 @@
+// Hot model reload: the versioned replica-swap protocol.
+//
+// Swap never shares memory between a trainer and the pool. A new version
+// enters as a caller-built model (Swap) or is materialized from checkpoint
+// bytes into a Factory-built skeleton (SwapFromCheckpoint); either way every
+// worker receives a fresh CloneForServing replica of it. Handoff happens on
+// each worker's unbuffered swap channel, which the worker only receives on
+// between micro-batches — so in-flight batches finish on the old clone, the
+// next admission lands on the new one, and zero requests are dropped. Old
+// clones simply become garbage once their worker adopts the replacement.
+package served
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/dlrm"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// ModelFactory builds a fresh model skeleton matching the serving
+// architecture: same layer shapes, table kinds and table shapes as the
+// checkpoints the pool loads. Each call must return a brand-new model that
+// shares no parameter memory with any previous call or with a live trainer —
+// checkpoint.LoadFile then overwrites its parameters in place.
+type ModelFactory func() (*dlrm.Model, error)
+
+// NewFromCheckpoint builds a pool whose first served version is
+// materialized from the checkpoint at path: opts.Factory constructs the
+// skeleton, checkpoint.LoadFile fills it, and the pool clones it per
+// replica. The path is remembered as the default SwapFromCheckpoint source,
+// so `POST /reload` with no body re-reads the same file.
+func NewFromCheckpoint(path string, itemFeature, batchSize int, opts Options) (*Pool, error) {
+	if opts.Factory == nil {
+		return nil, fmt.Errorf("%w: NewFromCheckpoint requires Options.Factory", serve.ErrInvalidConfig)
+	}
+	model, err := loadVersion(opts.Factory, path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := New(model, itemFeature, batchSize, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.reloadPath = path
+	return p, nil
+}
+
+// loadVersion materializes one model version from checkpoint bytes into a
+// factory-built skeleton the pool owns outright.
+func loadVersion(factory ModelFactory, path string) (*dlrm.Model, error) {
+	m, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("served: model factory: %w", err)
+	}
+	if err := checkpoint.LoadFile(path, m); err != nil {
+		return nil, fmt.Errorf("served: load checkpoint %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Swap replaces the served model with model: it builds one fresh
+// CloneForServing replica per worker up front (any failure leaves the pool
+// serving the old version, untouched), then hands each worker its
+// replacement at a micro-batch boundary and waits for every adoption.
+// In-flight micro-batches finish on the old clones; every request admitted
+// after Swap returns scores on the new version; no request is ever dropped.
+// Returns the new version number. After the handoff the pool owns clones of
+// model, so — exactly as with New — model must not train afterwards; a
+// continuously retraining trainer should go through SwapFromCheckpoint.
+//
+// Concurrent swaps serialize; a swap against a closed pool fails with
+// ErrShutdown. Ready reports false while the handoff is in flight.
+func (p *Pool) Swap(model *dlrm.Model) (int64, error) {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	start := p.clock.Now()
+	reps := make([]*replica, len(p.workers))
+	for i := range p.workers {
+		r, err := p.buildReplica(model)
+		if err != nil {
+			return p.version.Load(), fmt.Errorf("served: swap replica %d: %w", i, err)
+		}
+		reps[i] = r
+	}
+	// Readiness drops before mu is taken so probes (which check swapping
+	// first) answer "not ready" instantly instead of queueing behind the
+	// write lock.
+	p.swapping.Store(true)
+	defer p.swapping.Store(false)
+	// Holding mu excludes Close for the whole distribution: closed cannot
+	// flip mid-handoff, so every worker is guaranteed alive to adopt.
+	// Admission briefly blocks on the read lock — delayed, never dropped.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return p.version.Load(), fmt.Errorf("served: swap: %w", ErrShutdown)
+	}
+	adopted := make(chan struct{}, len(p.workers))
+	for i, w := range p.workers {
+		// Safe while holding mu: closed is false, so every worker loop is
+		// alive and selects on its swap channel between micro-batches;
+		// workers never acquire mu, so the handoff cannot deadlock.
+		w.swap <- swapMsg{rep: reps[i], adopted: adopted} //elrec:lockorder mu intentionally excludes Close during the handoff; workers never take mu
+	}
+	for range p.workers {
+		<-adopted //elrec:lockorder adopted is buffered to the worker count; every worker acks without taking mu
+	}
+	v := p.version.Add(1)
+	p.met.modelVersion.Set(float64(v))
+	p.met.swapNS.Observe(float64(obs.Since(p.clock, start)))
+	return v, nil
+}
+
+// SwapFromCheckpoint hot-reloads the pool from the checkpoint at path
+// (empty: the NewFromCheckpoint path), materializing the new version
+// through Options.Factory + checkpoint.LoadFile so serving state is rebuilt
+// from checkpoint bytes — never aliased from a live trainer. Any load error
+// leaves the pool serving the current version. Returns the new version.
+func (p *Pool) SwapFromCheckpoint(path string) (int64, error) {
+	if path == "" {
+		path = p.reloadPath
+	}
+	if path == "" {
+		return p.version.Load(), fmt.Errorf("%w: no checkpoint path: pool was not built by NewFromCheckpoint and the reload request named none", serve.ErrInvalidConfig)
+	}
+	if p.opts.Factory == nil {
+		return p.version.Load(), fmt.Errorf("%w: SwapFromCheckpoint requires Options.Factory", serve.ErrInvalidConfig)
+	}
+	model, err := loadVersion(p.opts.Factory, path)
+	if err != nil {
+		return p.version.Load(), err
+	}
+	return p.Swap(model)
+}
